@@ -1,0 +1,94 @@
+"""Ablation — the launch-pad model (λ and stream multiplicity).
+
+The paper describes the launch-pad strategy (compromise a proxy, then
+attack servers from it over direct connections) but leaves the
+within-step timing unspecified.  Our model exposes it as λ ∈ [0, 1] —
+the success scale of a launch-pad attack fired in the same step its
+hosting proxy fell — plus a variant where every fallen proxy hosts an
+independent stream.  This bench quantifies how much the headline results
+depend on that choice: at realistic κ the launch pad is a second-order
+effect (the κ·α indirect term dominates, λ moves EL by < 2%), while at
+κ = 0 it *is* the dominant compromise route — EL scales as 1/λ, and
+λ = 0 is a regime change (only the α³ all-proxies route remains).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lifetimes import el_s2_po
+from repro.analysis.orderings import kappa_crossover_s2_vs_s1
+from repro.reporting.tables import format_quantity, render_table
+
+ALPHA = 1e-3
+LAMBDAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+KAPPAS = (0.0, 0.1, 0.5)
+
+
+def bench_launchpad_lambda_ablation(benchmark, save_table):
+    def compute():
+        return {
+            (lam, k, per_proxy): el_s2_po(
+                ALPHA, k, launchpad_fraction=lam, per_proxy_launchpad=per_proxy
+            )
+            for lam in LAMBDAS
+            for k in KAPPAS
+            for per_proxy in (False, True)
+        }
+
+    results = benchmark(compute)
+    rows = []
+    for lam in LAMBDAS:
+        for per_proxy in (False, True):
+            rows.append(
+                [f"{lam:g}", "per-proxy" if per_proxy else "single"]
+                + [format_quantity(results[(lam, k, per_proxy)]) for k in KAPPAS]
+            )
+    # At kappa=0.5 the whole lambda range moves EL by < 2%.
+    at_half = [results[(lam, 0.5, False)] for lam in LAMBDAS]
+    assert max(at_half) / min(at_half) < 1.02
+    # At kappa=0 the launch pad IS the dominant route: EL scales ~1/lambda
+    # (q ≈ 3λα²), so quartering lambda quadruples the lifetime...
+    ratio = results[(0.25, 0.0, False)] / results[(1.0, 0.0, False)]
+    assert 3.5 < ratio < 4.5
+    # ...and lambda=0 is a regime change (only the α³ all-proxies route
+    # remains), worth orders of magnitude.
+    assert results[(0.0, 0.0, False)] / results[(1.0, 0.0, False)] > 100
+    # Per-proxy streams only ever weaken the defender.
+    for lam in LAMBDAS:
+        for k in KAPPAS:
+            assert results[(lam, k, True)] <= results[(lam, k, False)] + 1e-9
+    save_table(
+        "ablation_launchpad",
+        render_table(
+            ["lambda", "streams"] + [f"kappa={k:g}" for k in KAPPAS],
+            rows,
+            title=(
+                f"Launch-pad ablation: EL of S2PO at alpha={ALPHA:g}.\n"
+                "The unspecified within-step timing (lambda) is second-order\n"
+                "whenever the indirect channel exists (kappa > 0)."
+            ),
+        ),
+    )
+
+
+def bench_launchpad_effect_on_crossover(benchmark, save_table):
+    """How the trend-3 κ* boundary depends on λ."""
+
+    def compute():
+        return {
+            lam: kappa_crossover_s2_vs_s1(1e-2, launchpad_fraction=lam)
+            for lam in LAMBDAS
+        }
+
+    stars = benchmark(compute)
+    rows = [[f"{lam:g}", f"{star:.6f}"] for lam, star in stars.items()]
+    # A stronger launch pad can only lower the boundary.
+    ordered = [stars[lam] for lam in LAMBDAS]
+    assert ordered == sorted(ordered, reverse=True)
+    save_table(
+        "ablation_launchpad_crossover",
+        render_table(
+            ["lambda", "kappa* (S2PO vs S1PO) at alpha=1e-2"],
+            rows,
+            title="Trend-3 boundary vs launch-pad strength",
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Ablation — re-randomization period P (the paper fixes P = 1).
+
+Uses the multi-state absorbing Markov chain of
+:mod:`repro.analysis.period`: with P > 1 a compromised proxy stays in
+attacker hands until the next system-wide re-randomization, hosting
+full-rate launch-pad attacks every intervening step.  Reported per P:
+
+* expected lifetime (whole steps);
+* the split of compromise routes (server exploited vs all proxies held).
+
+This quantifies how fast FORTRESS's advantage decays when
+re-randomization cannot keep up with the unit time-step — the
+operational cost knob of proactive obfuscation (§2.3's infrastructure
+requirements exist precisely to keep P small).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.period import (
+    ABSORB_PROXIES,
+    ABSORB_SERVER,
+    compromise_route_split,
+    el_s2_po_with_period,
+)
+from repro.reporting.tables import format_quantity, render_table
+
+ALPHA = 1e-3
+KAPPA = 0.5
+PERIODS = (1, 2, 3, 4, 6, 8, 12, 16)
+
+
+def bench_period_ablation(benchmark, save_table):
+    def compute():
+        out = {}
+        for period in PERIODS:
+            el = el_s2_po_with_period(ALPHA, KAPPA, period_steps=period)
+            split = compromise_route_split(ALPHA, KAPPA, period_steps=period)
+            out[period] = (el, split)
+        return out
+
+    results = benchmark(compute)
+    rows = [
+        [
+            str(period),
+            format_quantity(el),
+            f"{split[ABSORB_SERVER]:.4f}",
+            f"{split[ABSORB_PROXIES]:.6f}",
+        ]
+        for period, (el, split) in results.items()
+    ]
+    els = [results[p][0] for p in PERIODS]
+    assert els == sorted(els, reverse=True)  # slower refresh, shorter life
+    # The paper's P=1 point must match the closed form used in Figure 1.
+    from repro.analysis.lifetimes import el_s2_po
+
+    assert abs(results[1][0] - el_s2_po(ALPHA, KAPPA)) < 1e-6
+    save_table(
+        "ablation_period",
+        render_table(
+            ["P (steps)", "EL", "P(server route)", "P(all-proxies route)"],
+            rows,
+            title=(
+                f"Re-randomization period ablation (alpha={ALPHA:g}, kappa={KAPPA}):\n"
+                "EL of S2 under PO with period P, via the (phase, k) absorbing\n"
+                "Markov chain; longer periods let captured proxies persist."
+            ),
+        ),
+    )

@@ -1,0 +1,72 @@
+"""Figure 1 — Expected Lifetime Comparison.
+
+Regenerates the paper's Figure 1: EL vs α (the per-step direct-attack
+success probability, swept over the "realistic range" 1e-5..1e-2) for
+the five candidate systems S0PO, S2PO, S1PO, S1SO, S0SO at χ = 2^16,
+κ = 0.5.  Two independent generators are benchmarked:
+
+* the analytic formulas (closed forms / numeric sums);
+* the Monte-Carlo samplers (with 95% confidence intervals).
+
+The paper's qualitative reading of the figure — the ordering
+``S0PO > S2PO > S1PO > S1SO > S0SO`` — is asserted on the output.
+"""
+
+from __future__ import annotations
+
+from repro.mc.sweeps import FIGURE1_ALPHAS, figure1_series
+from repro.reporting.tables import render_series_table
+
+KAPPA = 0.5
+MC_TRIALS = 4000
+
+
+def _assert_figure1_ordering(series_list) -> None:
+    by_label = {s.label: s for s in series_list}
+    order = ["S0PO", "S2PO", "S1PO", "S1SO", "S0SO"]
+    for i, alpha in enumerate(series_list[0].xs):
+        values = [by_label[label].points[i].mean for label in order]
+        assert values == sorted(values, reverse=True), (
+            f"figure-1 ordering violated at alpha={alpha}: "
+            f"{dict(zip(order, values))}"
+        )
+
+
+def bench_figure1_analytic(benchmark, save_table):
+    """Analytic generation of all five Figure-1 curves."""
+    series_list = benchmark(figure1_series, FIGURE1_ALPHAS, KAPPA)
+    _assert_figure1_ordering(series_list)
+    save_table(
+        "figure1_analytic",
+        render_series_table(
+            series_list,
+            x_header="alpha",
+            title=(
+                "Figure 1 (analytic): expected lifetime (whole steps) vs alpha"
+                f" [chi=2^16, kappa={KAPPA}]"
+            ),
+        ),
+    )
+
+
+def bench_figure1_montecarlo(benchmark, save_table):
+    """Monte-Carlo generation of the Figure-1 curves (with CIs)."""
+    series_list = benchmark.pedantic(
+        figure1_series,
+        kwargs={"alphas": FIGURE1_ALPHAS, "kappa": KAPPA, "trials": MC_TRIALS},
+        rounds=1,
+        iterations=1,
+    )
+    _assert_figure1_ordering(series_list)
+    save_table(
+        "figure1_montecarlo",
+        render_series_table(
+            series_list,
+            x_header="alpha",
+            title=(
+                "Figure 1 (Monte-Carlo): expected lifetime vs alpha"
+                f" [chi=2^16, kappa={KAPPA}, {MC_TRIALS} trials/point, mean [95% CI]]"
+            ),
+            with_ci=True,
+        ),
+    )

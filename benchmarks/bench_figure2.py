@@ -1,0 +1,68 @@
+"""Figure 2 — Expected Lifetimes of the S2PO systems as κ varies.
+
+Regenerates the paper's Figure 2 (log scale): the EL of the FORTRESS
+system under proactive obfuscation for κ spanning 0 .. 1, across the α
+range.  Asserted qualitative content:
+
+* EL is monotonically decreasing in κ at every α;
+* the κ = 0 curve sits above S0PO (trend 4's exception);
+* the κ = 1 curve sits below S1PO (trend 3's boundary).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lifetimes import el_s0_po, el_s1_po
+from repro.mc.sweeps import (
+    FIGURE1_ALPHAS,
+    FIGURE2_KAPPAS,
+    figure2_series,
+    sweep_kappa,
+)
+from repro.core.specs import s2
+from repro.randomization.obfuscation import Scheme
+from repro.reporting.tables import render_series_table
+
+MC_TRIALS = 4000
+
+
+def bench_figure2_analytic(benchmark, save_table):
+    """EL-vs-α curves of S2PO, one per κ (the figure's series)."""
+    series_list = benchmark(figure2_series, FIGURE1_ALPHAS, FIGURE2_KAPPAS)
+    # Monotone in kappa at every alpha.
+    for i, alpha in enumerate(series_list[0].xs):
+        values = [s.points[i].mean for s in series_list]
+        assert values == sorted(values, reverse=True), f"not monotone at {alpha}"
+        assert values[0] > el_s0_po(alpha)  # kappa=0 beats S0PO
+        assert values[-1] < el_s1_po(alpha)  # kappa=1 loses to S1PO
+    save_table(
+        "figure2_analytic",
+        render_series_table(
+            series_list,
+            x_header="alpha",
+            title="Figure 2 (analytic): EL of S2PO vs alpha, one curve per kappa",
+        ),
+    )
+
+
+def bench_figure2_kappa_sweep_montecarlo(benchmark, save_table):
+    """The κ axis itself, Monte-Carlo, at a mid-range α."""
+    base = s2(Scheme.PO, alpha=1e-3)
+
+    def generate():
+        return sweep_kappa(base, FIGURE2_KAPPAS, trials=MC_TRIALS)
+
+    series = benchmark.pedantic(generate, rounds=1, iterations=1)
+    means = series.means
+    assert means == sorted(means, reverse=True)
+    save_table(
+        "figure2_kappa_sweep_mc",
+        render_series_table(
+            [series],
+            x_header="kappa",
+            title=(
+                "Figure 2 cross-section (Monte-Carlo): EL of S2PO vs kappa"
+                f" at alpha=1e-3 [{MC_TRIALS} trials/point]"
+            ),
+            with_ci=True,
+        ),
+    )

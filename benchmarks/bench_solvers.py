@@ -1,0 +1,72 @@
+"""Performance benches for the evaluation machinery itself.
+
+These are throughput benchmarks (classic pytest-benchmark targets) for
+the pieces every experiment leans on: the AMC solver, the Monte-Carlo
+samplers, the attacker's guess tracker and the protocol simulation loop.
+They guard against performance regressions that would make the
+figure-scale sweeps impractical.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.analysis.period import build_s2_po_period_chain
+from repro.attacker.keytracker import KeyGuessTracker
+from repro.core.experiment import run_protocol_lifetime
+from repro.core.specs import s1, s2
+from repro.mc.models import S2SOModel, model_for
+from repro.randomization.keyspace import KeySpace
+from repro.randomization.obfuscation import Scheme
+
+
+def bench_amc_solver_large_chain(benchmark):
+    """Solve a (16 phases x 7 proxies) = 112-state absorbing chain."""
+    chain = build_s2_po_period_chain(
+        1e-3, 0.5, n_proxies=8, period_steps=16
+    )
+
+    def solve():
+        chain._fundamental = None  # force a fresh factorization
+        return chain.solve()
+
+    result = benchmark(solve)
+    assert result.expected_steps.shape == (128,)
+
+
+def bench_mc_sampler_s2so_throughput(benchmark):
+    """Draw 200k S2SO lifetimes (the heaviest sampler)."""
+    model = S2SOModel(s2(Scheme.SO, alpha=1e-3, kappa=0.5))
+    rng = np.random.default_rng(1)
+    lifetimes = benchmark(model.sample, 200_000, rng)
+    assert lifetimes.shape == (200_000,)
+
+
+def bench_mc_sampler_po_throughput(benchmark):
+    """Draw 1M geometric PO lifetimes."""
+    model = model_for(s2(Scheme.PO, alpha=1e-3, kappa=0.5))
+    rng = np.random.default_rng(2)
+    lifetimes = benchmark(model.sample, 1_000_000, rng)
+    assert lifetimes.shape == (1_000_000,)
+
+
+def bench_keytracker_full_enumeration(benchmark):
+    """Enumerate a 2^14 key space without repeats."""
+
+    def enumerate_space():
+        tracker = KeyGuessTracker(KeySpace(14), random.Random(3))
+        for _ in range(1 << 14):
+            tracker.next_guess()
+        return tracker
+
+    tracker = benchmark(enumerate_space)
+    assert tracker.exhausted
+
+
+def bench_protocol_simulation_run(benchmark):
+    """One full protocol-level S1SO lifetime run (build + attack + run)."""
+    spec = s1(Scheme.SO, alpha=0.1, entropy_bits=8)
+    outcome = benchmark(run_protocol_lifetime, spec, 1, 60)
+    assert outcome.compromised

@@ -1,0 +1,102 @@
+"""Section-6 trends table ("Table 1" of this reproduction).
+
+The paper states its four headline findings in prose; this bench
+regenerates them as a pass/fail table, together with the κ crossovers
+that quantify trends 3 and 4:
+
+1. S1SO outlives S0SO;
+2. S2PO and S1PO outlive all SO systems;
+3. S2PO outlives S1PO when κ ≤ 0.9  (we also report the exact κ*);
+4. S0PO outlives S2PO except when κ = 0 (we report the Θ(α) crossover).
+
+Summary chain: S0PO --κ>0--> S2PO --κ≤0.9--> S1PO -> S1SO -> S0SO.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.orderings import (
+    DEFAULT_ALPHAS,
+    kappa_crossover_s2_vs_s0,
+    kappa_crossover_s2_vs_s1,
+    lifetimes_at,
+    summary_chain_holds,
+    verify_paper_trends,
+)
+from repro.reporting.tables import format_quantity, render_table
+
+
+def bench_section6_trends(benchmark, save_table):
+    """Verify all four trends over the α grid (the paper's Table-1-like
+    summary) and print the evidence."""
+    reports = benchmark(verify_paper_trends)
+    assert all(r.holds for r in reports)
+    rows = [[r.name, r.statement, "HOLDS" if r.holds else "FAILS", r.detail] for r in reports]
+    chain_ok = all(
+        summary_chain_holds(alpha, kappa)
+        for alpha in DEFAULT_ALPHAS
+        for kappa in (0.05, 0.5, 0.9)
+    )
+    rows.append(
+        [
+            "chain",
+            "S0PO -> S2PO -> S1PO -> S1SO -> S0SO (0<kappa<=0.9)",
+            "HOLDS" if chain_ok else "FAILS",
+            f"checked on {len(DEFAULT_ALPHAS)} alphas x 3 kappas",
+        ]
+    )
+    assert chain_ok
+    save_table(
+        "section6_trends",
+        render_table(
+            ["trend", "statement", "verdict", "evidence"],
+            rows,
+            title="Section 6 trends (analytic verification)",
+        ),
+    )
+
+
+def bench_kappa_crossovers(benchmark, save_table):
+    """Quantify the trend-3 and trend-4 κ boundaries per α."""
+
+    def compute():
+        rows = []
+        for alpha in DEFAULT_ALPHAS:
+            rows.append(
+                [
+                    format_quantity(alpha),
+                    f"{kappa_crossover_s2_vs_s1(alpha):.6f}",
+                    f"{kappa_crossover_s2_vs_s0(alpha):.3e}",
+                ]
+            )
+        return rows
+
+    rows = benchmark(compute)
+    # Trend 3's boundary lies in (0.9, 1) everywhere on the grid.
+    assert all(0.9 < float(r[1]) < 1.0 for r in rows)
+    save_table(
+        "kappa_crossovers",
+        render_table(
+            ["alpha", "kappa* (S2PO vs S1PO)", "kappa* (S2PO vs S0PO)"],
+            rows,
+            title=(
+                "Kappa crossovers: below kappa* FORTRESS outlives the rival.\n"
+                "Trend 3's 'kappa <= 0.9' is the paper's sufficient bound; the\n"
+                "exact boundary sits at 1 - Theta(alpha).  Trend 4's exception\n"
+                "'kappa = 0' is exact up to a Theta(alpha) sliver."
+            ),
+        ),
+    )
+
+
+def bench_lifetime_table_midrange(benchmark, save_table):
+    """The EL values at the paper's representative mid-range point."""
+    el = benchmark(lifetimes_at, 1e-3, 0.5)
+    rows = [[label, format_quantity(value)] for label, value in el.items()]
+    save_table(
+        "lifetimes_midrange",
+        render_table(
+            ["system", "expected lifetime (steps)"],
+            rows,
+            title="Expected lifetimes at alpha=1e-3, kappa=0.5, chi=2^16",
+        ),
+    )

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Anatomy of a de-randomization attack — and how proxies blunt it.
+
+Act 1 reproduces the Shacham-et-al.-style attack the paper builds on
+(§2.1): a forking server behind address-space randomization, an attacker
+probing keys over direct TCP connections, observing crashes through
+connection closures, until the key is found.
+
+Act 2 puts the same server behind FORTRESS proxies with frequency
+analysis: full-rate probing gets the attacker blacklisted in seconds,
+and the sustainable (paced) rate is exactly the κ·ω the paper models.
+
+Run:  python examples/derandomization_attack.py
+"""
+
+from __future__ import annotations
+
+from repro import DetectionPolicy, Scheme, kappa_for_policy, s1, s2
+from repro.core.builders import attach_attacker, build_system
+
+
+def act_one() -> None:
+    print("=" * 64)
+    print("Act 1: direct de-randomization of an unprotected server (S1SO)")
+    print("=" * 64)
+    spec = s1(Scheme.SO, alpha=0.05, entropy_bits=8)
+    print(f"key space: {spec.chi} keys; attacker: {spec.omega:.1f} probes/step")
+    deployed = build_system(spec, seed=11)
+    attacker = attach_attacker(deployed)
+    deployed.start()
+    deployed.sim.run(until=100.0)
+
+    primary = deployed.servers[0]
+    monitor = deployed.monitor
+    print(f"probes fired            : {attacker.probes_sent_direct}")
+    print(f"server crashes caused   : {primary.crash_count} "
+          f"(each respawned by the forking daemon, key preserved)")
+    print(f"distinct keys eliminated: "
+          f"{attacker.pool('server-tier').tried_count - 1}")
+    print(f"key discovered          : {attacker.pool('server-tier').known_key} "
+          f"(actual: {primary.address_space.key})")
+    print(f"system compromised after {monitor.steps_survived} whole steps: "
+          f"{monitor.cause}")
+    print()
+
+
+def act_two() -> None:
+    print("=" * 64)
+    print("Act 2: the same attacker against FORTRESS proxies")
+    print("=" * 64)
+    policy = DetectionPolicy(window=10.0, threshold=10)
+    # Unpaced: the attacker pushes indirect probes at full rate.
+    greedy = s2(Scheme.SO, alpha=0.05, kappa=1.0, entropy_bits=8)
+    deployed = build_system(greedy, seed=12, detection_policy=policy,
+                            stop_on_compromise=False)
+    attacker = attach_attacker(deployed)
+    deployed.start()
+    deployed.sim.run(until=30.0)
+    flagged = [p.name for p in deployed.proxies
+               if p.detection.is_blacklisted(attacker.name)]
+    print(f"full-rate indirect probing (kappa=1.0):")
+    print(f"  probes through proxies: {attacker.probes_sent_indirect}")
+    print(f"  blacklisted at        : {flagged or 'none'}")
+    print("  (note: the attacker rotates probes across the proxies — the")
+    print("   paper's 'load-balancing' evasion, §2.2 — so each proxy only")
+    print("   sees 1/n_p of the stream; the threshold must account for it)")
+    print()
+
+    # Paced: the best response is to stay below threshold/window.
+    kappa = kappa_for_policy(policy, omega=greedy.omega, period=1.0)
+    print(f"the detection policy (window={policy.window}, "
+          f"threshold={policy.threshold}) caps the attacker at "
+          f"{policy.max_sustainable_rate:.1f} probes/unit time")
+    print(f"=> effective indirect coefficient kappa = {kappa:.3f}")
+    paced = s2(Scheme.SO, alpha=0.05, kappa=kappa * 0.9, entropy_bits=8)
+    deployed = build_system(paced, seed=13, detection_policy=policy,
+                            stop_on_compromise=False)
+    attacker = attach_attacker(deployed)
+    deployed.start()
+    deployed.sim.run(until=30.0)
+    flagged = [p.name for p in deployed.proxies
+               if p.detection.is_blacklisted(attacker.name)]
+    print(f"paced probing at 0.9*kappa*omega:")
+    print(f"  probes through proxies: {attacker.probes_sent_indirect}")
+    print(f"  blacklisted at        : {flagged or 'none'}")
+    print()
+    print("This forced pacing is why indirect attacks carry the kappa")
+    print("coefficient (Definition 5), and why the fortified system's")
+    print("lifetime stretches by ~1/kappa (Figure 2).")
+
+
+def main() -> None:
+    act_one()
+    act_two()
+
+
+if __name__ == "__main__":
+    main()

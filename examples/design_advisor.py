@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Design advisor: SMR or FORTRESS?  (the paper's §7 decision procedure)
+
+Given a deployment's parameters — key entropy, attacker strength, how
+well proxies can throttle indirect probing (κ), and whether the service
+can feasibly be made a deterministic state machine — this tool computes
+the expected lifetime of every candidate architecture and prints the
+paper's recommendation with the supporting numbers.
+
+Run:  python examples/design_advisor.py [--alpha A] [--kappa K]
+                                        [--entropy-bits B] [--dsm-ready]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import lifetimes_at, render_table
+from repro.analysis.orderings import kappa_crossover_s2_vs_s1
+from repro.reporting.tables import format_quantity
+
+
+def recommend(alpha: float, kappa: float, dsm_ready: bool) -> tuple[str, str]:
+    """Return (architecture, rationale) per the paper's conclusions."""
+    el = lifetimes_at(alpha, kappa)
+    if dsm_ready:
+        return (
+            "S0 + proactive obfuscation (SMR)",
+            "DSM compliance is available, and S0PO dominates every other "
+            f"candidate (EL {format_quantity(el['S0PO'])} vs "
+            f"{format_quantity(el['S2PO'])} for FORTRESS) whenever kappa > 0.",
+        )
+    kappa_star = kappa_crossover_s2_vs_s1(alpha)
+    if kappa <= kappa_star:
+        return (
+            "S2: FORTRESS (proxies + PB + proactive obfuscation)",
+            "DSM compliance is not available; with kappa = "
+            f"{kappa:g} <= kappa* = {kappa_star:.4f}, the proxy tier "
+            f"stretches the lifetime to {format_quantity(el['S2PO'])} steps "
+            f"vs {format_quantity(el['S1PO'])} for plain PB+PO.",
+        )
+    return (
+        "S1 + proactive obfuscation (plain PB)",
+        f"Proxies cannot throttle this attacker (kappa = {kappa:g} > "
+        f"kappa* = {kappa_star:.4f}); their own attack surface makes "
+        "FORTRESS a net loss — obfuscate the PB tier directly.",
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--alpha", type=float, default=1e-3,
+                        help="per-step direct attack success probability")
+    parser.add_argument("--kappa", type=float, default=0.5,
+                        help="indirect attack coefficient the proxies achieve")
+    parser.add_argument("--entropy-bits", type=int, default=16,
+                        help="randomization key entropy (display only)")
+    parser.add_argument("--dsm-ready", action="store_true",
+                        help="the service already is a deterministic state machine")
+    args = parser.parse_args()
+
+    el = lifetimes_at(args.alpha, args.kappa)
+    chi = 1 << args.entropy_bits
+    print(f"Deployment parameters: alpha={args.alpha:g} "
+          f"(omega={args.alpha * chi:.1f} probes/step at chi=2^{args.entropy_bits}), "
+          f"kappa={args.kappa:g}, DSM-ready={args.dsm_ready}")
+    print()
+    rows = [
+        ["S0PO", "4-replica SMR, fresh keys each step", format_quantity(el["S0PO"]),
+         "needs DSM" if not args.dsm_ready else "available"],
+        ["S2PO", "FORTRESS: 3 proxies + 3 PB servers", format_quantity(el["S2PO"]), "any service"],
+        ["S1PO", "3-server PB, fresh keys each step", format_quantity(el["S1PO"]), "any service"],
+        ["S1SO", "3-server PB, recovery only", format_quantity(el["S1SO"]), "any service"],
+        ["S0SO", "4-replica SMR, recovery only", format_quantity(el["S0SO"]),
+         "needs DSM" if not args.dsm_ready else "available"],
+    ]
+    print(render_table(
+        ["system", "architecture", "EL (steps)", "service constraint"],
+        rows,
+        title="Candidate architectures",
+    ))
+    print()
+    choice, rationale = recommend(args.alpha, args.kappa, args.dsm_ready)
+    print(f"RECOMMENDATION: {choice}")
+    print(f"  {rationale}")
+    print()
+    print("Least effective option on every input: SMR with proactive recovery")
+    print("(S0SO) — the paper's closing observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""repro — reproduction of "Assessing the Attack Resilience Capabilities
+of a Fortified Primary-Backup System" (Clarke & Ezhilchelvan, DSN 2010).
+
+The library evaluates the attack resilience of three replicated-server
+system classes — S0 (4-replica SMR), S1 (primary-backup) and S2
+(FORTRESS: a proxy-fortified primary-backup system) — under proactive
+obfuscation (PO) and start-up-only randomization with proactive recovery
+(SO), against de-randomization attackers.
+
+Three evaluation methods share one parameter vocabulary
+(α, κ, χ, ω — see :class:`repro.core.SystemSpec`):
+
+* analytic models — :mod:`repro.analysis` (closed forms + absorbing
+  Markov chains);
+* fast Monte-Carlo — :mod:`repro.mc`;
+* full protocol-level simulation — :mod:`repro.core` on top of the
+  :mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.crypto`,
+  :mod:`repro.randomization`, :mod:`repro.replication`,
+  :mod:`repro.proxy` and :mod:`repro.attacker` substrates.
+
+Quickstart
+----------
+>>> from repro import s2, Scheme, expected_lifetime, mc_expected_lifetime
+>>> spec = s2(Scheme.PO, alpha=1e-3, kappa=0.5)
+>>> analytic = expected_lifetime(spec)
+>>> mc = mc_expected_lifetime(spec, trials=20_000)
+>>> mc.within_ci(analytic)
+True
+"""
+
+from .analysis import (
+    AbsorbingMarkovChain,
+    el_s2_po_with_period,
+    expected_lifetime,
+    kappa_crossover_s2_vs_s0,
+    kappa_crossover_s2_vs_s1,
+    lifetimes_at,
+    verify_paper_trends,
+)
+from .core import (
+    DeployedSystem,
+    SystemClass,
+    SystemSpec,
+    add_clients,
+    attach_attacker,
+    build_system,
+    estimate_protocol_lifetime,
+    paper_systems,
+    run_protocol_lifetime,
+    s0,
+    s1,
+    s2,
+)
+from .mc import (
+    figure1_series,
+    figure2_series,
+    mc_expected_lifetime,
+    model_for,
+    sweep_alpha,
+    sweep_kappa,
+)
+from .proxy import DetectionPolicy, kappa_for_policy
+from .randomization import KeySpace, Scheme
+from .reporting import render_series_table, render_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbsorbingMarkovChain",
+    "el_s2_po_with_period",
+    "expected_lifetime",
+    "kappa_crossover_s2_vs_s0",
+    "kappa_crossover_s2_vs_s1",
+    "lifetimes_at",
+    "verify_paper_trends",
+    "DeployedSystem",
+    "SystemClass",
+    "SystemSpec",
+    "add_clients",
+    "attach_attacker",
+    "build_system",
+    "estimate_protocol_lifetime",
+    "paper_systems",
+    "run_protocol_lifetime",
+    "s0",
+    "s1",
+    "s2",
+    "figure1_series",
+    "figure2_series",
+    "mc_expected_lifetime",
+    "model_for",
+    "sweep_alpha",
+    "sweep_kappa",
+    "DetectionPolicy",
+    "kappa_for_policy",
+    "KeySpace",
+    "Scheme",
+    "render_series_table",
+    "render_table",
+    "__version__",
+]

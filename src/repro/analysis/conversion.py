@@ -1,0 +1,103 @@
+"""Parameter conversions and hazard sequences of the attack model.
+
+Collects the small, heavily reused formulas relating the paper's
+parameters:
+
+* χ — number of randomization keys (``2**entropy_bits``);
+* ω — probes an attacker completes per unit time-step;
+* α — per-step success probability of a direct attack on a *freshly*
+  randomized node (Definition 6): ``α = ω/χ``;
+* the SO hazard recurrence ``α_i = α_{i-1} / (1 − α_{i-1})`` — sampling
+  without replacement shrinks the candidate pool by ω keys per step, so
+  ``1/α_i = 1/α_{i-1} − 1``.
+
+Note on the paper text: §4.2 states that α_i "decreases as i increases in
+the SO case", but the recurrence derived from the paper's own pool-
+shrinkage argument (and its §6 hazards ``4/(χ−i)``, ``1/(χ−i)``) makes
+the hazard *increase*.  We implement the recurrence.  See DESIGN.md §1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ..errors import ConfigurationError
+
+
+def chi_from_entropy(entropy_bits: int) -> int:
+    """χ = 2**entropy_bits."""
+    if entropy_bits < 1:
+        raise ConfigurationError(f"entropy_bits must be >= 1, got {entropy_bits}")
+    return 1 << entropy_bits
+
+
+def alpha_from_omega(omega: float, chi: int) -> float:
+    """α = min(ω/χ, 1): ω distinct probes against χ equally likely keys."""
+    if omega < 0:
+        raise ConfigurationError(f"omega must be non-negative, got {omega}")
+    if chi < 2:
+        raise ConfigurationError(f"chi must be >= 2, got {chi}")
+    return min(omega / chi, 1.0)
+
+
+def omega_from_alpha(alpha: float, chi: int) -> float:
+    """ω = α·χ — the probe budget needed for per-step success α."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+    if chi < 2:
+        raise ConfigurationError(f"chi must be >= 2, got {chi}")
+    return alpha * chi
+
+
+def so_hazard(alpha: float, step: int) -> float:
+    """α_i for an SO system: hazard of step ``step`` (1-based) given the
+    attack has not yet succeeded.
+
+    ``α_1 = α``; thereafter the candidate pool shrinks by ω keys per
+    step: ``α_i = ω / (χ − (i−1)·ω) = α / (1 − (i−1)·α)``, capped at 1
+    once the pool is exhausted.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+    if step < 1:
+        raise ConfigurationError(f"step must be >= 1, got {step}")
+    denominator = 1.0 - (step - 1) * alpha
+    if denominator <= alpha:
+        return 1.0
+    return alpha / denominator
+
+
+def so_hazard_sequence(alpha: float, steps: int) -> Iterator[float]:
+    """Yield ``α_1 .. α_steps`` via the recurrence (cheaper than the
+    closed form in long scans, and exactly equivalent)."""
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+    current = alpha
+    for _ in range(steps):
+        yield min(current, 1.0)
+        if current >= 1.0:
+            current = 1.0
+        else:
+            current = current / (1.0 - current)
+
+
+def so_survival(alpha: float, t: int) -> float:
+    """P(an SO-randomized node survives ``t`` whole steps of probing).
+
+    Without replacement the key position is uniform over χ, so survival
+    is linear: ``S(t) = max(0, 1 − t·α)``.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+    if t < 0:
+        raise ConfigurationError(f"t must be >= 0, got {t}")
+    return max(0.0, 1.0 - t * alpha)
+
+
+def so_exhaustion_step(alpha: float) -> int:
+    """First step by which a without-replacement attack *must* have
+    succeeded: ``⌈1/α⌉``."""
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+    return math.ceil(1.0 / alpha - 1e-12)

@@ -1,0 +1,272 @@
+"""Analytic expected lifetimes (EL) for the paper's candidate systems.
+
+Definition 7: the expected lifetime is the expected number of **whole**
+unit time-steps elapsed until the system is compromised, i.e.
+``EL = Σ_{t≥1} S(t)`` where ``S(t)`` is the probability of surviving the
+first ``t`` steps.
+
+PO systems are memoryless — every node gets a fresh key each step — so
+each has a constant per-step compromise probability ``q`` and
+``EL = (1 − q)/q``:
+
+* **S0PO**: 4 diverse replicas, compromise when more than ``f`` fall in
+  one step: ``q = P(Bin(4, α) ≥ 2)``.
+* **S1PO**: identically randomized PB servers form a single target (the
+  primary): ``q = α``.
+* **S2PO**: within a step — the indirect attack may succeed (κ·α); the
+  direct attacks may compromise proxies (``B ~ Bin(n_p, α)``); all
+  proxies falling is compromise; otherwise a proxy compromised this step
+  hosts one same-step launch-pad attack (success λ·α).
+
+SO systems remember: probed keys stay eliminated, so the key position is
+uniform and per-node survival is *linear*: ``S_node(t) = max(0, 1 − tα)``.
+
+* **S1SO**: single shared key → ``EL = m − α·m(m+1)/2`` with
+  ``m = ⌊1/α⌋`` (≈ 1/(2α)).
+* **S0SO**: compromise at the second of four key discoveries:
+  ``S(t) = Σ_{k≤f} C(4,k) p^k (1−p)^{4−k}`` with ``p = min(1, tα)``
+  (≈ 0.4/α for f = 1).
+* **S2SO** has a path-dependent state space; use the Monte-Carlo sampler
+  (:mod:`repro.mc.models`) as the paper itself does for larger state
+  spaces.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..randomization.obfuscation import Scheme
+from ..core.specs import SystemClass, SystemSpec
+
+
+# ----------------------------------------------------------------------
+# Per-step compromise probabilities (PO systems)
+# ----------------------------------------------------------------------
+def per_step_compromise_s0_po(alpha: float, n: int = 4, f: int = 1) -> float:
+    """q for S0PO: more than ``f`` of ``n`` replicas fall in one step."""
+    _check_alpha(alpha)
+    survive = sum(
+        math.comb(n, k) * alpha**k * (1.0 - alpha) ** (n - k) for k in range(f + 1)
+    )
+    return 1.0 - survive
+
+
+def per_step_compromise_s1_po(alpha: float) -> float:
+    """q for S1PO: one attack stream at the (single-key) server tier."""
+    _check_alpha(alpha)
+    return alpha
+
+
+def per_step_compromise_s2_po(
+    alpha: float,
+    kappa: float,
+    launchpad_fraction: float = 1.0,
+    n_proxies: int = 3,
+    per_proxy_launchpad: bool = False,
+) -> float:
+    """q for S2PO (Definition 3's three compromise routes).
+
+    The step survives only if the indirect attack fails, not all proxies
+    fall, and — when at least one proxy fell this step — the same-step
+    launch-pad attack (success λ·α) also fails.  With
+    ``per_proxy_launchpad`` every fallen proxy hosts its own independent
+    launch-pad stream (an ablation; the default single stream matches
+    the shared server key pool).
+    """
+    _check_alpha(alpha)
+    if not 0.0 <= kappa <= 1.0:
+        raise AnalysisError(f"kappa must be in [0, 1], got {kappa}")
+    if not 0.0 <= launchpad_fraction <= 1.0:
+        raise AnalysisError(
+            f"launchpad_fraction must be in [0, 1], got {launchpad_fraction}"
+        )
+    survive = 0.0
+    for b in range(n_proxies):  # b = n_proxies means all proxies fell: absorbed
+        p_b = (
+            math.comb(n_proxies, b)
+            * alpha**b
+            * (1.0 - alpha) ** (n_proxies - b)
+        )
+        if b == 0:
+            launchpad_survive = 1.0
+        elif per_proxy_launchpad:
+            launchpad_survive = (1.0 - launchpad_fraction * alpha) ** b
+        else:
+            launchpad_survive = 1.0 - launchpad_fraction * alpha
+        survive += p_b * launchpad_survive
+    survive *= 1.0 - kappa * alpha
+    return 1.0 - survive
+
+
+def per_step_compromise_s2_smr_po(
+    alpha: float,
+    kappa: float,
+    n_servers: int = 4,
+    f: int = 1,
+    n_proxies: int = 3,
+) -> float:
+    """q for a *fortified SMR* tier under PO (extension; paper §3 allows
+    any replication behind the proxies but only evaluates PB).
+
+    Compromise routes per step: the indirect stream hits more than ``f``
+    of the diversely randomized replicas (each independently with
+    probability κ·α — an ordered probe executes on every replica), or
+    all proxies fall.  Launch pads gain nothing against a diverse,
+    f-tolerant tier and are excluded.
+
+    The headline: the server route scales as ``(κα)^{f+1}`` instead of
+    S2's ``κα`` — fortification composes *multiplicatively* with SMR's
+    intrusion tolerance.
+    """
+    _check_alpha(alpha)
+    if not 0.0 <= kappa <= 1.0:
+        raise AnalysisError(f"kappa must be in [0, 1], got {kappa}")
+    servers_survive = sum(
+        math.comb(n_servers, k)
+        * (kappa * alpha) ** k
+        * (1.0 - kappa * alpha) ** (n_servers - k)
+        for k in range(f + 1)
+    )
+    proxies_survive = 1.0 - alpha**n_proxies
+    return 1.0 - servers_survive * proxies_survive
+
+
+def el_s2_smr_po(
+    alpha: float,
+    kappa: float,
+    n_servers: int = 4,
+    f: int = 1,
+    n_proxies: int = 3,
+) -> float:
+    """EL of the fortified-SMR variant under PO."""
+    return el_from_per_step(
+        per_step_compromise_s2_smr_po(
+            alpha, kappa, n_servers=n_servers, f=f, n_proxies=n_proxies
+        )
+    )
+
+
+def el_from_per_step(q: float) -> float:
+    """EL of a memoryless system: ``(1 − q)/q`` whole steps."""
+    if not 0.0 < q <= 1.0:
+        raise AnalysisError(f"per-step probability must be in (0, 1], got {q}")
+    return (1.0 - q) / q
+
+
+# ----------------------------------------------------------------------
+# Expected lifetimes
+# ----------------------------------------------------------------------
+def el_s0_po(alpha: float, n: int = 4, f: int = 1) -> float:
+    """EL of S0PO."""
+    return el_from_per_step(per_step_compromise_s0_po(alpha, n=n, f=f))
+
+
+def el_s1_po(alpha: float) -> float:
+    """EL of S1PO."""
+    return el_from_per_step(per_step_compromise_s1_po(alpha))
+
+
+def el_s2_po(
+    alpha: float,
+    kappa: float,
+    launchpad_fraction: float = 1.0,
+    n_proxies: int = 3,
+    per_proxy_launchpad: bool = False,
+) -> float:
+    """EL of S2PO."""
+    return el_from_per_step(
+        per_step_compromise_s2_po(
+            alpha,
+            kappa,
+            launchpad_fraction=launchpad_fraction,
+            n_proxies=n_proxies,
+            per_proxy_launchpad=per_proxy_launchpad,
+        )
+    )
+
+
+def el_s1_so(alpha: float) -> float:
+    """EL of S1SO: ``Σ_t max(0, 1 − tα) = m − α·m(m+1)/2``, ``m = ⌊1/α⌋``."""
+    _check_alpha(alpha)
+    m = math.floor(1.0 / alpha + 1e-12)
+    return m - alpha * m * (m + 1) / 2.0
+
+
+def el_s0_so(alpha: float, n: int = 4, f: int = 1) -> float:
+    """EL of S0SO: survival is a binomial tail over per-key discovery
+    probability ``p(t) = min(1, tα)``; summed exactly (vectorized)."""
+    _check_alpha(alpha)
+    horizon = math.ceil(1.0 / alpha + 1e-12)
+    t = np.arange(1, horizon + 1, dtype=float)
+    p = np.minimum(1.0, t * alpha)
+    survival = np.zeros_like(p)
+    for k in range(f + 1):
+        survival += math.comb(n, k) * p**k * (1.0 - p) ** (n - k)
+    return float(survival.sum())
+
+
+def survival_curve(spec: SystemSpec, steps: int) -> np.ndarray:
+    """``S(t)`` for ``t = 1..steps`` of any analytically supported spec."""
+    if steps < 1:
+        raise AnalysisError(f"steps must be >= 1, got {steps}")
+    t = np.arange(1, steps + 1, dtype=float)
+    if spec.scheme is Scheme.PO:
+        q = per_step_compromise(spec)
+        return (1.0 - q) ** t
+    if spec.system is SystemClass.S1:
+        return np.maximum(0.0, 1.0 - t * spec.alpha)
+    if spec.system is SystemClass.S0:
+        p = np.minimum(1.0, t * spec.alpha)
+        survival = np.zeros_like(p)
+        for k in range(spec.f + 1):
+            survival += (
+                math.comb(spec.n_servers, k) * p**k * (1.0 - p) ** (spec.n_servers - k)
+            )
+        return survival
+    raise AnalysisError(
+        "S2SO has a path-dependent state space; use repro.mc for its survival"
+    )
+
+
+def per_step_compromise(spec: SystemSpec) -> float:
+    """Per-step compromise probability of a PO spec."""
+    if spec.scheme is not Scheme.PO:
+        raise AnalysisError("per-step probabilities are constant only under PO")
+    if spec.system is SystemClass.S0:
+        return per_step_compromise_s0_po(spec.alpha, n=spec.n_servers, f=spec.f)
+    if spec.system is SystemClass.S1:
+        return per_step_compromise_s1_po(spec.alpha)
+    return per_step_compromise_s2_po(
+        spec.alpha,
+        spec.kappa,
+        launchpad_fraction=spec.launchpad_fraction,
+        n_proxies=spec.n_proxies,
+    )
+
+
+def expected_lifetime(spec: SystemSpec) -> float:
+    """Analytic EL of ``spec``.
+
+    S2SO has no closed form; it is evaluated by the numeric survival
+    quadrature of :mod:`repro.analysis.s2so` where the O((1/α)²) cost is
+    practical, and raises otherwise (fall back to
+    :func:`repro.mc.montecarlo.mc_expected_lifetime`, as the paper
+    itself does for larger state spaces).
+    """
+    if spec.scheme is Scheme.PO:
+        return el_from_per_step(per_step_compromise(spec))
+    if spec.system is SystemClass.S0:
+        return el_s0_so(spec.alpha, n=spec.n_servers, f=spec.f)
+    if spec.system is SystemClass.S1:
+        return el_s1_so(spec.alpha)
+    from .s2so import el_s2_so_numeric  # local import to avoid cycles
+
+    return el_s2_so_numeric(spec.alpha, spec.kappa, n_proxies=spec.n_proxies)
+
+
+def _check_alpha(alpha: float) -> None:
+    if not 0.0 < alpha <= 1.0:
+        raise AnalysisError(f"alpha must be in (0, 1], got {alpha}")

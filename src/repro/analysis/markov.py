@@ -1,0 +1,188 @@
+"""Absorbing Markov chain (AMC) solver.
+
+The paper computes expected lifetimes with "Absorbing Markov Chain
+methods (where state spaces are sufficiently small) or Monte-Carlo
+simulations" (§5).  This module implements the standard AMC machinery:
+
+given transient-to-transient transitions ``Q`` and transient-to-absorbing
+transitions ``R``, the fundamental matrix ``N = (I − Q)^{-1}`` yields
+
+* expected steps to absorption from each transient state: ``t = N·1``;
+* absorption probabilities per absorbing state: ``B = N·R``;
+* variance of the absorption time: ``(2N − I)·t − t∘t``.
+
+Expected *lifetime* per Definition 7 counts whole steps **before** the
+absorbing (compromising) step, i.e. ``t − 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class AbsorptionResult:
+    """Solution of an absorbing Markov chain.
+
+    Attributes
+    ----------
+    expected_steps:
+        Expected number of steps until absorption, per transient state
+        (the absorbing step itself is counted).
+    variance_steps:
+        Variance of that step count, per transient state.
+    absorption_probabilities:
+        ``(n_transient, n_absorbing)`` matrix of absorption probabilities.
+    """
+
+    expected_steps: np.ndarray
+    variance_steps: np.ndarray
+    absorption_probabilities: np.ndarray
+
+
+class AbsorbingMarkovChain:
+    """An AMC specified by its ``Q`` (transient) and ``R`` (absorbing) blocks.
+
+    Parameters
+    ----------
+    Q:
+        ``(n, n)`` transient-to-transient transition probabilities.
+    R:
+        ``(n, m)`` transient-to-absorbing transition probabilities.
+    transient_labels / absorbing_labels:
+        Optional human-readable state names.
+    """
+
+    def __init__(
+        self,
+        Q: np.ndarray,
+        R: np.ndarray,
+        transient_labels: Optional[Sequence[str]] = None,
+        absorbing_labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        Q = np.asarray(Q, dtype=float)
+        R = np.asarray(R, dtype=float)
+        if Q.ndim != 2 or Q.shape[0] != Q.shape[1]:
+            raise AnalysisError(f"Q must be square, got shape {Q.shape}")
+        if R.ndim != 2 or R.shape[0] != Q.shape[0]:
+            raise AnalysisError(
+                f"R must have one row per transient state, got {R.shape} vs {Q.shape}"
+            )
+        if (Q < -_TOLERANCE).any() or (R < -_TOLERANCE).any():
+            raise AnalysisError("transition probabilities must be non-negative")
+        rows = Q.sum(axis=1) + R.sum(axis=1)
+        if not np.allclose(rows, 1.0, atol=1e-8):
+            raise AnalysisError(
+                f"each row of [Q|R] must sum to 1; row sums are {rows}"
+            )
+        if not (R > 0.0).any():
+            raise AnalysisError("chain has no path to absorption")
+        self.Q = Q
+        self.R = R
+        self.n_transient = Q.shape[0]
+        self.n_absorbing = R.shape[1]
+        self.transient_labels = (
+            list(transient_labels)
+            if transient_labels is not None
+            else [f"t{i}" for i in range(self.n_transient)]
+        )
+        self.absorbing_labels = (
+            list(absorbing_labels)
+            if absorbing_labels is not None
+            else [f"a{j}" for j in range(self.n_absorbing)]
+        )
+        if len(self.transient_labels) != self.n_transient:
+            raise AnalysisError("wrong number of transient labels")
+        if len(self.absorbing_labels) != self.n_absorbing:
+            raise AnalysisError("wrong number of absorbing labels")
+        self._fundamental: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def fundamental_matrix(self) -> np.ndarray:
+        """``N = (I − Q)^{-1}`` (cached)."""
+        if self._fundamental is None:
+            identity = np.eye(self.n_transient)
+            try:
+                self._fundamental = np.linalg.solve(identity - self.Q, identity)
+            except np.linalg.LinAlgError as exc:
+                raise AnalysisError(
+                    "I - Q is singular: some transient state cannot reach absorption"
+                ) from exc
+        return self._fundamental
+
+    def solve(self) -> AbsorptionResult:
+        """Compute expected steps, variances and absorption probabilities."""
+        N = self.fundamental_matrix
+        t = N @ np.ones(self.n_transient)
+        variance = (2.0 * N - np.eye(self.n_transient)) @ t - t * t
+        B = N @ self.R
+        return AbsorptionResult(
+            expected_steps=t,
+            variance_steps=np.maximum(variance, 0.0),
+            absorption_probabilities=B,
+        )
+
+    # ------------------------------------------------------------------
+    def expected_steps_from(self, state: int | str = 0) -> float:
+        """Expected steps to absorption starting from ``state``."""
+        index = self._state_index(state)
+        return float(self.solve().expected_steps[index])
+
+    def expected_lifetime_from(self, state: int | str = 0) -> float:
+        """Expected *whole* steps before the absorbing step (Definition 7)."""
+        return self.expected_steps_from(state) - 1.0
+
+    def absorption_distribution(self, state: int | str = 0) -> dict[str, float]:
+        """Probability of ending in each absorbing state from ``state``."""
+        index = self._state_index(state)
+        row = self.solve().absorption_probabilities[index]
+        return dict(zip(self.absorbing_labels, (float(x) for x in row)))
+
+    def survival_curve(self, steps: int, state: int | str = 0) -> np.ndarray:
+        """``S(t)`` for ``t = 1..steps``: probability of still being
+        transient after ``t`` steps, starting from ``state``."""
+        if steps < 1:
+            raise AnalysisError(f"steps must be >= 1, got {steps}")
+        index = self._state_index(state)
+        distribution = np.zeros(self.n_transient)
+        distribution[index] = 1.0
+        curve = np.empty(steps)
+        for t in range(steps):
+            distribution = distribution @ self.Q
+            curve[t] = distribution.sum()
+        return curve
+
+    def _state_index(self, state: int | str) -> int:
+        if isinstance(state, str):
+            try:
+                return self.transient_labels.index(state)
+            except ValueError:
+                raise AnalysisError(f"unknown transient state {state!r}") from None
+        if not 0 <= state < self.n_transient:
+            raise AnalysisError(f"transient state index {state} out of range")
+        return state
+
+
+def geometric_chain(q: float) -> AbsorbingMarkovChain:
+    """The one-transient-state chain: compromise w.p. ``q`` each step.
+
+    Expected lifetime is ``(1 − q)/q`` — the memoryless special case all
+    PO systems reduce to when the per-step compromise probability is
+    state-independent.
+    """
+    if not 0.0 < q <= 1.0:
+        raise AnalysisError(f"per-step probability must be in (0, 1], got {q}")
+    return AbsorbingMarkovChain(
+        Q=np.array([[1.0 - q]]),
+        R=np.array([[q]]),
+        transient_labels=["alive"],
+        absorbing_labels=["compromised"],
+    )

@@ -1,0 +1,199 @@
+"""Ordering analysis: the paper's §6 trends and their crossovers.
+
+The paper's headline findings are *orderings* of expected lifetimes
+("A outlives B", written A → B):
+
+1. ``S1SO → S0SO``;
+2. ``S2PO`` and ``S1PO`` outlive all SO systems;
+3. ``S2PO → S1PO`` when κ ≤ 0.9;
+4. ``S0PO → S2PO`` except when κ = 0;
+
+summarized as ``S0PO --κ>0--> S2PO --κ≤0.9--> S1PO → S1SO → S0SO``.
+
+:func:`verify_paper_trends` checks each relation across an α grid;
+:func:`kappa_crossover_s2_vs_s1` and :func:`kappa_crossover_s2_vs_s0`
+locate the exact κ at which the S2PO curve crosses its neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import AnalysisError
+from .lifetimes import el_s0_po, el_s0_so, el_s1_po, el_s1_so, el_s2_po
+
+#: α grid used by default (the paper's "realistic range", §5).
+DEFAULT_ALPHAS = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2)
+
+
+def lifetimes_at(
+    alpha: float, kappa: float, launchpad_fraction: float = 1.0
+) -> dict[str, float]:
+    """EL of the five Figure-1 systems at one (α, κ) point."""
+    return {
+        "S0PO": el_s0_po(alpha),
+        "S2PO": el_s2_po(alpha, kappa, launchpad_fraction=launchpad_fraction),
+        "S1PO": el_s1_po(alpha),
+        "S1SO": el_s1_so(alpha),
+        "S0SO": el_s0_so(alpha),
+    }
+
+
+@dataclass(frozen=True)
+class TrendReport:
+    """Outcome of checking one §6 trend across the α grid."""
+
+    name: str
+    statement: str
+    holds: bool
+    detail: str
+
+
+def verify_paper_trends(
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    kappa: float = 0.5,
+    launchpad_fraction: float = 1.0,
+) -> list[TrendReport]:
+    """Check the four §6 trends on an α grid.
+
+    ``kappa`` parameterizes the S2PO curve where a single value is
+    needed; trends 3 and 4 use their own κ ranges per the paper's
+    statements.
+    """
+    reports: list[TrendReport] = []
+
+    # Trend 1: S1SO outlives S0SO.
+    worst = min((el_s1_so(a) - el_s0_so(a)) for a in alphas)
+    reports.append(
+        TrendReport(
+            name="T1",
+            statement="S1SO -> S0SO",
+            holds=worst > 0,
+            detail=f"min EL(S1SO)-EL(S0SO) over grid = {worst:.4g}",
+        )
+    )
+
+    # Trend 2: S2PO and S1PO outlive all SO systems (κ = 1 is S2PO's
+    # worst case, so checking there proves the trend for every κ).
+    margins = []
+    for a in alphas:
+        po_floor = min(el_s2_po(a, 1.0, launchpad_fraction=launchpad_fraction), el_s1_po(a))
+        so_ceiling = max(el_s1_so(a), el_s0_so(a))
+        margins.append(po_floor - so_ceiling)
+    worst = min(margins)
+    reports.append(
+        TrendReport(
+            name="T2",
+            statement="S2PO and S1PO outlive all SO systems",
+            holds=worst > 0,
+            detail=f"min (worst PO) - (best SO) over grid = {worst:.4g}",
+        )
+    )
+
+    # Trend 3: S2PO outlives S1PO whenever κ <= 0.9 (EL(S2PO) is
+    # decreasing in κ, so κ = 0.9 is the binding case).
+    worst = min(
+        el_s2_po(a, 0.9, launchpad_fraction=launchpad_fraction) - el_s1_po(a)
+        for a in alphas
+    )
+    reports.append(
+        TrendReport(
+            name="T3",
+            statement="S2PO -> S1PO when kappa <= 0.9",
+            holds=worst > 0,
+            detail=f"min EL(S2PO@0.9)-EL(S1PO) over grid = {worst:.4g}",
+        )
+    )
+
+    # Trend 4: S0PO outlives S2PO for κ > 0 (checked on the paper's
+    # κ decades; the crossover sits at κ = Θ(α), see
+    # kappa_crossover_s2_vs_s0), and S2PO(κ=0) outlives S0PO.
+    kappa_grid = (0.1, 0.25, 0.5, 0.75, 1.0)
+    worst = min(
+        el_s0_po(a) - el_s2_po(a, k, launchpad_fraction=launchpad_fraction)
+        for a in alphas
+        for k in kappa_grid
+    )
+    zero_margin = min(
+        el_s2_po(a, 0.0, launchpad_fraction=launchpad_fraction) - el_s0_po(a)
+        for a in alphas
+    )
+    reports.append(
+        TrendReport(
+            name="T4",
+            statement="S0PO -> S2PO except when kappa = 0",
+            holds=worst > 0 and zero_margin > 0,
+            detail=(
+                f"min EL(S0PO)-EL(S2PO) over grid x kappa>=0.1 = {worst:.4g}; "
+                f"min EL(S2PO@0)-EL(S0PO) = {zero_margin:.4g}"
+            ),
+        )
+    )
+    return reports
+
+
+def summary_chain_holds(
+    alpha: float, kappa: float, launchpad_fraction: float = 1.0
+) -> bool:
+    """Whether ``S0PO ≥ S2PO ≥ S1PO ≥ S1SO ≥ S0SO`` holds at (α, κ).
+
+    Valid for κ in the paper's condition range (0 < κ ≤ 0.9); outside it
+    the chain's first or second link is not claimed.
+    """
+    el = lifetimes_at(alpha, kappa, launchpad_fraction)
+    return (
+        el["S0PO"] >= el["S2PO"]
+        >= el["S1PO"]
+        >= el["S1SO"]
+        >= el["S0SO"]
+    )
+
+
+def _bisect_kappa(f, lo: float, hi: float, tol: float) -> float:
+    """Find κ in [lo, hi] with ``f(κ) = 0`` (f monotone increasing)."""
+    f_lo, f_hi = f(lo), f(hi)
+    if f_lo > 0 or f_hi < 0:
+        raise AnalysisError(
+            f"no crossover within [{lo}, {hi}]: f({lo})={f_lo:.4g}, f({hi})={f_hi:.4g}"
+        )
+    while hi - lo > tol:
+        mid = (lo + hi) / 2.0
+        if f(mid) <= 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def kappa_crossover_s2_vs_s1(
+    alpha: float, launchpad_fraction: float = 1.0, tol: float = 1e-9
+) -> float:
+    """κ* above which S1PO outlives S2PO (the "κ ≤ 0.9" boundary).
+
+    EL(S2PO) is strictly decreasing in κ while EL(S1PO) is constant, so
+    the crossover is unique when it exists in [0, 1].
+    """
+    target = el_s1_po(alpha)
+
+    def gap(kappa: float) -> float:
+        return target - el_s2_po(alpha, kappa, launchpad_fraction=launchpad_fraction)
+
+    return _bisect_kappa(gap, 0.0, 1.0, tol)
+
+
+def kappa_crossover_s2_vs_s0(
+    alpha: float, launchpad_fraction: float = 1.0, tol: float = 1e-9
+) -> float:
+    """κ* above which S0PO outlives S2PO.
+
+    This sits at κ = Θ(α): even a weak indirect channel costs FORTRESS
+    its edge over the 4-replica SMR system — the quantitative content of
+    the paper's "except when κ = 0".
+    """
+    target = el_s0_po(alpha)
+
+    def gap(kappa: float) -> float:
+        return target - el_s2_po(alpha, kappa, launchpad_fraction=launchpad_fraction)
+
+    return _bisect_kappa(gap, 0.0, 1.0, tol)

@@ -1,0 +1,150 @@
+"""Re-randomization period extension: S2 under PO with period P > 1.
+
+The paper fixes the re-randomization period P at one unit time-step
+(§4.1).  This module generalizes: with P > 1, a proxy compromised in one
+step stays in the attacker's hands for the remaining steps of the period
+— hosting a *full-rate* launch-pad stream each of those steps — until
+the periodic re-randomization cleanses everything at once.
+
+The system is then a genuine multi-state absorbing Markov chain with
+transient states ``(phase, k)`` — phase within the period × number of
+currently compromised proxies — and two absorbing states distinguishing
+the compromise route (server exploited vs all proxies held).  This
+exercises the full AMC machinery and quantifies how quickly resilience
+decays as re-randomization slows down (``benchmarks/bench_ablation_period.py``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import AnalysisError
+from .markov import AbsorbingMarkovChain
+
+import numpy as np
+
+#: Absorbing state labels of the period chain.
+ABSORB_SERVER = "server-compromised"
+ABSORB_PROXIES = "all-proxies-compromised"
+
+
+def build_s2_po_period_chain(
+    alpha: float,
+    kappa: float,
+    launchpad_fraction: float = 1.0,
+    n_proxies: int = 3,
+    period_steps: int = 1,
+) -> AbsorbingMarkovChain:
+    """Build the ``(phase, k)`` absorbing chain for S2 with period P.
+
+    Parameters
+    ----------
+    alpha:
+        Per-step direct attack success probability on a fresh node.
+    kappa:
+        Indirect attack coefficient.
+    launchpad_fraction:
+        λ — success scale of a launch-pad attack fired *in the same
+        step* the hosting proxy fell.  Proxies held from earlier steps
+        of the period host full-rate (α) launch-pad attacks.
+    n_proxies:
+        Size of the proxy tier.
+    period_steps:
+        P — steps between system-wide re-randomizations.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise AnalysisError(f"alpha must be in (0, 1), got {alpha}")
+    if not 0.0 <= kappa <= 1.0:
+        raise AnalysisError(f"kappa must be in [0, 1], got {kappa}")
+    if period_steps < 1:
+        raise AnalysisError(f"period_steps must be >= 1, got {period_steps}")
+    if n_proxies < 1:
+        raise AnalysisError(f"n_proxies must be >= 1, got {n_proxies}")
+
+    def state_index(phase: int, k: int) -> int:
+        return phase * n_proxies + k
+
+    n_states = period_steps * n_proxies  # k in 0..n_proxies-1
+    Q = np.zeros((n_states, n_states))
+    R = np.zeros((n_states, 2))  # [server, all-proxies]
+    labels = [
+        f"phase{phase}-k{k}"
+        for phase in range(period_steps)
+        for k in range(n_proxies)
+    ]
+
+    for phase in range(period_steps):
+        for k in range(n_proxies):
+            row = state_index(phase, k)
+            for b in range(n_proxies - k + 1):
+                p_b = (
+                    math.comb(n_proxies - k, b)
+                    * alpha**b
+                    * (1.0 - alpha) ** (n_proxies - k - b)
+                )
+                k_after = k + b
+                # Server-compromise hazard of this step: the indirect
+                # stream, a full-rate launch pad from a proxy held since
+                # an earlier step, and a λ-scaled launch pad from a
+                # proxy newly fallen this step (only relevant if no
+                # earlier-held proxy exists).
+                survive_server = 1.0 - kappa * alpha
+                if k >= 1:
+                    survive_server *= 1.0 - alpha
+                elif b >= 1:
+                    survive_server *= 1.0 - launchpad_fraction * alpha
+                if k_after == n_proxies:
+                    # All proxies in attacker hands: system compromised
+                    # (route split: a same-step server hit would also be
+                    # compromise; attribute the mass to the proxy route,
+                    # which is what Definition 3's third condition
+                    # triggers on).
+                    R[row, 1] += p_b
+                    continue
+                R[row, 0] += p_b * (1.0 - survive_server)
+                next_phase = (phase + 1) % period_steps
+                next_k = 0 if next_phase == 0 else k_after
+                Q[row, state_index(next_phase, next_k)] += p_b * survive_server
+
+    return AbsorbingMarkovChain(
+        Q,
+        R,
+        transient_labels=labels,
+        absorbing_labels=[ABSORB_SERVER, ABSORB_PROXIES],
+    )
+
+
+def el_s2_po_with_period(
+    alpha: float,
+    kappa: float,
+    launchpad_fraction: float = 1.0,
+    n_proxies: int = 3,
+    period_steps: int = 1,
+) -> float:
+    """Expected lifetime (whole steps) of S2 under period-P obfuscation."""
+    chain = build_s2_po_period_chain(
+        alpha,
+        kappa,
+        launchpad_fraction=launchpad_fraction,
+        n_proxies=n_proxies,
+        period_steps=period_steps,
+    )
+    return chain.expected_lifetime_from(0)
+
+
+def compromise_route_split(
+    alpha: float,
+    kappa: float,
+    launchpad_fraction: float = 1.0,
+    n_proxies: int = 3,
+    period_steps: int = 1,
+) -> dict[str, float]:
+    """Probability the system eventually falls via each route."""
+    chain = build_s2_po_period_chain(
+        alpha,
+        kappa,
+        launchpad_fraction=launchpad_fraction,
+        n_proxies=n_proxies,
+        period_steps=period_steps,
+    )
+    return chain.absorption_distribution(0)

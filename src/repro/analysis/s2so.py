@@ -1,0 +1,123 @@
+"""Numeric survival analysis for S2SO (FORTRESS under start-up-only
+randomization).
+
+The paper falls back to Monte-Carlo where state spaces get large (§5);
+S2SO is that case: the server-pool consumption depends on *when* the
+first proxy key was discovered, making the chain time-inhomogeneous and
+path-dependent.  This module closes the gap with an exact-to-grid
+numeric evaluation, used to cross-validate the
+:class:`repro.mc.models.S2SOModel` sampler.
+
+Derivation
+----------
+Let ``D_1..D_np`` be the i.i.d. proxy-key discovery steps, each with CDF
+``p(t) = min(1, tα)`` (key position uniform over χ, probed ω = αχ keys
+per step), ``T1 = min D_j`` and ``Tall = max D_j``.  The server key
+position ``s`` is uniform and independent; by step ``t`` the combined
+indirect + launch-pad streams have consumed
+
+    c(t, T1) = κωt + ω·max(0, t − T1)
+
+keys, so ``P(server undiscovered | T1) = max(0, 1 − c(t, T1)/χ)``.
+The system survives step ``t`` iff the server key is undiscovered *and*
+not all proxy keys are known:
+
+    S(t) = E[ 1{Tall > t} · (1 − c(t, T1)/χ)+ ]
+
+and the joint law of (T1, Tall) follows from inclusion–exclusion:
+
+    P(T1 > x, Tall > t) = (1 − p(x))^np − (p(t) − p(x))^np      (x ≤ t)
+
+Expected lifetime is ``EL = Σ_{t≥1} S(t)`` (Definition 7).  Cost is
+O(H²) for horizon ``H = ⌈1/α⌉`` (all proxy keys are certainly known by
+then), so this is practical for α ≳ 1e-4.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+def _validate(alpha: float, kappa: float, n_proxies: int) -> None:
+    if not 0.0 < alpha <= 1.0:
+        raise AnalysisError(f"alpha must be in (0, 1], got {alpha}")
+    if not 0.0 <= kappa <= 1.0:
+        raise AnalysisError(f"kappa must be in [0, 1], got {kappa}")
+    if n_proxies < 1:
+        raise AnalysisError(f"n_proxies must be >= 1, got {n_proxies}")
+
+
+def s2_so_survival(
+    alpha: float, kappa: float, steps: int, n_proxies: int = 3
+) -> np.ndarray:
+    """``S(t)`` for ``t = 1..steps`` of S2SO (see module derivation).
+
+    Memory/compute are O(steps²); keep ``steps`` ≲ 2·10^4.
+    """
+    _validate(alpha, kappa, n_proxies)
+    if steps < 1:
+        raise AnalysisError(f"steps must be >= 1, got {steps}")
+
+    t = np.arange(1, steps + 1, dtype=float)  # shape (T,)
+    p_t = np.minimum(1.0, t * alpha)
+
+    # --- T1 > t contribution: no proxy key known yet -------------------
+    # survive_server = (1 - kappa*alpha*t)+ ; weight = (1 - p(t))^np.
+    no_proxy_weight = (1.0 - p_t) ** n_proxies
+    server_alive_early = np.maximum(0.0, 1.0 - kappa * alpha * t)
+    survival = no_proxy_weight * server_alive_early
+
+    # --- T1 = t1 <= t contributions -------------------------------------
+    # P(T1 = t1, Tall > t) = G(t1-1, t) - G(t1, t) with
+    # G(x, t) = (1 - p(x))^np - (p(t) - p(x))^np.
+    t1 = np.arange(1, steps + 1, dtype=float)  # shape (T1,)
+    p_t1 = np.minimum(1.0, t1 * alpha)
+    p_t1_prev = np.minimum(1.0, (t1 - 1.0) * alpha)
+
+    # Grids: rows = t, cols = t1 (only t1 <= t contributes).
+    p_t_grid = p_t[:, None]
+    G_hi = (1.0 - p_t1_prev[None, :]) ** n_proxies - np.maximum(
+        p_t_grid - p_t1_prev[None, :], 0.0
+    ) ** n_proxies
+    G_lo = (1.0 - p_t1[None, :]) ** n_proxies - np.maximum(
+        p_t_grid - p_t1[None, :], 0.0
+    ) ** n_proxies
+    joint = np.maximum(G_hi - G_lo, 0.0)  # P(T1 = t1, Tall > t)
+
+    consumed = kappa * alpha * t[:, None] + alpha * np.maximum(
+        t[:, None] - t1[None, :], 0.0
+    )
+    server_alive = np.maximum(0.0, 1.0 - consumed)
+
+    mask = t1[None, :] <= t[:, None]
+    survival += (joint * server_alive * mask).sum(axis=1)
+    return survival
+
+
+def el_s2_so_numeric(alpha: float, kappa: float, n_proxies: int = 3) -> float:
+    """Expected lifetime of S2SO by numeric summation of the survival
+    curve (Definition 7: ``EL = Σ_{t≥1} S(t)``).
+
+    Raises
+    ------
+    AnalysisError
+        When the horizon ⌈1/α⌉ would make the O(H²) evaluation
+        impractical (use the Monte-Carlo sampler instead, as the paper
+        does).
+    """
+    _validate(alpha, kappa, n_proxies)
+    horizon = math.ceil(1.0 / alpha + 1e-12)
+    if horizon > 20_000:
+        raise AnalysisError(
+            f"numeric S2SO evaluation needs O((1/alpha)^2) = O({horizon}^2) work; "
+            "use repro.mc.montecarlo.mc_expected_lifetime for such small alpha"
+        )
+    # All proxy keys are known by `horizon`, and the server key is found
+    # at most one pool-exhaustion later; survival is exactly zero past
+    # 2*horizon even for kappa = 0.
+    curve = s2_so_survival(alpha, kappa, 2 * horizon, n_proxies=n_proxies)
+    return float(curve.sum())

@@ -1,0 +1,71 @@
+"""Sensitivity analysis: which parameter buys the defender the most?
+
+For design decisions the *elasticity* of the expected lifetime —
+``d log EL / d log θ`` — says how many percent of lifetime one percent
+of a parameter is worth.  Closed-form hazards make the PO elasticities
+exact in the small-α limit:
+
+* S1PO: elasticity wrt α is −1 (EL ∝ 1/α);
+* S0PO: −2 (EL ∝ 1/α², the diversity bonus);
+* S2PO: −1 wrt α and −κα/q wrt κ — ≈ −1 when the indirect route
+  dominates, → 0 as κ → 0.
+
+The generic :func:`elasticity` estimator (central log-difference) works
+on any EL function, so ablations can rank parameters uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..errors import AnalysisError
+from .lifetimes import el_s2_po, per_step_compromise_s2_po
+
+
+def elasticity(
+    fn: Callable[[float], float],
+    at: float,
+    rel_step: float = 1e-4,
+) -> float:
+    """Numeric elasticity ``d log fn / d log x`` at ``x = at``.
+
+    Uses a central difference in log space; ``fn`` must be positive in a
+    neighbourhood of ``at``.
+    """
+    if at <= 0:
+        raise AnalysisError(f"elasticity needs a positive point, got {at}")
+    if not 0 < rel_step < 0.5:
+        raise AnalysisError(f"rel_step must be in (0, 0.5), got {rel_step}")
+    hi = at * (1.0 + rel_step)
+    lo = at * (1.0 - rel_step)
+    f_hi, f_lo = fn(hi), fn(lo)
+    if f_hi <= 0 or f_lo <= 0:
+        raise AnalysisError("function must be positive around the point")
+    return (math.log(f_hi) - math.log(f_lo)) / (math.log(hi) - math.log(lo))
+
+
+def s2_po_alpha_elasticity(alpha: float, kappa: float) -> float:
+    """Elasticity of EL(S2PO) wrt α (numeric; ≈ −1 in the κα regime,
+    → −2 as κ → 0 where the Θ(α²) launch-pad route dominates)."""
+    return elasticity(lambda a: el_s2_po(a, kappa), alpha)
+
+
+def s2_po_kappa_elasticity(alpha: float, kappa: float) -> float:
+    """Elasticity of EL(S2PO) wrt κ.
+
+    Closed form in the small-q limit: ``−κ·α/q`` where q is the per-step
+    compromise probability — the share of the hazard the indirect route
+    owns.  Computed numerically for exactness.
+    """
+    if kappa <= 0:
+        raise AnalysisError("kappa elasticity undefined at kappa = 0 (log scale)")
+    return elasticity(lambda k: el_s2_po(alpha, min(k, 1.0)), kappa)
+
+
+def indirect_route_share(alpha: float, kappa: float) -> float:
+    """Fraction of S2PO's per-step hazard owned by the indirect route —
+    the defender's guide to whether hardening detection (κ) or
+    randomization entropy (α) pays more."""
+    q = per_step_compromise_s2_po(alpha, kappa)
+    return (kappa * alpha) / q if q > 0 else 0.0

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure1``   regenerate Figure 1 (EL vs α, five systems)
+``figure2``   regenerate Figure 2 (EL of S2PO as κ varies)
+``trends``    verify the §6 trends and print the κ crossovers
+``lifetime``  EL of one system spec (analytic + Monte-Carlo)
+``protocol``  run protocol-level lifetime experiments
+``advise``    the paper's §7 design recommendation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.lifetimes import expected_lifetime
+from .analysis.orderings import (
+    kappa_crossover_s2_vs_s0,
+    kappa_crossover_s2_vs_s1,
+    lifetimes_at,
+    verify_paper_trends,
+)
+from .core.experiment import estimate_protocol_lifetime
+from .core.specs import SystemClass, SystemSpec
+from .errors import ReproError
+from .mc.montecarlo import mc_expected_lifetime
+from .mc.sweeps import FIGURE1_ALPHAS, FIGURE2_KAPPAS, figure1_series, figure2_series
+from .randomization.obfuscation import Scheme
+from .reporting.tables import format_quantity, render_series_table, render_table
+
+
+def _spec_from_args(args: argparse.Namespace) -> SystemSpec:
+    return SystemSpec(
+        system=SystemClass[args.system.upper()],
+        scheme=Scheme[args.scheme.upper()],
+        alpha=args.alpha,
+        kappa=args.kappa,
+        entropy_bits=args.entropy_bits,
+    )
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--system", choices=["s0", "s1", "s2"], default="s2")
+    parser.add_argument("--scheme", choices=["po", "so"], default="po")
+    parser.add_argument("--alpha", type=float, default=1e-3)
+    parser.add_argument("--kappa", type=float, default=0.5)
+    parser.add_argument("--entropy-bits", type=int, default=16)
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    series = figure1_series(FIGURE1_ALPHAS, kappa=args.kappa, trials=args.mc_trials)
+    method = f"Monte-Carlo x{args.mc_trials}" if args.mc_trials else "analytic"
+    print(render_series_table(
+        series,
+        x_header="alpha",
+        title=f"Figure 1 ({method}): EL vs alpha [chi=2^16, kappa={args.kappa}]",
+        with_ci=args.mc_trials is not None,
+    ))
+    return 0
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    series = figure2_series(FIGURE1_ALPHAS, FIGURE2_KAPPAS, trials=args.mc_trials)
+    print(render_series_table(
+        series,
+        x_header="alpha",
+        title="Figure 2: EL of S2PO vs alpha, one curve per kappa",
+    ))
+    return 0
+
+
+def cmd_trends(args: argparse.Namespace) -> int:
+    reports = verify_paper_trends(kappa=args.kappa)
+    print(render_table(
+        ["trend", "statement", "verdict", "evidence"],
+        [[r.name, r.statement, "HOLDS" if r.holds else "FAILS", r.detail]
+         for r in reports],
+        title="Section 6 trends",
+    ))
+    print()
+    rows = [
+        [f"{alpha:g}",
+         f"{kappa_crossover_s2_vs_s1(alpha):.6f}",
+         f"{kappa_crossover_s2_vs_s0(alpha):.3e}"]
+        for alpha in (1e-4, 1e-3, 1e-2)
+    ]
+    print(render_table(
+        ["alpha", "kappa* vs S1PO", "kappa* vs S0PO"],
+        rows,
+        title="Kappa crossovers",
+    ))
+    return 0 if all(r.holds for r in reports) else 1
+
+
+def cmd_lifetime(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    print(f"{spec.label}: alpha={spec.alpha:g}, kappa={spec.kappa:g}, "
+          f"chi=2^{spec.entropy_bits} (omega={spec.omega:.2f} probes/step)")
+    try:
+        print(f"analytic EL   : {format_quantity(expected_lifetime(spec))} steps")
+    except ReproError as exc:
+        print(f"analytic EL   : unavailable ({exc})")
+    estimate = mc_expected_lifetime(spec, trials=args.trials, seed=args.seed)
+    print(f"Monte-Carlo EL: {format_quantity(estimate.mean)} steps "
+          f"[95% CI {format_quantity(estimate.stats.ci_low)}, "
+          f"{format_quantity(estimate.stats.ci_high)}] ({estimate.trials} trials)")
+    return 0
+
+
+def cmd_protocol(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    estimate = estimate_protocol_lifetime(
+        spec, trials=args.trials, max_steps=args.max_steps, seed0=args.seed
+    )
+    print(f"{spec.label} protocol-level lifetimes over {estimate.stats.n} seeds "
+          f"(chi=2^{spec.entropy_bits}, omega={spec.omega:.1f} probes/step):")
+    print(f"mean EL  : {estimate.mean_steps:.2f} whole steps "
+          f"(min {estimate.stats.minimum:.0f}, max {estimate.stats.maximum:.0f})")
+    print(f"censored : {estimate.censored} of {estimate.stats.n} "
+          f"(budget {args.max_steps} steps)")
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    el = lifetimes_at(args.alpha, args.kappa)
+    rows = [[label, format_quantity(value)] for label, value in el.items()]
+    print(render_table(["system", "EL (steps)"], rows,
+                       title=f"alpha={args.alpha:g}, kappa={args.kappa:g}"))
+    if args.dsm_ready:
+        print("\nRecommendation: S0 + proactive obfuscation (SMR).")
+    else:
+        kappa_star = kappa_crossover_s2_vs_s1(args.alpha)
+        if args.kappa <= kappa_star:
+            print(f"\nRecommendation: FORTRESS (S2) — kappa {args.kappa:g} is "
+                  f"below the crossover {kappa_star:.4f}.")
+        else:
+            print(f"\nRecommendation: plain PB + proactive obfuscation (S1PO) — "
+                  f"kappa {args.kappa:g} exceeds the crossover {kappa_star:.4f}.")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FORTRESS attack-resilience reproduction (Clarke & Ezhilchelvan, DSN 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure1", help="EL vs alpha for the five systems")
+    p.add_argument("--kappa", type=float, default=0.5)
+    p.add_argument("--mc-trials", type=int, default=None)
+    p.set_defaults(fn=cmd_figure1)
+
+    p = sub.add_parser("figure2", help="EL of S2PO as kappa varies")
+    p.add_argument("--mc-trials", type=int, default=None)
+    p.set_defaults(fn=cmd_figure2)
+
+    p = sub.add_parser("trends", help="verify the Section-6 trends")
+    p.add_argument("--kappa", type=float, default=0.5)
+    p.set_defaults(fn=cmd_trends)
+
+    p = sub.add_parser("lifetime", help="EL of one system spec")
+    _add_spec_arguments(p)
+    p.add_argument("--trials", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_lifetime)
+
+    p = sub.add_parser("protocol", help="protocol-level lifetime runs")
+    _add_spec_arguments(p)
+    p.add_argument("--trials", type=int, default=10)
+    p.add_argument("--max-steps", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_protocol)
+
+    p = sub.add_parser("advise", help="SMR or FORTRESS? (paper §7)")
+    p.add_argument("--alpha", type=float, default=1e-3)
+    p.add_argument("--kappa", type=float, default=0.5)
+    p.add_argument("--dsm-ready", action="store_true")
+    p.set_defaults(fn=cmd_advise)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

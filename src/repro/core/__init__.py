@@ -1,0 +1,39 @@
+"""FORTRESS core: system specs, builders, compromise monitoring, experiments."""
+
+from .builders import (
+    SERVER_POOL,
+    DeployedSystem,
+    add_clients,
+    attach_attacker,
+    build_system,
+)
+from .clients import WorkloadClient, default_body_factory
+from .compromise import CompromiseMonitor
+from .experiment import (
+    LifetimeEstimate,
+    LifetimeOutcome,
+    estimate_protocol_lifetime,
+    run_protocol_lifetime,
+)
+from .specs import SystemClass, SystemSpec, paper_systems, s0, s1, s2
+
+__all__ = [
+    "SERVER_POOL",
+    "DeployedSystem",
+    "add_clients",
+    "attach_attacker",
+    "build_system",
+    "WorkloadClient",
+    "default_body_factory",
+    "CompromiseMonitor",
+    "LifetimeEstimate",
+    "LifetimeOutcome",
+    "estimate_protocol_lifetime",
+    "run_protocol_lifetime",
+    "SystemClass",
+    "SystemSpec",
+    "paper_systems",
+    "s0",
+    "s1",
+    "s2",
+]

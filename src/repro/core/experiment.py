@@ -1,0 +1,131 @@
+"""Protocol-level lifetime experiments.
+
+This is the highest-fidelity (and most expensive) of the three
+evaluation methods: a full deployment is built, the attacker campaign
+mounted, and the simulation run until the compromise monitor fires or a
+step budget is exhausted.  Used to validate the fast Monte-Carlo models
+and the analytic lifetimes against an implementation that actually
+exchanges protocol messages, crashes processes and reboots nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..metrics.stats import SummaryStats, summarize
+from .builders import DeployedSystem, add_clients, attach_attacker, build_system
+from .specs import SystemSpec
+
+
+@dataclass(frozen=True)
+class LifetimeOutcome:
+    """Result of one protocol-level lifetime run.
+
+    Attributes
+    ----------
+    spec, seed:
+        What was run.
+    compromised:
+        Whether the system fell within the step budget.
+    steps:
+        Whole unit time-steps survived (Definition 7).  Equal to the
+        budget when censored (``compromised`` is False).
+    time:
+        Simulated time of compromise (or the horizon).
+    cause:
+        Human-readable compromise cause, if any.
+    probes_direct, probes_indirect:
+        Attacker effort expended.
+    """
+
+    spec: SystemSpec
+    seed: int
+    compromised: bool
+    steps: int
+    time: float
+    cause: Optional[str]
+    probes_direct: int
+    probes_indirect: int
+
+
+def run_protocol_lifetime(
+    spec: SystemSpec,
+    seed: int = 0,
+    max_steps: int = 500,
+    with_workload: bool = False,
+    **build_kwargs,
+) -> LifetimeOutcome:
+    """Run one deployment until compromise or ``max_steps`` whole steps.
+
+    ``build_kwargs`` pass through to :func:`~repro.core.builders.build_system`.
+    """
+    deployed = build_system(spec, seed=seed, **build_kwargs)
+    attacker = attach_attacker(deployed)
+    if with_workload:
+        add_clients(deployed, count=1)
+    deployed.start()
+    horizon = max_steps * spec.period
+    deployed.sim.run(until=horizon)
+    monitor = deployed.monitor
+    if monitor.is_compromised:
+        steps = monitor.steps_survived
+        assert steps is not None
+        return LifetimeOutcome(
+            spec=spec,
+            seed=seed,
+            compromised=True,
+            steps=min(steps, max_steps),
+            time=monitor.compromised_at or deployed.sim.now,
+            cause=monitor.cause,
+            probes_direct=attacker.probes_sent_direct,
+            probes_indirect=attacker.probes_sent_indirect,
+        )
+    return LifetimeOutcome(
+        spec=spec,
+        seed=seed,
+        compromised=False,
+        steps=max_steps,
+        time=horizon,
+        cause=None,
+        probes_direct=attacker.probes_sent_direct,
+        probes_indirect=attacker.probes_sent_indirect,
+    )
+
+
+@dataclass(frozen=True)
+class LifetimeEstimate:
+    """Aggregated protocol-level lifetime over several seeds."""
+
+    spec: SystemSpec
+    stats: SummaryStats
+    censored: int
+    outcomes: tuple[LifetimeOutcome, ...]
+
+    @property
+    def mean_steps(self) -> float:
+        """Mean whole steps survived (censored runs count the budget,
+        so this is a lower bound when ``censored > 0``)."""
+        return self.stats.mean
+
+
+def estimate_protocol_lifetime(
+    spec: SystemSpec,
+    trials: int = 20,
+    max_steps: int = 500,
+    seed0: int = 0,
+    **build_kwargs,
+) -> LifetimeEstimate:
+    """Estimate the expected lifetime from ``trials`` independent runs."""
+    outcomes = [
+        run_protocol_lifetime(spec, seed=seed0 + i, max_steps=max_steps, **build_kwargs)
+        for i in range(trials)
+    ]
+    steps = [o.steps for o in outcomes]
+    return LifetimeEstimate(
+        spec=spec,
+        stats=summarize(steps),
+        censored=sum(1 for o in outcomes if not o.compromised),
+        outcomes=tuple(outcomes),
+    )

@@ -1,0 +1,40 @@
+"""Exception hierarchy shared by all ``repro`` subpackages.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel was used incorrectly."""
+
+
+class NetworkError(ReproError):
+    """A message could not be routed or a connection operation failed."""
+
+
+class CryptoError(ReproError):
+    """Signature creation or verification failed structurally.
+
+    Note that a signature that simply does not verify is *not* an error
+    (verification returns ``False``); this exception signals misuse, e.g.
+    an unknown public key.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A system specification or model parameter is invalid."""
+
+
+class ProtocolError(ReproError):
+    """A replication or proxy protocol invariant was violated."""
+
+
+class AnalysisError(ReproError):
+    """An analytic model could not be constructed or solved."""

@@ -1,0 +1,22 @@
+"""Fault injection: timed crash/partition/loss plans for torture tests."""
+
+from .injector import (
+    CrashFault,
+    FaultEvent,
+    FaultInjector,
+    MessageLossFault,
+    PartitionFault,
+)
+from .plans import crash_storm, lossy_window, partition_schedule, rolling_outages
+
+__all__ = [
+    "CrashFault",
+    "FaultEvent",
+    "FaultInjector",
+    "MessageLossFault",
+    "PartitionFault",
+    "crash_storm",
+    "lossy_window",
+    "partition_schedule",
+    "rolling_outages",
+]

@@ -1,0 +1,125 @@
+"""Deterministic fault injection for protocol-level experiments.
+
+The replication substrates claim crash tolerance (PB) and intrusion
+tolerance (SMR); fault injection is how the test suite *earns* those
+claims.  A :class:`FaultInjector` executes a plan of timed fault events
+against a running deployment:
+
+* :class:`CrashFault` — crash a process; either the forking daemon
+  restores it (transient crash) or it stays down for ``down_for``
+  simulated time (an outage);
+* :class:`PartitionFault` — cut the link between two processes, healing
+  after ``heal_after``;
+* :class:`MessageLossFault` — raise the network's drop rate for a
+  window, then restore it.
+
+Plans are plain lists of events, so they can be hand-written in tests or
+generated reproducibly by :mod:`repro.faults.plans`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..net.network import Network
+from ..sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Crash ``target`` at ``time``.
+
+    With ``down_for`` unset the forking daemon respawns the process as
+    usual; with it set the daemon is suppressed and the process stays
+    down for that long (a machine outage).
+    """
+
+    time: float
+    target: str
+    down_for: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """Partition ``a`` from ``b`` at ``time``; heal after ``heal_after``."""
+
+    time: float
+    a: str
+    b: str
+    heal_after: float
+
+
+@dataclass(frozen=True)
+class MessageLossFault:
+    """Set the network drop rate to ``rate`` for ``duration``."""
+
+    time: float
+    rate: float
+    duration: float
+
+
+FaultEvent = CrashFault | PartitionFault | MessageLossFault
+
+
+class FaultInjector:
+    """Schedules and applies a fault plan against a deployment.
+
+    Parameters
+    ----------
+    sim, network:
+        The simulation substrates of the deployment under test.
+    """
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+        self.applied: list[tuple[float, FaultEvent]] = []
+
+    # ------------------------------------------------------------------
+    def schedule_plan(self, plan: list[FaultEvent]) -> None:
+        """Schedule every event of ``plan`` (times are absolute)."""
+        for fault in plan:
+            self.schedule(fault)
+
+    def schedule(self, fault: FaultEvent) -> None:
+        """Schedule one fault event."""
+        if fault.time < self.sim.now:
+            raise ConfigurationError(
+                f"fault at t={fault.time} is in the past (now={self.sim.now})"
+            )
+        self.sim.schedule_at(fault.time, self._apply, fault)
+
+    # ------------------------------------------------------------------
+    def _apply(self, fault: FaultEvent) -> None:
+        self.applied.append((self.sim.now, fault))
+        if isinstance(fault, CrashFault):
+            self._apply_crash(fault)
+        elif isinstance(fault, PartitionFault):
+            self._apply_partition(fault)
+        else:
+            self._apply_loss(fault)
+
+    def _apply_crash(self, fault: CrashFault) -> None:
+        target = self.network.process(fault.target)
+        if fault.down_for is None:
+            target.crash()
+            return
+        target.begin_outage()
+        self.sim.schedule(fault.down_for, target.end_outage)
+
+    def _apply_partition(self, fault: PartitionFault) -> None:
+        self.network.partition(fault.a, fault.b)
+        self.sim.schedule(fault.heal_after, self.network.heal, fault.a, fault.b)
+
+    def _apply_loss(self, fault: MessageLossFault) -> None:
+        if not 0.0 <= fault.rate < 1.0:
+            raise ConfigurationError(f"loss rate must be in [0, 1), got {fault.rate}")
+        saved_rate = self.network.drop_rate
+        self.network.drop_rate = fault.rate
+
+        def restore() -> None:
+            self.network.drop_rate = saved_rate
+
+        self.sim.schedule(fault.duration, restore)

@@ -1,0 +1,50 @@
+"""Monte-Carlo harness: samplers, trial runner, parameter sweeps."""
+
+from .models import (
+    GeometricPOModel,
+    LifetimeModel,
+    S0POModel,
+    S0SOModel,
+    S1POModel,
+    S1SOModel,
+    S2POModel,
+    S2POStepModel,
+    S2SOModel,
+    model_for,
+)
+from .montecarlo import MCEstimate, mc_expected_lifetime, mc_survival_curve, run_model
+from .sweeps import (
+    FIGURE1_ALPHAS,
+    FIGURE2_KAPPAS,
+    Series,
+    SweepPoint,
+    figure1_series,
+    figure2_series,
+    sweep_alpha,
+    sweep_kappa,
+)
+
+__all__ = [
+    "GeometricPOModel",
+    "LifetimeModel",
+    "S0POModel",
+    "S0SOModel",
+    "S1POModel",
+    "S1SOModel",
+    "S2POModel",
+    "S2POStepModel",
+    "S2SOModel",
+    "model_for",
+    "MCEstimate",
+    "mc_expected_lifetime",
+    "mc_survival_curve",
+    "run_model",
+    "FIGURE1_ALPHAS",
+    "FIGURE2_KAPPAS",
+    "Series",
+    "SweepPoint",
+    "figure1_series",
+    "figure2_series",
+    "sweep_alpha",
+    "sweep_kappa",
+]

@@ -1,0 +1,239 @@
+"""Monte-Carlo lifetime samplers for every system × scheme combination.
+
+Each model draws i.i.d. system lifetimes (whole steps survived,
+Definition 7) directly from the §4 attack model:
+
+* **PO models** are memoryless, so lifetimes are geometric in the
+  per-step compromise probability.  :class:`S2POStepModel` additionally
+  simulates S2PO step by step (binomial proxy draws, indirect and
+  launch-pad coin flips) *without* using the closed-form q — it exists to
+  cross-validate the analytic formula.
+* **SO models** exploit the without-replacement structure: the position
+  of a key in the attacker's random probe order is uniform on
+  ``{1..χ}``, so a lifetime is a function of a handful of uniform draws
+  — O(1) per trial even when the lifetime is millions of steps.
+
+The S2SO model is the one the paper itself needs Monte-Carlo for (its
+state space is path-dependent).  Modelling notes for S2SO:
+
+* once a proxy's key is known, recovery does not change it, so the
+  attacker re-compromises that proxy instantly at every later step: from
+  the step after the first proxy-key discovery the server pool is probed
+  at ``(1+κ)·ω`` per step (full-rate launch pad + the paced indirect
+  stream);
+* the system falls when the server key is found or when all proxy keys
+  are known (the attacker then holds all proxies simultaneously);
+* the sub-step λ refinement of the discovery step is neglected (it
+  shifts lifetimes by less than one step).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import AnalysisError, ConfigurationError
+from ..randomization.obfuscation import Scheme
+from ..core.specs import SystemClass, SystemSpec
+from ..analysis.lifetimes import per_step_compromise
+
+
+class LifetimeModel(ABC):
+    """Draws i.i.d. lifetimes (whole steps survived) for one spec."""
+
+    def __init__(self, spec: SystemSpec) -> None:
+        self.spec = spec
+
+    @property
+    def label(self) -> str:
+        """The spec's short label (e.g. ``"S2PO"``)."""
+        return self.spec.label
+
+    @abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``n`` independent lifetimes as an int64 array."""
+
+    def _check_n(self, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one trial, got {n}")
+
+
+# ----------------------------------------------------------------------
+# PO models (memoryless)
+# ----------------------------------------------------------------------
+class GeometricPOModel(LifetimeModel):
+    """Common machinery: lifetimes are geometric(q) minus one."""
+
+    def __init__(self, spec: SystemSpec) -> None:
+        if spec.scheme is not Scheme.PO:
+            raise ConfigurationError(f"{type(self).__name__} requires a PO spec")
+        super().__init__(spec)
+        self.q = per_step_compromise(spec)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        # rng.geometric returns the index of the first success (>= 1);
+        # whole steps survived is one less.
+        return rng.geometric(self.q, size=n).astype(np.int64) - 1
+
+
+class S0POModel(GeometricPOModel):
+    """S0 (4-replica SMR) under proactive obfuscation."""
+
+
+class S1POModel(GeometricPOModel):
+    """S1 (primary-backup) under proactive obfuscation."""
+
+
+class S2POModel(GeometricPOModel):
+    """S2 (FORTRESS) under proactive obfuscation — fast sampler."""
+
+
+class S2POStepModel(LifetimeModel):
+    """S2PO simulated step by step, independent of the closed form.
+
+    Each step: draw the indirect attack, the per-proxy direct attacks
+    and (when a proxy falls) the same-step launch-pad attack, then apply
+    Definition 3's compromise conditions.  Used to validate
+    :func:`repro.analysis.lifetimes.per_step_compromise_s2_po`.
+    """
+
+    def __init__(self, spec: SystemSpec, max_steps: int = 10_000_000) -> None:
+        if spec.scheme is not Scheme.PO or spec.system is not SystemClass.S2:
+            raise ConfigurationError("S2POStepModel requires an S2 PO spec")
+        super().__init__(spec)
+        self.max_steps = max_steps
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        spec = self.spec
+        out = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            steps = 0
+            while True:
+                if steps >= self.max_steps:
+                    raise AnalysisError(
+                        f"S2PO step simulation exceeded {self.max_steps} steps; "
+                        "use the geometric sampler for such small q"
+                    )
+                if rng.random() < spec.kappa * spec.alpha:
+                    break  # indirect attack landed
+                fallen = rng.binomial(spec.n_proxies, spec.alpha)
+                if fallen == spec.n_proxies:
+                    break  # all proxies held simultaneously
+                if fallen >= 1 and rng.random() < spec.launchpad_fraction * spec.alpha:
+                    break  # same-step launch-pad attack landed
+                steps += 1
+            out[i] = steps
+        return out
+
+
+# ----------------------------------------------------------------------
+# SO models (without replacement; O(1) per trial)
+# ----------------------------------------------------------------------
+class S1SOModel(LifetimeModel):
+    """S1 under start-up-only randomization.
+
+    The tier shares one key whose position in the attacker's probe order
+    is uniform on ``{1..χ}``; it is found in the step where cumulative
+    probes first reach it.
+    """
+
+    def __init__(self, spec: SystemSpec) -> None:
+        if spec.scheme is not Scheme.SO or spec.system is not SystemClass.S1:
+            raise ConfigurationError("S1SOModel requires an S1 SO spec")
+        super().__init__(spec)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        positions = rng.integers(1, self.spec.chi + 1, size=n)
+        found_step = np.ceil(positions / self.spec.omega).astype(np.int64)
+        return found_step - 1
+
+
+class S0SOModel(LifetimeModel):
+    """S0 under start-up-only randomization.
+
+    Four diverse keys; the system falls when the ``(f+1)``-th key is
+    discovered, i.e. at the ``(f+1)``-th order statistic of the per-node
+    discovery steps.
+    """
+
+    def __init__(self, spec: SystemSpec) -> None:
+        if spec.scheme is not Scheme.SO or spec.system is not SystemClass.S0:
+            raise ConfigurationError("S0SOModel requires an S0 SO spec")
+        super().__init__(spec)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        spec = self.spec
+        positions = rng.integers(1, spec.chi + 1, size=(n, spec.n_servers))
+        found_steps = np.ceil(positions / spec.omega).astype(np.int64)
+        found_steps.sort(axis=1)
+        fatal = found_steps[:, spec.f]  # 0-indexed: the (f+1)-th discovery
+        return fatal - 1
+
+
+class S2SOModel(LifetimeModel):
+    """S2 under start-up-only randomization (see module docstring)."""
+
+    def __init__(self, spec: SystemSpec) -> None:
+        if spec.scheme is not Scheme.SO or spec.system is not SystemClass.S2:
+            raise ConfigurationError("S2SOModel requires an S2 SO spec")
+        super().__init__(spec)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        spec = self.spec
+        omega = spec.omega
+        kappa = spec.kappa
+
+        proxy_positions = rng.integers(1, spec.chi + 1, size=(n, spec.n_proxies))
+        proxy_steps = np.ceil(proxy_positions / omega).astype(np.int64)
+        first_proxy = proxy_steps.min(axis=1)
+        all_proxies = proxy_steps.max(axis=1)
+
+        server_position = rng.integers(1, spec.chi + 1, size=n).astype(np.float64)
+
+        if kappa > 0.0:
+            # Server key found by the paced indirect stream alone?
+            early = np.ceil(server_position / (kappa * omega)).astype(np.int64)
+        else:
+            early = np.full(n, np.iinfo(np.int64).max)
+        found_early = early <= first_proxy
+
+        # Otherwise the stream accelerates to (1+κ)ω after the first
+        # proxy key is known (full-rate launch pad joins in).
+        consumed_by_t1 = kappa * omega * first_proxy.astype(np.float64)
+        remaining = np.maximum(server_position - consumed_by_t1, 0.0)
+        late = first_proxy + np.ceil(
+            remaining / ((1.0 + kappa) * omega)
+        ).astype(np.int64)
+        # If the key position falls exactly within step T1's combined
+        # budget, ceil() of 0 remaining gives T1 itself, which is right.
+        late = np.maximum(late, first_proxy)
+
+        server_step = np.where(found_early, early, late)
+        fatal = np.minimum(server_step, all_proxies)
+        return (fatal - 1).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+def model_for(spec: SystemSpec, step_level: bool = False) -> LifetimeModel:
+    """Return the sampler for ``spec``.
+
+    ``step_level=True`` selects the step-by-step S2PO validator instead
+    of the closed-form geometric sampler (only meaningful for S2 PO).
+    """
+    if spec.scheme is Scheme.PO:
+        if spec.system is SystemClass.S0:
+            return S0POModel(spec)
+        if spec.system is SystemClass.S1:
+            return S1POModel(spec)
+        return S2POStepModel(spec) if step_level else S2POModel(spec)
+    if spec.system is SystemClass.S0:
+        return S0SOModel(spec)
+    if spec.system is SystemClass.S1:
+        return S1SOModel(spec)
+    return S2SOModel(spec)

@@ -1,0 +1,102 @@
+"""Monte-Carlo estimation of expected lifetimes.
+
+Thin runner over the samplers in :mod:`repro.mc.models`: draws trials,
+summarizes them with a 95% confidence interval, and exposes the same
+Definition-7 lifetime convention as the analytic formulas so the two can
+be compared term by term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..metrics.stats import SummaryStats, Z_95
+from ..core.specs import SystemSpec
+from .models import LifetimeModel, model_for
+
+
+@dataclass(frozen=True)
+class MCEstimate:
+    """A Monte-Carlo expected-lifetime estimate.
+
+    Attributes
+    ----------
+    label:
+        Short system label (``"S2PO"`` etc.).
+    spec:
+        The spec sampled.
+    stats:
+        Mean / CI / spread of the sampled lifetimes.
+    trials:
+        Number of trials drawn.
+    """
+
+    label: str
+    spec: SystemSpec
+    stats: SummaryStats
+    trials: int
+
+    @property
+    def mean(self) -> float:
+        """Mean whole steps survived."""
+        return self.stats.mean
+
+    def within_ci(self, value: float) -> bool:
+        """Whether ``value`` lies inside the 95% interval."""
+        return self.stats.ci_low <= value <= self.stats.ci_high
+
+
+def _summarize_array(values: np.ndarray) -> SummaryStats:
+    n = int(values.size)
+    mean = float(values.mean())
+    std = float(values.std(ddof=1)) if n > 1 else 0.0
+    half = Z_95 * std / np.sqrt(n) if n > 1 else 0.0
+    return SummaryStats(
+        n=n,
+        mean=mean,
+        std=std,
+        ci_low=mean - half,
+        ci_high=mean + half,
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+    )
+
+
+def run_model(model: LifetimeModel, trials: int, seed: int = 0) -> MCEstimate:
+    """Draw ``trials`` lifetimes from ``model`` and summarize them."""
+    if trials < 2:
+        raise ConfigurationError(f"need at least 2 trials for a CI, got {trials}")
+    rng = np.random.default_rng(seed)
+    values = model.sample(trials, rng)
+    return MCEstimate(
+        label=model.label,
+        spec=model.spec,
+        stats=_summarize_array(values.astype(np.float64)),
+        trials=trials,
+    )
+
+
+def mc_expected_lifetime(
+    spec: SystemSpec,
+    trials: int = 10_000,
+    seed: int = 0,
+    step_level: bool = False,
+) -> MCEstimate:
+    """Monte-Carlo EL of ``spec`` (see :func:`repro.mc.models.model_for`)."""
+    return run_model(model_for(spec, step_level=step_level), trials, seed)
+
+
+def mc_survival_curve(
+    spec: SystemSpec, steps: int, trials: int = 10_000, seed: int = 0
+) -> np.ndarray:
+    """Empirical ``S(t)`` for ``t = 1..steps`` from sampled lifetimes."""
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1, got {steps}")
+    rng = np.random.default_rng(seed)
+    lifetimes = model_for(spec).sample(trials, rng)
+    t = np.arange(1, steps + 1)
+    # A run with lifetime L survives t whole steps iff L >= t.
+    return (lifetimes[None, :] >= t[:, None]).mean(axis=1)

@@ -1,0 +1,137 @@
+"""Parameter sweeps: the series behind the paper's figures.
+
+A sweep produces :class:`Series` objects — ``(x, EL)`` points with
+confidence intervals — that the benchmark harness renders as the rows of
+Figure 1 (EL vs α for the five systems) and Figure 2 (EL of S2PO as κ
+varies).  Sweeps can use either the analytic formulas or the
+Monte-Carlo samplers, so benches can show both side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import AnalysisError
+from ..analysis.lifetimes import expected_lifetime
+from ..randomization.obfuscation import Scheme
+from ..core.specs import SystemClass, SystemSpec, paper_systems, s2
+from .montecarlo import mc_expected_lifetime
+
+#: Log-spaced α grid covering the paper's "realistic range" (§5).
+FIGURE1_ALPHAS = (
+    1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3,
+    1e-2,
+)
+
+#: κ grid for Figure 2 (log-scale friendly, plus the endpoints the
+#: paper's trends single out).
+FIGURE2_KAPPAS = (0.0, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (x, EL) sample of a sweep."""
+
+    x: float
+    mean: float
+    ci_low: float
+    ci_high: float
+
+
+@dataclass
+class Series:
+    """A labelled curve: EL as a function of the swept parameter."""
+
+    label: str
+    x_name: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    @property
+    def xs(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    @property
+    def means(self) -> list[float]:
+        return [p.mean for p in self.points]
+
+
+def _evaluate(spec: SystemSpec, trials: Optional[int], seed: int) -> tuple[float, float, float]:
+    """EL (mean, ci_low, ci_high) of one spec, analytic when possible."""
+    use_mc = trials is not None or (
+        spec.scheme is Scheme.SO and spec.system is SystemClass.S2
+    )
+    if use_mc:
+        estimate = mc_expected_lifetime(spec, trials=trials or 10_000, seed=seed)
+        return estimate.mean, estimate.stats.ci_low, estimate.stats.ci_high
+    value = expected_lifetime(spec)
+    return value, value, value
+
+
+def sweep_alpha(
+    base: SystemSpec,
+    alphas: Sequence[float] = FIGURE1_ALPHAS,
+    trials: Optional[int] = None,
+    seed: int = 0,
+) -> Series:
+    """EL of ``base`` across an α grid.
+
+    ``trials=None`` uses the analytic formula where one exists (S2SO
+    always falls back to Monte-Carlo, as in the paper).
+    """
+    if not alphas:
+        raise AnalysisError("alpha grid must be non-empty")
+    series = Series(label=base.label, x_name="alpha")
+    for i, alpha in enumerate(alphas):
+        spec = base.with_alpha(alpha)
+        mean, lo, hi = _evaluate(spec, trials, seed + i)
+        series.points.append(SweepPoint(x=alpha, mean=mean, ci_low=lo, ci_high=hi))
+    return series
+
+
+def sweep_kappa(
+    base: SystemSpec,
+    kappas: Sequence[float] = FIGURE2_KAPPAS,
+    trials: Optional[int] = None,
+    seed: int = 0,
+) -> Series:
+    """EL of ``base`` across a κ grid (S2 systems)."""
+    if base.system is not SystemClass.S2:
+        raise AnalysisError("kappa sweeps only apply to S2 systems")
+    series = Series(label=f"{base.label}@alpha={base.alpha:g}", x_name="kappa")
+    for i, kappa in enumerate(kappas):
+        spec = base.with_kappa(kappa)
+        mean, lo, hi = _evaluate(spec, trials, seed + i)
+        series.points.append(SweepPoint(x=kappa, mean=mean, ci_low=lo, ci_high=hi))
+    return series
+
+
+def figure1_series(
+    alphas: Sequence[float] = FIGURE1_ALPHAS,
+    kappa: float = 0.5,
+    trials: Optional[int] = None,
+    seed: int = 0,
+) -> list[Series]:
+    """The five curves of Figure 1 (S0PO, S2PO, S1PO, S1SO, S0SO)."""
+    return [
+        sweep_alpha(spec, alphas, trials=trials, seed=seed + 1000 * i)
+        for i, spec in enumerate(paper_systems(kappa=kappa))
+    ]
+
+
+def figure2_series(
+    alphas: Sequence[float] = FIGURE1_ALPHAS,
+    kappas: Sequence[float] = FIGURE2_KAPPAS,
+    trials: Optional[int] = None,
+    seed: int = 0,
+) -> list[Series]:
+    """Figure 2: one EL-vs-α curve of S2PO per κ value."""
+    out = []
+    for i, kappa in enumerate(kappas):
+        base = s2(Scheme.PO, kappa=kappa)
+        series = sweep_alpha(base, alphas, trials=trials, seed=seed + 1000 * i)
+        series.label = f"S2PO kappa={kappa:g}"
+        out.append(series)
+    return out

@@ -1,0 +1,5 @@
+"""Statistics helpers for simulation output."""
+
+from .stats import SummaryStats, Z_95, bootstrap_ci, geometric_mean, summarize
+
+__all__ = ["SummaryStats", "Z_95", "bootstrap_ci", "geometric_mean", "summarize"]

@@ -1,0 +1,119 @@
+"""Summary statistics and confidence intervals for simulation output.
+
+Monte-Carlo lifetime estimates are means of highly skewed (roughly
+geometric) samples, so both normal-approximation and bootstrap intervals
+are provided; benches report the normal CI, property tests cross-check
+with the bootstrap.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import AnalysisError
+
+#: Two-sided z value for a 95% normal interval.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean, spread and a 95% confidence interval of a sample.
+
+    Attributes
+    ----------
+    n:
+        Sample size.
+    mean, std:
+        Sample mean and (n-1) standard deviation.
+    ci_low, ci_high:
+        95% normal-approximation interval for the mean.
+    minimum, maximum:
+        Sample range.
+    """
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci_halfwidth(self) -> float:
+        """Half-width of the 95% interval."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def overlaps(self, other: "SummaryStats") -> bool:
+        """Whether the two 95% intervals intersect."""
+        return self.ci_low <= other.ci_high and other.ci_low <= self.ci_high
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` over a non-empty sample."""
+    if not values:
+        raise AnalysisError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        var = 0.0
+    std = math.sqrt(var)
+    half = Z_95 * std / math.sqrt(n) if n > 1 else 0.0
+    return SummaryStats(
+        n=n,
+        mean=mean,
+        std=std,
+        ci_low=mean - half,
+        ci_high=mean + half,
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap interval for the mean.
+
+    Parameters
+    ----------
+    values:
+        The sample.
+    confidence:
+        Two-sided coverage (0 < confidence < 1).
+    resamples:
+        Bootstrap iterations.
+    seed:
+        RNG seed for reproducibility.
+    """
+    if not values:
+        raise AnalysisError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    rng = random.Random(seed)
+    n = len(values)
+    means = sorted(
+        sum(rng.choice(values) for _ in range(n)) / n for _ in range(resamples)
+    )
+    tail = (1.0 - confidence) / 2.0
+    low_index = min(resamples - 1, max(0, int(math.floor(tail * resamples))))
+    high_index = min(resamples - 1, max(0, int(math.ceil((1.0 - tail) * resamples)) - 1))
+    return means[low_index], means[high_index]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for factor comparisons)."""
+    if not values:
+        raise AnalysisError("cannot take the geometric mean of an empty sample")
+    if any(v <= 0 for v in values):
+        raise AnalysisError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,5 @@
+"""Rendering of result tables and figure series."""
+
+from .tables import format_quantity, render_series_table, render_table
+
+__all__ = ["format_quantity", "render_series_table", "render_table"]

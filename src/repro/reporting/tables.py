@@ -1,0 +1,96 @@
+"""ASCII rendering of result tables and figure series.
+
+The benchmark harness reproduces the paper's figures as printed tables:
+one row per x value, one column per curve — the same rows/series the
+paper plots, in a form that diffs cleanly across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..mc.sweeps import Series
+
+
+def format_quantity(value: float) -> str:
+    """Compact numeric formatting for expected lifetimes.
+
+    Uses plain decimals for small magnitudes and scientific notation for
+    large ones, keeping columns narrow yet comparable across 9 orders of
+    magnitude.
+    """
+    if value != value:  # NaN
+        return "nan"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or (0 < magnitude < 1e-3):
+        return f"{value:.3e}"
+    if magnitude >= 100:
+        return f"{value:.1f}"
+    return f"{value:.4g}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in rows:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series_table(
+    series_list: Sequence[Series],
+    x_header: str | None = None,
+    title: str | None = None,
+    with_ci: bool = False,
+) -> str:
+    """Render several :class:`~repro.mc.sweeps.Series` as one table.
+
+    All series must share the same x grid (they do, coming from one
+    sweep).  With ``with_ci`` each cell shows ``mean [low, high]``.
+    """
+    if not series_list:
+        raise ConfigurationError("need at least one series")
+    xs = series_list[0].xs
+    for series in series_list[1:]:
+        if series.xs != xs:
+            raise ConfigurationError(
+                f"series {series.label!r} has a different x grid"
+            )
+    headers = [x_header or series_list[0].x_name] + [s.label for s in series_list]
+    rows = []
+    for i, x in enumerate(xs):
+        row = [format_quantity(x)]
+        for series in series_list:
+            point = series.points[i]
+            if with_ci and point.ci_high > point.ci_low:
+                row.append(
+                    f"{format_quantity(point.mean)} "
+                    f"[{format_quantity(point.ci_low)}, {format_quantity(point.ci_high)}]"
+                )
+            else:
+                row.append(format_quantity(point.mean))
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,12 @@
+"""Workload generation: key distributions, open-loop Poisson clients."""
+
+from .distributions import KeyDistribution, UniformKeys, ZipfKeys, kv_body_factory
+from .openloop import OpenLoopClient
+
+__all__ = [
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfKeys",
+    "kv_body_factory",
+    "OpenLoopClient",
+]

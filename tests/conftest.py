@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.signatures import SignatureAuthority
+from repro.net.latency import FixedLatency
+from repro.net.network import Network
+from repro.randomization.keyspace import KeySpace
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """A network with fixed small latency on the ``sim`` fixture."""
+    return Network(sim, latency=FixedLatency(0.001))
+
+
+@pytest.fixture
+def authority() -> SignatureAuthority:
+    """A deterministic signature authority."""
+    return SignatureAuthority(random.Random(7))
+
+
+@pytest.fixture
+def small_keyspace() -> KeySpace:
+    """A 2^6 = 64-key space (tiny, so attacks finish fast in tests)."""
+    return KeySpace(6)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic plain RNG."""
+    return random.Random(123)

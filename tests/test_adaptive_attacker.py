@@ -1,0 +1,208 @@
+"""Tests for adaptive pacing, identity rotation, and siege detection —
+the §2.2 detection arms race."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacker.adaptive import AdaptiveIndirectProber
+from repro.core.builders import add_clients, attach_attacker, build_system
+from repro.core.specs import s2
+from repro.errors import ConfigurationError, NetworkError
+from repro.proxy.detection import DetectionLog, DetectionPolicy
+from repro.randomization.obfuscation import Scheme
+
+
+def build_fortress(policy, seed=50, alpha=0.1):
+    """Deployment with a *bare* attacker: no direct proxy streams, no
+    launch pads — the tests isolate the indirect (client-path) channel."""
+    from repro.attacker.agent import AttackerProcess
+
+    spec = s2(Scheme.SO, alpha=alpha, kappa=0.0, entropy_bits=10)
+    deployed = build_system(
+        spec, seed=seed, detection_policy=policy, stop_on_compromise=False
+    )
+    attacker = AttackerProcess(
+        deployed.sim,
+        deployed.network,
+        keyspace=spec.keyspace,
+        omega=spec.omega,
+        period=spec.period,
+    )
+    deployed.network.register(attacker)
+    deployed.attacker = attacker
+    return deployed, attacker
+
+
+def mount_adaptive(deployed, attacker, **kwargs):
+    prober = AdaptiveIndirectProber(
+        attacker,
+        proxies=deployed.proxy_names,
+        pool=attacker.pool("server-tier"),
+        omega=deployed.spec.omega,
+        **kwargs,
+    )
+    prober.start()
+    return prober
+
+
+# ----------------------------------------------------------------------
+# Network aliases
+# ----------------------------------------------------------------------
+def test_alias_registration_and_delivery(sim, network):
+    from repro.net.message import Message
+    from repro.sim.process import SimProcess
+
+    class Sink(SimProcess):
+        def __init__(self):
+            super().__init__(sim, "sink", respawn_delay=None)
+            self.got = []
+
+        def handle_message(self, message):
+            self.got.append(message)
+
+    sink = Sink()
+    network.register(sink)
+    network.register_alias("sink~id1", "sink")
+    assert network.knows("sink~id1")
+    network.send(Message("sink", "sink~id1", "ping", {}))
+    sim.run()
+    assert len(sink.got) == 1
+
+
+def test_alias_validation(sim, network):
+    from repro.sim.process import SimProcess
+
+    p = SimProcess(sim, "p", respawn_delay=None)
+    network.register(p)
+    with pytest.raises(NetworkError):
+        network.register_alias("p", "p")  # collides with a real name
+    with pytest.raises(NetworkError):
+        network.register_alias("x", "ghost")
+    network.register_alias("x", "p")
+    with pytest.raises(NetworkError):
+        network.register_alias("x", "p")  # duplicate alias
+
+
+# ----------------------------------------------------------------------
+# Siege detection (unit level)
+# ----------------------------------------------------------------------
+def test_under_siege_requires_aggregate_threshold():
+    log = DetectionLog(DetectionPolicy(window=10.0, threshold=100))
+    for i in range(50):
+        log.record_invalid(f"src{i}", float(i) * 0.01)
+    assert not log.under_siege(1.0)  # no aggregate threshold configured
+
+
+def test_under_siege_triggers_and_subsides():
+    log = DetectionLog(
+        DetectionPolicy(window=10.0, threshold=100, aggregate_threshold=20)
+    )
+    for i in range(25):
+        log.record_invalid(f"src{i}", float(i) * 0.1)  # distinct sources!
+    assert log.under_siege(2.5)
+    assert not log.under_siege(30.0)  # window rolled past the burst
+
+
+def test_valid_history_tracked():
+    log = DetectionLog(DetectionPolicy())
+    assert log.valid_count("c") == 0
+    log.record_valid("c")
+    log.record_valid("c")
+    assert log.valid_count("c") == 2
+
+
+# ----------------------------------------------------------------------
+# Adaptive attacker vs per-source-only detection
+# ----------------------------------------------------------------------
+def test_identity_rotation_defeats_per_source_blacklisting():
+    """With only per-source analysis, the rotating attacker sustains
+    probing: blacklists bite individual identities, never the stream."""
+    policy = DetectionPolicy(window=5.0, threshold=5)  # strict per-source
+    deployed, attacker = build_fortress(policy, seed=51)
+    prober = mount_adaptive(deployed, attacker, initial_rate=8.0)
+    deployed.start()
+    deployed.sim.run(until=40.0)
+    burned = set()
+    for proxy in deployed.proxies:
+        burned |= set(proxy.detection.blacklisted_sources)
+    assert len(burned) >= 2  # identities do get blacklisted...
+    assert prober.probes_sent > 100  # ...but the stream continues
+    # Probes keep landing on the server tier to the very end.
+    reached = sum(s.address_space.probes_received for s in deployed.servers)
+    assert reached > 80
+    assert prober.active
+
+
+def test_siege_mode_blunts_identity_rotation():
+    """Adding aggregate detection: fresh identities are turned away and
+    the probing stream starves — rotation no longer pays."""
+    # Per-source thresholds too lax to bite on their own; only the
+    # aggregate analysis differs between the two deployments.
+    per_source_only = DetectionPolicy(window=5.0, threshold=1000)
+    with_siege = DetectionPolicy(
+        window=5.0, threshold=1000, aggregate_threshold=5
+    )
+
+    probes = {}
+    for label, policy in (("plain", per_source_only), ("siege", with_siege)):
+        deployed, attacker = build_fortress(policy, seed=52)
+        prober = mount_adaptive(deployed, attacker, initial_rate=8.0)
+        deployed.start()
+        deployed.sim.run(until=40.0)
+        # Count probes that actually reached the server tier.
+        reached = sum(s.address_space.probes_received for s in deployed.servers)
+        probes[label] = reached
+        if label == "siege":
+            assert any(p.dropped_siege > 0 for p in deployed.proxies)
+    assert probes["siege"] < probes["plain"] / 2
+
+
+def test_siege_mode_spares_established_clients():
+    policy = DetectionPolicy(window=5.0, threshold=5, aggregate_threshold=8)
+    deployed, attacker = build_fortress(policy, seed=53)
+    clients = add_clients(deployed, 1)
+    deployed.start()
+    deployed.sim.run(until=5.0)  # client builds a valid history first
+    prober = mount_adaptive(deployed, attacker, initial_rate=8.0)
+    before = clients[0].responses_ok
+    deployed.sim.run(until=30.0)
+    # The siege throttles the attacker, not the known-good client.
+    assert clients[0].responses_ok > before + 50
+
+
+def test_aimd_rate_backs_off_on_rotation():
+    policy = DetectionPolicy(window=5.0, threshold=3)
+    deployed, attacker = build_fortress(policy, seed=54)
+    prober = mount_adaptive(
+        deployed, attacker, initial_rate=10.0, multiplicative_decrease=0.5
+    )
+    deployed.start()
+    deployed.sim.run(until=25.0)
+    assert prober.rotations >= 1
+    rates = [rate for _, rate in prober.rate_history]
+    assert min(rates) < 10.0  # the decrease actually happened
+    assert prober.effective_kappa <= 1.0
+
+
+def test_identity_budget_exhaustion_stops_prober():
+    policy = DetectionPolicy(window=5.0, threshold=2)
+    deployed, attacker = build_fortress(policy, seed=55)
+    prober = mount_adaptive(
+        deployed, attacker, initial_rate=10.0, max_identities=2
+    )
+    deployed.start()
+    deployed.sim.run(until=40.0)
+    assert prober.identities_used == 2
+    assert not prober.active
+
+
+def test_adaptive_validation():
+    policy = DetectionPolicy()
+    deployed, attacker = build_fortress(policy, seed=56)
+    with pytest.raises(ConfigurationError):
+        AdaptiveIndirectProber(attacker, [], attacker.pool("x"), omega=8.0)
+    with pytest.raises(ConfigurationError):
+        AdaptiveIndirectProber(
+            attacker, deployed.proxy_names, attacker.pool("x"), omega=0.0
+        )

@@ -1,0 +1,129 @@
+"""Tests for system builders: wiring, fortification ACLs, attacker mounts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builders import (
+    SERVER_POOL,
+    add_clients,
+    attach_attacker,
+    build_system,
+)
+from repro.core.specs import s0, s1, s2
+from repro.errors import ConfigurationError
+from repro.randomization.obfuscation import Scheme
+from repro.replication.state_machine import SessionTokenService
+
+
+def test_s0_build_shape():
+    deployed = build_system(s0(Scheme.PO, alpha=0.01, entropy_bits=8), seed=1)
+    assert len(deployed.servers) == 4
+    assert deployed.proxies == []
+    # Diverse randomization: one key group per replica.
+    assert len(deployed.obfuscation._groups) == 4
+    assert deployed.nameserver.directory.replication == "smr"
+    assert deployed.nameserver.directory.server_addresses  # 1-tier: published
+
+
+def test_s1_build_shape_identical_keys():
+    deployed = build_system(s1(Scheme.PO, alpha=0.01, entropy_bits=8), seed=2)
+    assert len(deployed.servers) == 3
+    keys = {s.address_space.key for s in deployed.servers}
+    assert len(keys) == 1  # identically randomized
+    assert len(deployed.obfuscation._groups) == 1
+
+
+def test_s2_build_fortification():
+    deployed = build_system(s2(Scheme.PO, alpha=0.01, entropy_bits=8), seed=3)
+    assert len(deployed.proxies) == 3
+    directory = deployed.nameserver.directory
+    assert directory.proxy_addresses == deployed.proxy_names
+    assert directory.server_addresses == {}  # hidden behind proxies
+    for server in deployed.servers:
+        assert server.allowed_connection_initiators == set(deployed.proxy_names)
+        assert "proxy-0" in server.allowed_senders
+        assert "nameserver" in server.allowed_senders
+    # Proxies know the servers.
+    assert deployed.proxies[0].servers == deployed.server_names
+
+
+def test_s2_attacker_cannot_connect_to_servers():
+    deployed = build_system(s2(Scheme.PO, alpha=0.01, entropy_bits=8), seed=4)
+    attacker = attach_attacker(deployed)
+    assert deployed.network.connect(attacker.name, "server-0") is None
+
+
+def test_s0_rejects_nondeterministic_service():
+    with pytest.raises(ConfigurationError):
+        build_system(
+            s0(Scheme.PO, alpha=0.01),
+            service_factory=lambda i: SessionTokenService(seed=i),
+        )
+
+
+def test_s1_accepts_nondeterministic_service():
+    deployed = build_system(
+        s1(Scheme.PO, alpha=0.01, entropy_bits=8),
+        service_factory=lambda i: SessionTokenService(seed=i),
+    )
+    assert len(deployed.servers) == 3
+
+
+def test_attach_attacker_only_once():
+    deployed = build_system(s1(Scheme.PO, alpha=0.01, entropy_bits=8), seed=5)
+    attach_attacker(deployed)
+    with pytest.raises(ConfigurationError):
+        attach_attacker(deployed)
+
+
+def test_s1_attacker_uses_single_shared_pool_stream():
+    deployed = build_system(s1(Scheme.PO, alpha=0.05, entropy_bits=8), seed=6)
+    attacker = attach_attacker(deployed)
+    assert len(attacker._drivers) == 1
+    assert attacker._drivers[0].pool is attacker.pool(SERVER_POOL)
+
+
+def test_s0_attacker_one_stream_per_replica():
+    deployed = build_system(s0(Scheme.PO, alpha=0.05, entropy_bits=8), seed=7)
+    attacker = attach_attacker(deployed)
+    assert len(attacker._drivers) == 4
+    pools = {d.pool for d in attacker._drivers}
+    assert len(pools) == 4  # diverse keys, diverse pools
+
+
+def test_s2_attacker_campaign_composition():
+    deployed = build_system(s2(Scheme.PO, alpha=0.05, kappa=0.5, entropy_bits=8), seed=8)
+    attacker = attach_attacker(deployed)
+    assert len(attacker._drivers) == 3  # one direct stream per proxy
+    assert len(attacker._indirect) == 1
+    assert attacker._launchpad_servers == deployed.server_names
+
+
+def test_s2_kappa_zero_means_no_indirect_stream():
+    deployed = build_system(s2(Scheme.PO, alpha=0.05, kappa=0.0, entropy_bits=8), seed=9)
+    attacker = attach_attacker(deployed)
+    assert attacker._indirect == []
+
+
+def test_add_clients_mode_matches_system():
+    for factory, mode in ((s0, "smr"), (s1, "pb"), (s2, "fortress")):
+        deployed = build_system(factory(Scheme.PO, alpha=0.01, entropy_bits=8), seed=10)
+        clients = add_clients(deployed, 2)
+        assert len(clients) == 2
+        assert all(c.mode == mode for c in clients)
+        expected_targets = (
+            deployed.proxy_names if mode == "fortress" else deployed.server_names
+        )
+        assert clients[0].targets == expected_targets
+
+
+def test_root_seed_reproducibility():
+    a = build_system(s2(Scheme.PO, alpha=0.01, entropy_bits=8), seed=99)
+    b = build_system(s2(Scheme.PO, alpha=0.01, entropy_bits=8), seed=99)
+    assert [s.address_space.key for s in a.servers] == [
+        s.address_space.key for s in b.servers
+    ]
+    assert [p.address_space.key for p in a.proxies] == [
+        p.address_space.key for p in b.proxies
+    ]

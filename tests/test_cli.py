@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_trends_command_reports_all_holding(capsys):
+    code, out, err = run_cli(capsys, "trends")
+    assert code == 0
+    assert out.count("HOLDS") == 4
+    assert "kappa* vs S1PO" in out
+
+
+def test_figure1_analytic(capsys):
+    code, out, err = run_cli(capsys, "figure1")
+    assert code == 0
+    for label in ("S0PO", "S2PO", "S1PO", "S1SO", "S0SO"):
+        assert label in out
+    assert "1.000e-05" in out
+
+
+def test_figure1_with_mc_trials(capsys):
+    code, out, err = run_cli(capsys, "figure1", "--mc-trials", "500")
+    assert code == 0
+    assert "Monte-Carlo" in out
+    assert "[" in out  # CI brackets
+
+
+def test_figure2(capsys):
+    code, out, err = run_cli(capsys, "figure2")
+    assert code == 0
+    assert "kappa=0.9" in out
+
+
+def test_lifetime_command_analytic_and_mc(capsys):
+    code, out, err = run_cli(
+        capsys, "lifetime", "--system", "s1", "--scheme", "po",
+        "--alpha", "0.01", "--trials", "5000",
+    )
+    assert code == 0
+    assert "analytic EL" in out and "99" in out
+    assert "Monte-Carlo EL" in out
+
+
+def test_lifetime_s2so_small_alpha_degrades_gracefully(capsys):
+    code, out, err = run_cli(
+        capsys, "lifetime", "--system", "s2", "--scheme", "so",
+        "--alpha", "1e-5", "--trials", "2000",
+    )
+    assert code == 0
+    assert "unavailable" in out  # analytic refuses, MC still reported
+    assert "Monte-Carlo EL" in out
+
+
+def test_protocol_command(capsys):
+    code, out, err = run_cli(
+        capsys, "protocol", "--system", "s1", "--scheme", "so",
+        "--alpha", "0.1", "--entropy-bits", "8",
+        "--trials", "3", "--max-steps", "50",
+    )
+    assert code == 0
+    assert "mean EL" in out
+    assert "censored : 0 of 3" in out
+
+
+def test_advise_fortress_vs_smr(capsys):
+    code, out, err = run_cli(capsys, "advise", "--kappa", "0.5")
+    assert code == 0
+    assert "FORTRESS" in out
+    code, out, err = run_cli(capsys, "advise", "--dsm-ready")
+    assert "S0 + proactive obfuscation" in out
+
+
+def test_advise_high_kappa_prefers_plain_pb(capsys):
+    code, out, err = run_cli(
+        capsys, "advise", "--alpha", "0.01", "--kappa", "0.99"
+    )
+    assert code == 0
+    assert "plain PB" in out

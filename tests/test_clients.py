@@ -1,0 +1,89 @@
+"""End-to-end workload client tests across all three system modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builders import add_clients, build_system
+from repro.core.clients import WorkloadClient, default_body_factory
+from repro.core.specs import s0, s1, s2
+from repro.randomization.obfuscation import Scheme
+
+
+def run_workload(spec, until=10.0, seed=1, clients=1):
+    deployed = build_system(spec, seed=seed)
+    added = add_clients(deployed, clients)
+    deployed.start()
+    deployed.sim.run(until=until)
+    return deployed, added
+
+
+def test_fortress_clients_get_doubly_signed_responses():
+    deployed, clients = run_workload(s2(Scheme.PO, alpha=0.001, entropy_bits=8))
+    client = clients[0]
+    assert client.responses_ok > 50
+    assert client.responses_corrupted == 0
+    assert client.failures == 0
+
+
+def test_pb_clients_get_signed_responses():
+    deployed, clients = run_workload(s1(Scheme.PO, alpha=0.001, entropy_bits=8))
+    assert clients[0].responses_ok > 50
+    assert clients[0].failures == 0
+
+
+def test_smr_clients_get_f_plus_1_matching():
+    deployed, clients = run_workload(s0(Scheme.PO, alpha=0.001, entropy_bits=8))
+    assert clients[0].responses_ok > 30
+    assert clients[0].failures == 0
+
+
+def test_concurrent_clients_consistent_counters():
+    deployed, clients = run_workload(
+        s1(Scheme.PO, alpha=0.001, entropy_bits=8), clients=3
+    )
+    assert all(c.responses_ok > 30 for c in clients)
+    # The primary executed every distinct request exactly once.
+    primary = deployed.servers[0]
+    total_requests = sum(c.responses_ok + c.responses_corrupted for c in clients)
+    assert primary.requests_executed >= total_requests // 2
+
+
+def test_latencies_recorded_and_small():
+    deployed, clients = run_workload(s2(Scheme.PO, alpha=0.001, entropy_bits=8))
+    latencies = clients[0].latencies
+    assert latencies
+    assert max(latencies) < 0.5
+
+
+def test_client_survives_primary_failover():
+    """Clients keep getting responses after the primary is stopped."""
+    spec = s1(Scheme.PO, alpha=0.001, entropy_bits=8)
+    deployed = build_system(spec, seed=3)
+    clients = add_clients(deployed, 1)
+    deployed.start()
+    deployed.sim.run(until=3.0)
+    before = clients[0].responses_ok
+    deployed.servers[0].stop()
+    deployed.sim.run(until=10.0)
+    assert clients[0].responses_ok > before + 10
+
+
+def test_workload_stop_is_clean():
+    deployed, clients = run_workload(s1(Scheme.PO, alpha=0.001, entropy_bits=8), until=2.0)
+    client = clients[0]
+    client.stop_workload()
+    count = client.requests_sent
+    deployed.sim.run(until=4.0)
+    assert client.requests_sent <= count + 1  # at most the in-flight retry
+
+
+def test_invalid_mode_rejected(sim, network, authority):
+    with pytest.raises(ValueError):
+        WorkloadClient(sim, network, authority, mode="bogus", targets=[])
+
+
+def test_default_body_factory_shapes(rng):
+    bodies = [default_body_factory(i, rng) for i in range(9)]
+    ops = {b["op"] for b in bodies}
+    assert ops == {"put", "get", "incr"}

@@ -1,0 +1,104 @@
+"""Unit tests for the system-compromise predicates (Definitions 1-3, 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compromise import CompromiseMonitor
+from repro.core.specs import SystemClass
+from repro.sim.engine import Simulator
+from repro.sim.process import SimProcess
+
+
+def make_nodes(sim, count, prefix):
+    return [SimProcess(sim, f"{prefix}-{i}", respawn_delay=None) for i in range(count)]
+
+
+def test_s0_tolerates_f_compromises():
+    sim = Simulator()
+    servers = make_nodes(sim, 4, "replica")
+    monitor = CompromiseMonitor(sim, SystemClass.S0, servers, f=1)
+    servers[0].mark_compromised()
+    assert not monitor.is_compromised
+    servers[2].mark_compromised()
+    assert monitor.is_compromised
+    assert "2 of 4" in monitor.cause
+
+
+def test_s0_cleansed_node_does_not_count():
+    sim = Simulator()
+    servers = make_nodes(sim, 4, "replica")
+    monitor = CompromiseMonitor(sim, SystemClass.S0, servers, f=1)
+    servers[0].mark_compromised()
+    servers[0].begin_reboot(0.0)  # cleansed before the second intrusion
+    servers[1].mark_compromised()
+    assert not monitor.is_compromised
+
+
+def test_s1_any_server_compromise_is_fatal():
+    sim = Simulator()
+    servers = make_nodes(sim, 3, "server")
+    monitor = CompromiseMonitor(sim, SystemClass.S1, servers)
+    servers[2].mark_compromised()
+    assert monitor.is_compromised
+    assert "primary" in monitor.cause
+
+
+def test_s2_server_route():
+    sim = Simulator()
+    servers = make_nodes(sim, 3, "server")
+    proxies = make_nodes(sim, 3, "proxy")
+    monitor = CompromiseMonitor(sim, SystemClass.S2, servers, proxies)
+    proxies[0].mark_compromised()
+    proxies[1].mark_compromised()
+    assert not monitor.is_compromised  # two of three proxies is survivable
+    servers[0].mark_compromised()
+    assert monitor.is_compromised
+    assert "server" in monitor.cause
+
+
+def test_s2_all_proxies_route():
+    sim = Simulator()
+    servers = make_nodes(sim, 3, "server")
+    proxies = make_nodes(sim, 3, "proxy")
+    monitor = CompromiseMonitor(sim, SystemClass.S2, servers, proxies)
+    for proxy in proxies:
+        proxy.mark_compromised()
+    assert monitor.is_compromised
+    assert "all 3 proxies" in monitor.cause
+
+
+def test_steps_survived_floor_convention():
+    """Compromise at t=3.4 with period 1.0 means 3 whole steps elapsed."""
+    sim = Simulator()
+    servers = make_nodes(sim, 3, "server")
+    monitor = CompromiseMonitor(sim, SystemClass.S1, servers, period=1.0)
+    assert monitor.steps_survived is None
+    sim.schedule(3.4, servers[0].mark_compromised)
+    sim.run()
+    assert monitor.compromised_at == 3.4
+    assert monitor.steps_survived == 3
+
+
+def test_stop_on_compromise_halts_simulation():
+    sim = Simulator()
+    servers = make_nodes(sim, 3, "server")
+    CompromiseMonitor(sim, SystemClass.S1, servers, stop_on_compromise=True)
+    fired = []
+    sim.schedule(1.0, servers[0].mark_compromised)
+    sim.schedule(2.0, fired.append, "after")
+    sim.run()
+    assert fired == []
+
+
+def test_monitor_records_node_events_and_first_cause_only():
+    sim = Simulator()
+    servers = make_nodes(sim, 3, "server")
+    monitor = CompromiseMonitor(
+        sim, SystemClass.S1, servers, stop_on_compromise=False
+    )
+    servers[0].mark_compromised()
+    first_time = monitor.compromised_at
+    servers[1].mark_compromised()
+    assert monitor.compromised_at == first_time
+    assert len(monitor.node_compromise_events) == 2

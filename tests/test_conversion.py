@@ -1,0 +1,104 @@
+"""Unit tests for parameter conversions and SO hazard sequences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.conversion import (
+    alpha_from_omega,
+    chi_from_entropy,
+    omega_from_alpha,
+    so_exhaustion_step,
+    so_hazard,
+    so_hazard_sequence,
+    so_survival,
+)
+from repro.errors import ConfigurationError
+
+
+def test_chi_from_entropy():
+    assert chi_from_entropy(16) == 65536
+    with pytest.raises(ConfigurationError):
+        chi_from_entropy(0)
+
+
+def test_alpha_omega_inverse():
+    chi = 65536
+    for alpha in (1e-5, 1e-3, 0.5):
+        assert alpha_from_omega(omega_from_alpha(alpha, chi), chi) == pytest.approx(alpha)
+
+
+def test_alpha_from_omega_caps_at_one():
+    assert alpha_from_omega(1e9, 1024) == 1.0
+
+
+def test_conversion_validation():
+    with pytest.raises(ConfigurationError):
+        alpha_from_omega(-1, 1024)
+    with pytest.raises(ConfigurationError):
+        omega_from_alpha(2.0, 1024)
+    with pytest.raises(ConfigurationError):
+        alpha_from_omega(1.0, 1)
+
+
+def test_so_hazard_first_step_is_alpha():
+    assert so_hazard(0.01, 1) == pytest.approx(0.01)
+
+
+def test_so_hazard_matches_pool_shrinkage_closed_form():
+    """α_i = α / (1 − (i−1)α): the paper's χ/(χ−iω) structure."""
+    alpha = 0.01
+    for i in (1, 5, 50):
+        assert so_hazard(alpha, i) == pytest.approx(alpha / (1 - (i - 1) * alpha))
+
+
+def test_so_hazard_increases_and_caps_at_one():
+    alpha = 0.2
+    hazards = [so_hazard(alpha, i) for i in range(1, 8)]
+    assert hazards == sorted(hazards)
+    assert hazards[-1] == 1.0
+
+
+def test_so_hazard_sequence_matches_closed_form():
+    alpha = 0.05
+    sequence = list(so_hazard_sequence(alpha, 10))
+    expected = [so_hazard(alpha, i) for i in range(1, 11)]
+    assert sequence == pytest.approx(expected)
+
+
+def test_so_hazard_recurrence_identity():
+    """1/α_i = 1/α_{i-1} − 1 (sampling without replacement)."""
+    alpha = 0.02
+    for i in range(2, 20):
+        assert 1 / so_hazard(alpha, i) == pytest.approx(1 / so_hazard(alpha, i - 1) - 1)
+
+
+def test_so_survival_is_linear():
+    assert so_survival(0.1, 0) == 1.0
+    assert so_survival(0.1, 5) == pytest.approx(0.5)
+    assert so_survival(0.1, 10) == 0.0
+    assert so_survival(0.1, 15) == 0.0
+
+
+def test_survival_consistent_with_hazards():
+    """Π(1 − α_i) over i = 1..t must equal the linear survival 1 − tα."""
+    alpha = 0.04
+    product = 1.0
+    for t in range(1, 20):
+        product *= 1.0 - so_hazard(alpha, t)
+        assert product == pytest.approx(so_survival(alpha, t), abs=1e-12)
+
+
+def test_so_exhaustion_step():
+    assert so_exhaustion_step(0.1) == 10
+    assert so_exhaustion_step(0.3) == 4  # ceil(1/0.3)
+    assert so_exhaustion_step(1.0) == 1
+
+
+def test_validation_of_hazard_functions():
+    with pytest.raises(ConfigurationError):
+        so_hazard(0.0, 1)
+    with pytest.raises(ConfigurationError):
+        so_hazard(0.5, 0)
+    with pytest.raises(ConfigurationError):
+        so_survival(0.5, -1)

@@ -1,0 +1,132 @@
+"""Unit tests for the simulated PKI, signatures and over-signing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.crypto.signatures import Signed, SignatureAuthority, canonical_bytes
+from repro.errors import CryptoError
+
+
+@pytest.fixture
+def authority():
+    return SignatureAuthority(random.Random(11))
+
+
+def test_keypair_generation_distinct(authority):
+    a = authority.issue_keypair("alice")
+    b = authority.issue_keypair("bob")
+    assert a.public != b.public
+    assert a.private != b.private
+
+
+def test_sign_and_verify_roundtrip(authority):
+    authority.issue_keypair("server-0")
+    signed = authority.sign("server-0", {"response": {"ok": True}, "index": 0})
+    assert authority.verify(signed)
+
+
+def test_tampered_payload_fails_verification(authority):
+    authority.issue_keypair("server-0")
+    signed = authority.sign("server-0", {"value": 1})
+    forged = Signed(payload={"value": 2}, signer="server-0", signature=signed.signature)
+    assert not authority.verify(forged)
+
+
+def test_wrong_signer_fails_verification(authority):
+    authority.issue_keypair("server-0")
+    authority.issue_keypair("server-1")
+    signed = authority.sign("server-0", {"v": 1})
+    forged = Signed(payload={"v": 1}, signer="server-1", signature=signed.signature)
+    assert not authority.verify(forged)
+
+
+def test_unknown_signer_fails_verification(authority):
+    assert not authority.verify(Signed(payload=1, signer="ghost", signature="x"))
+
+
+def test_stolen_private_key_signs_as_victim(authority):
+    """Compromise semantics: with the victim's private key an attacker
+    forges valid signatures (and with any other key he cannot)."""
+    authority.issue_keypair("proxy-0")
+    stolen = authority.private_key_of("proxy-0")
+    forged = authority.sign("proxy-0", {"evil": True}, private=stolen)
+    assert authority.verify(forged)
+    not_stolen = authority.issue_keypair("attacker").private
+    bad = authority.sign("proxy-0", {"evil": True}, private=not_stolen)
+    assert not authority.verify(bad)
+
+
+def test_reissue_invalidates_old_signatures(authority):
+    authority.issue_keypair("node")
+    old = authority.sign("node", {"v": 1})
+    authority.issue_keypair("node")  # re-provision on reboot
+    assert not authority.verify(old)
+    fresh = authority.sign("node", {"v": 1})
+    assert authority.verify(fresh)
+
+
+def test_oversigning_roundtrip(authority):
+    """FORTRESS double signatures: server inner, proxy outer."""
+    authority.issue_keypair("server-1")
+    authority.issue_keypair("proxy-2")
+    inner = authority.sign("server-1", {"request_id": "r1", "response": {"ok": True}})
+    envelope = authority.sign("proxy-2", inner)
+    assert authority.verify_oversigned(envelope)
+
+
+def test_oversigned_rejects_bad_inner(authority):
+    authority.issue_keypair("server-1")
+    authority.issue_keypair("proxy-2")
+    bad_inner = Signed(payload={"r": 1}, signer="server-1", signature="bogus")
+    envelope = authority.sign("proxy-2", bad_inner)
+    assert authority.verify(envelope)  # outer layer alone is fine
+    assert not authority.verify_oversigned(envelope)
+
+
+def test_oversigned_rejects_non_nested_payload(authority):
+    authority.issue_keypair("proxy-2")
+    envelope = authority.sign("proxy-2", {"plain": True})
+    assert not authority.verify_oversigned(envelope)
+
+
+def test_public_private_lookup_errors(authority):
+    with pytest.raises(CryptoError):
+        authority.public_key_of("ghost")
+    with pytest.raises(CryptoError):
+        authority.private_key_of("ghost")
+
+
+def test_canonical_bytes_dict_order_independent():
+    assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+
+def test_canonical_bytes_type_sensitive():
+    assert canonical_bytes(1) != canonical_bytes("1")
+    assert canonical_bytes(True) != canonical_bytes(1)
+
+
+def test_canonical_bytes_list_tuple_equivalent():
+    assert canonical_bytes([1, 2]) == canonical_bytes((1, 2))
+
+
+def test_canonical_bytes_rejects_unknown_types():
+    with pytest.raises(CryptoError):
+        canonical_bytes(object())
+
+
+def test_canonical_bytes_handles_nested_signed(authority):
+    authority.issue_keypair("s")
+    inner = authority.sign("s", {"v": 1})
+    assert canonical_bytes(inner) == canonical_bytes(
+        Signed(payload={"v": 1}, signer="s", signature=inner.signature)
+    )
+
+
+def test_generate_keypair_deterministic():
+    a = generate_keypair("n", random.Random(5))
+    b = generate_keypair("n", random.Random(5))
+    assert a == b

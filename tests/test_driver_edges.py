@@ -1,0 +1,143 @@
+"""Edge-case tests for probe drivers and the indirect prober."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacker.agent import AttackerProcess
+from repro.attacker.driver import IndirectProber, ProbeDriver
+from repro.errors import ConfigurationError
+from repro.net.latency import FixedLatency
+from repro.net.network import Network
+from repro.randomization.keyspace import KeySpace
+from repro.randomization.node import RandomizedProcess
+from repro.sim.engine import Simulator
+
+
+def make_arena(entropy=4, omega=4.0):
+    sim = Simulator(seed=8)
+    network = Network(sim, latency=FixedLatency(0.0005))
+    attacker = AttackerProcess(sim, network, KeySpace(entropy), omega=omega)
+    network.register(attacker)
+    return sim, network, attacker
+
+
+def test_driver_rejects_nonpositive_interval():
+    sim, network, attacker = make_arena()
+    with pytest.raises(ConfigurationError):
+        ProbeDriver(attacker, "t", attacker.pool("t"), interval=0.0)
+
+
+def test_indirect_prober_validation():
+    sim, network, attacker = make_arena()
+    with pytest.raises(ConfigurationError):
+        IndirectProber(attacker, [], attacker.pool("x"), interval=1.0)
+    with pytest.raises(ConfigurationError):
+        IndirectProber(attacker, ["p"], attacker.pool("x"), interval=0.0)
+
+
+def test_driver_stop_closes_connection_and_halts():
+    sim, network, attacker = make_arena(entropy=10)
+    target = RandomizedProcess(
+        sim, "victim", KeySpace(10), random.Random(2), respawn_delay=0.01
+    )
+    network.register(target)
+    driver = attacker.attack_direct(target)
+    sim.run(until=1.0)
+    assert driver.probes_sent > 0
+    driver.stop()
+    count = driver.probes_sent
+    sim.run(until=3.0)
+    assert driver.probes_sent == count
+    assert driver.connection is None
+
+
+def test_driver_start_is_idempotent():
+    sim, network, attacker = make_arena(entropy=10)
+    target = RandomizedProcess(
+        sim, "victim", KeySpace(10), random.Random(2), respawn_delay=0.01
+    )
+    network.register(target)
+    driver = attacker.attack_direct(target)
+    driver.start()  # second start must not double the probe rate
+    sim.run(until=2.0)
+    # omega=4 -> ~8 probes in 2 units (one loop, not two).
+    assert driver.probes_sent <= 10
+
+
+def test_driver_deactivates_on_pool_exhaustion_without_success():
+    """If the pool drains with no key found (the target's key changed
+    under the attacker's feet), the driver stops rather than erroring."""
+    sim, network, attacker = make_arena(entropy=3, omega=8.0)  # 8 keys
+    target = RandomizedProcess(
+        sim, "victim", KeySpace(3), random.Random(3), key=0, respawn_delay=0.01
+    )
+    network.register(target)
+    driver = attacker.attack_direct(target)
+    # Sabotage: move the key outside anything the attacker will guess...
+    # impossible in-range, so instead exhaust the pool against a target
+    # that re-randomizes without the attacker resetting (SO-believing
+    # attacker vs actually-PO defender).
+    seen = []
+
+    def rotate_key():
+        target.address_space.set_key((target.address_space.key + 1) % 8)
+        seen.append(target.address_space.key)
+        sim.schedule(0.11, rotate_key)
+
+    sim.schedule(0.11, rotate_key)
+    sim.run(until=5.0)
+    if not target.compromised:
+        assert not driver.active  # pool exhausted, driver retired
+    assert attacker.pool("victim").tried_count <= 8
+
+
+def test_indirect_prober_rotates_proxies_evenly():
+    sim, network, attacker = make_arena(entropy=12, omega=8.0)
+    from repro.sim.process import SimProcess
+
+    class CountingProxy(SimProcess):
+        def __init__(self, name):
+            super().__init__(sim, name, respawn_delay=None)
+            self.requests = 0
+
+        def handle_message(self, message):
+            self.requests += 1
+
+    proxies = [CountingProxy(f"proxy-{i}") for i in range(3)]
+    for proxy in proxies:
+        network.register(proxy)
+    prober = IndirectProber(
+        attacker, [p.name for p in proxies], attacker.pool("srv"), interval=0.1
+    )
+    prober.start()
+    sim.run(until=6.0)
+    counts = [p.requests for p in proxies]
+    # The last probe may still be in flight at the horizon.
+    assert prober.probes_sent - 1 <= sum(counts) <= prober.probes_sent
+    assert max(counts) - min(counts) <= 1  # perfectly round-robin
+
+
+def test_indirect_prober_spoofed_identities_cycle():
+    sim, network, attacker = make_arena(entropy=12, omega=8.0)
+    from repro.sim.process import SimProcess
+
+    class Collector(SimProcess):
+        def __init__(self):
+            super().__init__(sim, "proxy-0", respawn_delay=None)
+            self.clients = set()
+
+        def handle_message(self, message):
+            self.clients.add(message.payload["client"])
+
+    proxy = Collector()
+    network.register(proxy)
+    prober = IndirectProber(
+        attacker, ["proxy-0"], attacker.pool("srv"), interval=0.1, identities=3
+    )
+    prober.start()
+    sim.run(until=2.0)
+    assert len(proxy.clients) == 3
+    assert all(c.startswith("attacker~") for c in proxy.clients)

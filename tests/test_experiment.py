@@ -1,0 +1,66 @@
+"""Tests for the protocol-level lifetime experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import (
+    LifetimeOutcome,
+    estimate_protocol_lifetime,
+    run_protocol_lifetime,
+)
+from repro.core.specs import s0, s1, s2
+from repro.randomization.obfuscation import Scheme
+
+
+def test_s1_so_guaranteed_compromise_within_exhaustion():
+    """SO + small key space: the attack must succeed within χ/ω steps."""
+    spec = s1(Scheme.SO, alpha=0.1, entropy_bits=6)  # 64 keys, 6.4 probes/step
+    outcome = run_protocol_lifetime(spec, seed=1, max_steps=60)
+    assert outcome.compromised
+    assert outcome.steps <= 15  # exhaustion bound 1/alpha = 10, plus slack
+    assert outcome.cause is not None
+
+
+def test_censoring_when_attack_too_weak():
+    spec = s1(Scheme.PO, alpha=0.0001, entropy_bits=16)
+    outcome = run_protocol_lifetime(spec, seed=2, max_steps=5)
+    assert not outcome.compromised
+    assert outcome.steps == 5
+    assert outcome.cause is None
+
+
+def test_outcome_records_attacker_effort():
+    spec = s1(Scheme.SO, alpha=0.1, entropy_bits=6)
+    outcome = run_protocol_lifetime(spec, seed=3, max_steps=60)
+    assert outcome.probes_direct > 0
+    assert outcome.probes_indirect == 0  # no proxies in S1
+
+
+def test_s2_uses_indirect_probes():
+    spec = s2(Scheme.SO, alpha=0.2, kappa=0.5, entropy_bits=6)
+    outcome = run_protocol_lifetime(spec, seed=4, max_steps=80)
+    assert outcome.probes_indirect > 0
+
+
+def test_reproducible_given_seed():
+    spec = s1(Scheme.SO, alpha=0.1, entropy_bits=6)
+    a = run_protocol_lifetime(spec, seed=7, max_steps=60)
+    b = run_protocol_lifetime(spec, seed=7, max_steps=60)
+    assert a.steps == b.steps
+    assert a.probes_direct == b.probes_direct
+
+
+def test_estimate_aggregates_and_counts_censoring():
+    spec = s1(Scheme.SO, alpha=0.2, entropy_bits=6)
+    estimate = estimate_protocol_lifetime(spec, trials=5, max_steps=40, seed0=10)
+    assert estimate.stats.n == 5
+    assert len(estimate.outcomes) == 5
+    assert estimate.censored == sum(1 for o in estimate.outcomes if not o.compromised)
+    assert 0 <= estimate.mean_steps <= 40
+
+
+def test_workload_coexists_with_attack():
+    spec = s1(Scheme.SO, alpha=0.05, entropy_bits=8)
+    outcome = run_protocol_lifetime(spec, seed=5, max_steps=30, with_workload=True)
+    assert isinstance(outcome, LifetimeOutcome)

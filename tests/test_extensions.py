@@ -1,0 +1,143 @@
+"""Tests for the extension features: staggered recovery, the
+fortified-SMR analytic model, and lifetime variance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.lifetimes import (
+    el_s0_po,
+    el_s2_po,
+    el_s2_smr_po,
+    per_step_compromise_s2_smr_po,
+)
+from repro.analysis.markov import geometric_chain
+from repro.core.builders import add_clients, build_system
+from repro.core.specs import s0, s2
+from repro.errors import AnalysisError
+from repro.mc.models import model_for
+from repro.core.specs import s1
+from repro.randomization.obfuscation import Scheme
+
+
+# ----------------------------------------------------------------------
+# Staggered batched recovery (Roeder-Schneider, §2.3)
+# ----------------------------------------------------------------------
+def test_staggered_recovery_spreads_refreshes():
+    deployed = build_system(
+        s0(Scheme.SO, alpha=1e-4, entropy_bits=8),
+        seed=81,
+        stagger_recovery=True,
+        reboot_duration=0.1,
+    )
+    offsets = sorted(group.offset for group in deployed.obfuscation._groups)
+    assert offsets == [0.0, 0.25, 0.5, 0.75]
+
+
+def test_staggered_recovery_keeps_quorum_up():
+    """With staggering and a 0.1-step reboot, at most one replica is
+    ever down, so clients never see a stall across refreshes."""
+    deployed = build_system(
+        s0(Scheme.SO, alpha=1e-4, entropy_bits=8),
+        seed=82,
+        stagger_recovery=True,
+        reboot_duration=0.1,
+    )
+    clients = add_clients(deployed, 1)
+    down_samples = []
+
+    def sample():
+        down_samples.append(
+            sum(1 for s in deployed.servers if not s.is_available)
+        )
+        deployed.sim.schedule(0.05, sample)
+
+    deployed.sim.schedule(0.05, sample)
+    deployed.start()
+    deployed.sim.run(until=10.0)
+    assert max(down_samples) <= 1  # batches of one, never overlapping
+    assert clients[0].responses_ok > 50
+    assert clients[0].failures == 0
+
+
+def test_unstaggered_refresh_takes_whole_tier_down_at_once():
+    deployed = build_system(
+        s0(Scheme.SO, alpha=1e-4, entropy_bits=8),
+        seed=83,
+        stagger_recovery=False,
+        reboot_duration=0.1,
+    )
+    down_at_boundary = []
+
+    def sample():
+        down_at_boundary.append(
+            sum(1 for s in deployed.servers if not s.is_available)
+        )
+
+    deployed.sim.schedule(1.05, sample)  # mid-reboot after the epoch
+    deployed.start()
+    deployed.sim.run(until=2.0)
+    assert down_at_boundary == [4]
+
+
+# ----------------------------------------------------------------------
+# Fortified-SMR analytic model
+# ----------------------------------------------------------------------
+def test_s2_smr_q_scales_as_kappa_alpha_squared():
+    alpha, kappa = 1e-4, 0.5
+    q = per_step_compromise_s2_smr_po(alpha, kappa)
+    expected = 6 * (kappa * alpha) ** 2 + alpha**3
+    assert q == pytest.approx(expected, rel=0.01)
+
+
+def test_s2_smr_dominates_s2_pb_everywhere():
+    for alpha in (1e-4, 1e-3, 1e-2):
+        for kappa in (0.1, 0.5, 1.0):
+            assert el_s2_smr_po(alpha, kappa) > el_s2_po(alpha, kappa)
+
+
+def test_s2_smr_vs_unfortified_s0():
+    """Fortification composes multiplicatively: the fortified SMR tier
+    beats plain S0PO by ~1/κ² whenever κ < 1."""
+    alpha = 1e-3
+    assert el_s2_smr_po(alpha, 0.5) > el_s0_po(alpha)
+    ratio = el_s2_smr_po(alpha, 0.1) / el_s0_po(alpha)
+    assert ratio == pytest.approx(1.0 / 0.1**2, rel=0.2)
+
+
+def test_s2_smr_kappa_one_approaches_s0():
+    """With κ = 1 the proxies add no pacing; the server route equals
+    S0PO's and only the (tiny) all-proxies route differs."""
+    alpha = 1e-3
+    assert el_s2_smr_po(alpha, 1.0) == pytest.approx(el_s0_po(alpha), rel=0.01)
+
+
+def test_s2_smr_validation():
+    with pytest.raises(AnalysisError):
+        per_step_compromise_s2_smr_po(0.0, 0.5)
+    with pytest.raises(AnalysisError):
+        per_step_compromise_s2_smr_po(1e-3, 1.5)
+
+
+# ----------------------------------------------------------------------
+# Lifetime variance (AMC vs Monte-Carlo)
+# ----------------------------------------------------------------------
+def test_po_lifetime_variance_matches_geometric():
+    spec = s1(Scheme.PO, alpha=0.02)
+    chain = geometric_chain(0.02)
+    analytic_var = chain.solve().variance_steps[0]
+    lifetimes = model_for(spec).sample(200_000, np.random.default_rng(5))
+    # Lifetime = steps-to-absorption - 1; shifting doesn't change variance.
+    assert lifetimes.var() == pytest.approx(analytic_var, rel=0.05)
+
+
+def test_so_lifetime_variance_below_po():
+    """Without replacement the lifetime is (near) uniform, with far less
+    spread than the PO geometric at the same mean."""
+    rng = np.random.default_rng(6)
+    so = model_for(s1(Scheme.SO, alpha=0.01)).sample(100_000, rng)
+    po = model_for(s1(Scheme.PO, alpha=0.01)).sample(100_000, rng)
+    assert so.var() < po.var() / 5
+    # Uniform-on-[0, 1/alpha] variance: (1/alpha)^2 / 12.
+    assert so.var() == pytest.approx((1 / 0.01) ** 2 / 12, rel=0.05)

@@ -1,0 +1,150 @@
+"""Unit tests for the fault-injection substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import (
+    CrashFault,
+    FaultInjector,
+    MessageLossFault,
+    PartitionFault,
+)
+from repro.faults.plans import (
+    crash_storm,
+    lossy_window,
+    partition_schedule,
+    rolling_outages,
+)
+from repro.net.latency import FixedLatency
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.process import ProcessState, SimProcess
+
+
+def make_arena():
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=FixedLatency(0.001))
+    a = SimProcess(sim, "a", respawn_delay=0.05)
+    b = SimProcess(sim, "b", respawn_delay=0.05)
+    net.register(a)
+    net.register(b)
+    return sim, net, a, b
+
+
+def test_transient_crash_respawned_by_daemon():
+    sim, net, a, b = make_arena()
+    injector = FaultInjector(sim, net)
+    injector.schedule(CrashFault(time=1.0, target="a"))
+    sim.run(until=0.9)
+    assert a.state is ProcessState.RUNNING
+    sim.run(until=1.01)
+    assert a.state is ProcessState.CRASHED
+    sim.run(until=1.2)
+    assert a.state is ProcessState.RUNNING
+    assert len(injector.applied) == 1
+
+
+def test_outage_suppresses_daemon_until_revive():
+    sim, net, a, b = make_arena()
+    injector = FaultInjector(sim, net)
+    injector.schedule(CrashFault(time=1.0, target="a", down_for=2.0))
+    sim.run(until=2.5)
+    assert a.state is ProcessState.CRASHED  # daemon suppressed
+    sim.run(until=3.1)
+    assert a.state is ProcessState.RUNNING
+    assert a.respawn_delay == 0.05  # restored for later crashes
+
+
+def test_partition_applies_and_heals():
+    sim, net, a, b = make_arena()
+    injector = FaultInjector(sim, net)
+    injector.schedule(PartitionFault(time=1.0, a="a", b="b", heal_after=1.0))
+    sim.run(until=1.5)
+    assert net.is_blocked("a", "b")
+    sim.run(until=2.5)
+    assert not net.is_blocked("a", "b")
+
+
+def test_loss_window_restores_rate():
+    sim, net, a, b = make_arena()
+    injector = FaultInjector(sim, net)
+    injector.schedule(MessageLossFault(time=1.0, rate=0.9, duration=1.0))
+    sim.run(until=1.5)
+    assert net.drop_rate == 0.9
+    sim.run(until=2.5)
+    assert net.drop_rate == 0.0
+
+
+def test_past_fault_rejected():
+    sim, net, a, b = make_arena()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    injector = FaultInjector(sim, net)
+    with pytest.raises(ConfigurationError):
+        injector.schedule(CrashFault(time=1.0, target="a"))
+
+
+def test_invalid_loss_rate_rejected_at_apply():
+    sim, net, a, b = make_arena()
+    injector = FaultInjector(sim, net)
+    injector.schedule(MessageLossFault(time=1.0, rate=1.0, duration=1.0))
+    with pytest.raises(ConfigurationError):
+        sim.run(until=1.5)
+
+
+# ----------------------------------------------------------------------
+# Plan generators
+# ----------------------------------------------------------------------
+def test_crash_storm_reproducible_and_bounded():
+    plan_a = crash_storm(random.Random(5), ["x", "y"], horizon=20.0, rate=1.0)
+    plan_b = crash_storm(random.Random(5), ["x", "y"], horizon=20.0, rate=1.0)
+    assert plan_a == plan_b
+    assert plan_a  # a rate-1 storm over 20 units produces events
+    assert all(0.5 <= f.time < 20.0 for f in plan_a)
+    assert all(f.target in ("x", "y") for f in plan_a)
+
+
+def test_crash_storm_mixes_outages():
+    plan = crash_storm(
+        random.Random(7), ["x"], horizon=100.0, rate=2.0, outage_probability=0.5
+    )
+    kinds = {f.down_for is None for f in plan}
+    assert kinds == {True, False}
+
+
+def test_rolling_outages_never_overlap():
+    plan = rolling_outages(["a", "b", "c"], period=1.0, down_for=0.4, rounds=6)
+    assert len(plan) == 6
+    assert [f.target for f in plan] == ["a", "b", "c", "a", "b", "c"]
+    for first, second in zip(plan, plan[1:]):
+        assert first.time + first.down_for < second.time
+
+
+def test_rolling_outages_rejects_overlap():
+    with pytest.raises(ConfigurationError):
+        rolling_outages(["a"], period=1.0, down_for=1.0, rounds=2)
+
+
+def test_partition_schedule_pairs_and_heals():
+    plan = partition_schedule(
+        random.Random(9), [("a", "b"), ("b", "c")], horizon=30.0, rate=0.5
+    )
+    assert plan
+    assert all(0.2 <= f.heal_after <= 0.8 for f in plan)
+
+
+def test_lossy_window_shape():
+    (fault,) = lossy_window(time=2.0, rate=0.3, duration=1.5)
+    assert fault == MessageLossFault(time=2.0, rate=0.3, duration=1.5)
+
+
+def test_empty_targets_rejected():
+    with pytest.raises(ConfigurationError):
+        crash_storm(random.Random(1), [], horizon=10.0)
+    with pytest.raises(ConfigurationError):
+        partition_schedule(random.Random(1), [], horizon=10.0)

@@ -1,0 +1,129 @@
+"""Tests for the fortified-SMR variant: FORTRESS over an SMR tier.
+
+The paper's architecture (§3) explicitly allows *any* replication behind
+the proxies ("if replicated, it can be by PB or SMR"); the evaluation
+only exercises the PB tier.  These tests deploy FORTRESS over a
+4-replica SMR tier and verify the whole pipeline: proxy f+1 response
+voting, over-signing, fortification ACLs, the tier's intrusion
+tolerance, and the generalized compromise predicate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builders import add_clients, attach_attacker, build_system
+from repro.core.specs import s2
+from repro.errors import ConfigurationError
+from repro.randomization.obfuscation import Scheme
+from repro.replication.smr import SMRReplica
+
+
+def build_fortified_smr(seed=61, alpha=1e-4, **kwargs):
+    spec = s2(Scheme.PO, alpha=alpha, kappa=0.5, entropy_bits=8, n_servers=4)
+    return build_system(spec, seed=seed, s2_server_tier="smr", **kwargs)
+
+
+def test_tier_shape_and_diverse_randomization():
+    deployed = build_fortified_smr()
+    assert len(deployed.servers) == 4
+    assert all(isinstance(s, SMRReplica) for s in deployed.servers)
+    keys = {s.address_space.key for s in deployed.servers}
+    assert len(keys) == 4  # diverse, unlike the PB tier
+    # Proxies vote f+1 before over-signing.
+    assert all(p.server_replication == "smr" for p in deployed.proxies)
+    assert all(p.fault_threshold == 1 for p in deployed.proxies)
+    assert deployed.nameserver.directory.replication == "smr"
+    assert deployed.nameserver.directory.fault_threshold == 1
+
+
+def test_needs_enough_replicas():
+    spec = s2(Scheme.PO, alpha=1e-4, entropy_bits=8)  # n_servers = 3
+    with pytest.raises(ConfigurationError):
+        build_system(spec, s2_server_tier="smr")
+
+
+def test_unknown_tier_rejected():
+    spec = s2(Scheme.PO, alpha=1e-4, entropy_bits=8)
+    with pytest.raises(ConfigurationError):
+        build_system(spec, s2_server_tier="chain-replication")
+
+
+def test_end_to_end_service_through_proxies():
+    deployed = build_fortified_smr()
+    clients = add_clients(deployed, 1)
+    deployed.start()
+    deployed.sim.run(until=10.0)
+    assert clients[0].responses_ok > 30
+    assert clients[0].failures == 0
+    digests = {s.service.digest() for s in deployed.servers}
+    assert len(digests) == 1
+
+
+def test_fortification_acls_protect_replicas():
+    deployed = build_fortified_smr()
+    attacker = attach_attacker(deployed)
+    assert deployed.network.connect(attacker.name, "replica-0") is None
+    # And the launch pad is not armed against a diverse SMR tier.
+    assert attacker._launchpad_servers == []
+
+
+def test_one_compromised_replica_is_masked():
+    """The fortified SMR tier tolerates f=1 intrusions: the system is
+    not compromised and clients never accept the corrupted response."""
+    deployed = build_fortified_smr()
+    clients = add_clients(deployed, 1)
+    deployed.start()
+    deployed.sim.run(until=2.0)
+    deployed.servers[1].mark_compromised()
+    deployed.sim.run(until=3.0)  # within one epoch of the compromise
+    assert not deployed.monitor.is_compromised
+    deployed.sim.run(until=8.0)
+    assert clients[0].responses_corrupted == 0
+    assert clients[0].responses_ok > 20
+
+
+def test_two_compromised_replicas_break_the_system():
+    deployed = build_fortified_smr()
+    deployed.start()
+    deployed.sim.run(until=1.2)
+    deployed.servers[0].mark_compromised()
+    deployed.servers[2].mark_compromised()
+    assert deployed.monitor.is_compromised
+    assert "2 fortified SMR replicas" in deployed.monitor.cause
+
+
+def test_probe_request_through_proxies_hits_all_replicas():
+    """An indirect probe is ordered and executed by every replica; with
+    diverse keys it crashes the non-matching ones only."""
+    deployed = build_fortified_smr(stop_on_compromise=False)
+    from repro.net.message import Message
+    from repro.proxy.proxy import CLIENT_REQUEST
+    from repro.replication.primary_backup import PROBE_OP
+
+    deployed.start()
+    target = deployed.servers[2]
+    guess = target.address_space.key
+    others = [s for s in deployed.servers if s is not target]
+    assert all(s.address_space.key != guess for s in others)
+    attacker_like = add_clients(deployed, 1)[0]  # any registered sender works
+    deployed.network.send(
+        Message(
+            attacker_like.name,
+            "proxy-0",
+            CLIENT_REQUEST,
+            {
+                "request_id": "probe-x",
+                "client": attacker_like.name,
+                "body": {"op": PROBE_OP, "guess": guess},
+            },
+        )
+    )
+    # Check before the first PO epoch (t=1.0) would cleanse the flag.
+    deployed.sim.run(until=0.5)
+    assert target.compromised
+    assert all(s.crash_count >= 1 for s in others)
+    # One intrusion < f+1: the system survives.
+    assert not deployed.monitor.is_compromised
+    deployed.sim.run(until=1.5)
+    assert not target.compromised  # re-randomization cleansed it

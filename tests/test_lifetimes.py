@@ -1,0 +1,207 @@
+"""Unit tests for the analytic expected-lifetime formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.lifetimes import (
+    el_from_per_step,
+    el_s0_po,
+    el_s0_so,
+    el_s1_po,
+    el_s1_so,
+    el_s2_po,
+    expected_lifetime,
+    per_step_compromise,
+    per_step_compromise_s0_po,
+    per_step_compromise_s1_po,
+    per_step_compromise_s2_po,
+    survival_curve,
+)
+from repro.analysis.markov import geometric_chain
+from repro.core.specs import s0, s1, s2
+from repro.errors import AnalysisError
+from repro.randomization.obfuscation import Scheme
+
+
+# ----------------------------------------------------------------------
+# Per-step probabilities
+# ----------------------------------------------------------------------
+def test_s0_po_per_step_binomial_tail():
+    alpha = 0.01
+    expected = 1 - (1 - alpha) ** 4 - 4 * alpha * (1 - alpha) ** 3
+    assert per_step_compromise_s0_po(alpha) == pytest.approx(expected)
+
+
+def test_s0_po_small_alpha_approx_6_alpha_squared():
+    alpha = 1e-4
+    assert per_step_compromise_s0_po(alpha) == pytest.approx(6 * alpha**2, rel=0.01)
+
+
+def test_s1_po_per_step_is_alpha():
+    assert per_step_compromise_s1_po(0.005) == 0.005
+
+
+def test_s2_po_kappa_zero_only_proxy_routes():
+    """With κ=0 and λ=0 the only compromise route is all proxies at once."""
+    alpha = 0.1
+    q = per_step_compromise_s2_po(alpha, kappa=0.0, launchpad_fraction=0.0)
+    assert q == pytest.approx(alpha**3)
+
+
+def test_s2_po_small_alpha_dominated_by_kappa_alpha():
+    alpha, kappa = 1e-4, 0.5
+    q = per_step_compromise_s2_po(alpha, kappa)
+    assert q == pytest.approx(kappa * alpha, rel=0.01)
+
+
+def test_s2_po_monotone_in_kappa_and_lambda():
+    alpha = 0.01
+    qs = [per_step_compromise_s2_po(alpha, k) for k in (0.0, 0.3, 0.6, 1.0)]
+    assert qs == sorted(qs)
+    ls = [
+        per_step_compromise_s2_po(alpha, 0.5, launchpad_fraction=l)
+        for l in (0.0, 0.5, 1.0)
+    ]
+    assert ls == sorted(ls)
+
+
+def test_s2_po_per_proxy_launchpad_is_stronger():
+    alpha = 0.05
+    single = per_step_compromise_s2_po(alpha, 0.5, per_proxy_launchpad=False)
+    per_proxy = per_step_compromise_s2_po(alpha, 0.5, per_proxy_launchpad=True)
+    assert per_proxy > single
+
+
+def test_s2_po_decomposition_exact():
+    """Cross-check the closed form against brute-force enumeration."""
+    alpha, kappa, lam, n = 0.07, 0.4, 0.8, 3
+    survive = 0.0
+    for b in range(n):
+        p_b = math.comb(n, b) * alpha**b * (1 - alpha) ** (n - b)
+        lp = 1.0 if b == 0 else (1 - lam * alpha)
+        survive += p_b * lp
+    survive *= 1 - kappa * alpha
+    assert per_step_compromise_s2_po(alpha, kappa, lam, n) == pytest.approx(
+        1 - survive
+    )
+
+
+# ----------------------------------------------------------------------
+# Expected lifetimes
+# ----------------------------------------------------------------------
+def test_el_from_per_step_matches_markov_chain():
+    for q in (0.01, 0.1, 0.5):
+        assert el_from_per_step(q) == pytest.approx(
+            geometric_chain(q).expected_lifetime_from(0)
+        )
+
+
+def test_el_s1_po_inverse_alpha():
+    assert el_s1_po(0.001) == pytest.approx(999.0)
+
+
+def test_el_s1_so_half_inverse_alpha():
+    assert el_s1_so(0.001) == pytest.approx(499.5, rel=1e-6)
+
+
+def test_el_s1_so_exact_small_cases():
+    # alpha = 0.5: survive step 1 w.p. 0.5, dead by step 2. EL = 0.5.
+    assert el_s1_so(0.5) == pytest.approx(0.5)
+    assert el_s1_so(1.0) == pytest.approx(0.0)
+
+
+def test_el_s0_so_two_fifths_inverse_alpha():
+    """The 2nd order statistic of 4 uniforms: EL ≈ 0.4/α."""
+    alpha = 1e-3
+    assert el_s0_so(alpha) == pytest.approx(0.4 / alpha, rel=0.01)
+
+
+def test_el_s0_so_brute_force_small_alpha():
+    """Check the vectorized sum against a plain-Python loop."""
+    alpha, n, f = 0.2, 4, 1
+    total = 0.0
+    for t in range(1, 6):
+        p = min(1.0, t * alpha)
+        total += (1 - p) ** 4 + 4 * p * (1 - p) ** 3
+    assert el_s0_so(alpha) == pytest.approx(total)
+
+
+def test_el_s2_po_interpolates_kappa():
+    alpha = 1e-3
+    low = el_s2_po(alpha, 0.0)
+    mid = el_s2_po(alpha, 0.5)
+    high = el_s2_po(alpha, 1.0)
+    assert low > mid > high
+
+
+def test_expected_lifetime_dispatcher_po():
+    assert expected_lifetime(s0(Scheme.PO, alpha=1e-3)) == pytest.approx(
+        el_s0_po(1e-3)
+    )
+    assert expected_lifetime(s1(Scheme.PO, alpha=1e-3)) == pytest.approx(999.0)
+    spec = s2(Scheme.PO, alpha=1e-3, kappa=0.25)
+    assert expected_lifetime(spec) == pytest.approx(el_s2_po(1e-3, 0.25))
+
+
+def test_expected_lifetime_dispatcher_so():
+    assert expected_lifetime(s1(Scheme.SO, alpha=1e-3)) == pytest.approx(499.5)
+    assert expected_lifetime(s0(Scheme.SO, alpha=1e-3)) == pytest.approx(
+        el_s0_so(1e-3)
+    )
+
+
+def test_expected_lifetime_s2_so_uses_numeric_quadrature():
+    from repro.analysis.s2so import el_s2_so_numeric
+
+    spec = s2(Scheme.SO, alpha=1e-2, kappa=0.5)
+    assert expected_lifetime(spec) == pytest.approx(
+        el_s2_so_numeric(1e-2, 0.5)
+    )
+
+
+def test_expected_lifetime_s2_so_raises_when_intractable():
+    with pytest.raises(AnalysisError):
+        expected_lifetime(s2(Scheme.SO, alpha=1e-5))
+
+
+def test_per_step_compromise_requires_po():
+    with pytest.raises(AnalysisError):
+        per_step_compromise(s1(Scheme.SO, alpha=1e-3))
+
+
+# ----------------------------------------------------------------------
+# Survival curves
+# ----------------------------------------------------------------------
+def test_survival_curve_po_geometric():
+    spec = s1(Scheme.PO, alpha=0.1)
+    curve = survival_curve(spec, 4)
+    assert list(curve) == pytest.approx([0.9**t for t in range(1, 5)])
+
+
+def test_survival_curve_s1_so_linear():
+    spec = s1(Scheme.SO, alpha=0.25)
+    assert list(survival_curve(spec, 5)) == pytest.approx([0.75, 0.5, 0.25, 0.0, 0.0])
+
+
+def test_survival_curve_sums_to_el():
+    """EL = Σ_t S(t): the curves and the closed forms must be one story."""
+    spec = s0(Scheme.SO, alpha=0.05)
+    curve = survival_curve(spec, 40)
+    assert curve.sum() == pytest.approx(el_s0_so(0.05))
+
+
+def test_survival_curve_s2_so_unsupported():
+    with pytest.raises(AnalysisError):
+        survival_curve(s2(Scheme.SO, alpha=0.1), 5)
+
+
+def test_alpha_validation():
+    with pytest.raises(AnalysisError):
+        el_s1_po(0.0)
+    with pytest.raises(AnalysisError):
+        el_s0_so(1.0001)
+    with pytest.raises(AnalysisError):
+        el_from_per_step(0.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the absorbing Markov chain solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import AbsorbingMarkovChain, geometric_chain
+from repro.errors import AnalysisError
+
+
+def test_geometric_chain_expected_lifetime():
+    """EL of a memoryless system is (1-q)/q (Definition 7)."""
+    chain = geometric_chain(0.25)
+    assert chain.expected_steps_from(0) == pytest.approx(4.0)
+    assert chain.expected_lifetime_from(0) == pytest.approx(3.0)
+
+
+def test_geometric_chain_certain_compromise():
+    chain = geometric_chain(1.0)
+    assert chain.expected_lifetime_from(0) == pytest.approx(0.0)
+
+
+def test_geometric_chain_validation():
+    with pytest.raises(AnalysisError):
+        geometric_chain(0.0)
+    with pytest.raises(AnalysisError):
+        geometric_chain(1.5)
+
+
+def test_classic_two_state_chain():
+    """Textbook example: random walk with two transient states."""
+    Q = np.array([[0.0, 0.5], [0.5, 0.0]])
+    R = np.array([[0.5, 0.0], [0.0, 0.5]])
+    chain = AbsorbingMarkovChain(Q, R)
+    result = chain.solve()
+    # By symmetry both states take (I-Q)^-1 1 = [2, 2].
+    assert result.expected_steps == pytest.approx([2.0, 2.0])
+    # Absorption probabilities: from state 0, 2/3 into a0, 1/3 into a1.
+    assert result.absorption_probabilities[0] == pytest.approx([2 / 3, 1 / 3])
+
+
+def test_absorption_probabilities_sum_to_one():
+    Q = np.array([[0.1, 0.3], [0.2, 0.4]])
+    R = np.array([[0.4, 0.2], [0.1, 0.3]])
+    chain = AbsorbingMarkovChain(Q, R)
+    B = chain.solve().absorption_probabilities
+    assert B.sum(axis=1) == pytest.approx([1.0, 1.0])
+
+
+def test_variance_of_geometric_matches_closed_form():
+    q = 0.2
+    chain = geometric_chain(q)
+    variance = chain.solve().variance_steps[0]
+    assert variance == pytest.approx((1 - q) / q**2)
+
+
+def test_survival_curve_matches_geometric():
+    chain = geometric_chain(0.3)
+    curve = chain.survival_curve(5)
+    expected = [(0.7) ** t for t in range(1, 6)]
+    assert curve == pytest.approx(expected)
+
+
+def test_expected_steps_by_label():
+    chain = AbsorbingMarkovChain(
+        Q=np.array([[0.5]]),
+        R=np.array([[0.5]]),
+        transient_labels=["alive"],
+        absorbing_labels=["dead"],
+    )
+    assert chain.expected_steps_from("alive") == pytest.approx(2.0)
+    assert chain.absorption_distribution("alive") == {"dead": pytest.approx(1.0)}
+
+
+def test_validation_rejects_bad_matrices():
+    with pytest.raises(AnalysisError):
+        AbsorbingMarkovChain(np.zeros((2, 3)), np.zeros((2, 1)))
+    with pytest.raises(AnalysisError):  # rows don't sum to 1
+        AbsorbingMarkovChain(np.array([[0.5]]), np.array([[0.2]]))
+    with pytest.raises(AnalysisError):  # negative probability
+        AbsorbingMarkovChain(np.array([[1.2]]), np.array([[-0.2]]))
+    with pytest.raises(AnalysisError):  # no absorption at all
+        AbsorbingMarkovChain(np.array([[1.0]]), np.array([[0.0]]))
+
+
+def test_label_count_validation():
+    with pytest.raises(AnalysisError):
+        AbsorbingMarkovChain(
+            np.array([[0.5]]), np.array([[0.5]]), transient_labels=["a", "b"]
+        )
+    with pytest.raises(AnalysisError):
+        AbsorbingMarkovChain(
+            np.array([[0.5]]), np.array([[0.5]]), absorbing_labels=[]
+        )
+
+
+def test_unknown_state_lookup_raises():
+    chain = geometric_chain(0.5)
+    with pytest.raises(AnalysisError):
+        chain.expected_steps_from("ghost")
+    with pytest.raises(AnalysisError):
+        chain.expected_steps_from(3)
+
+
+def test_survival_curve_validation():
+    with pytest.raises(AnalysisError):
+        geometric_chain(0.5).survival_curve(0)
+
+
+def test_fundamental_matrix_cached():
+    chain = geometric_chain(0.5)
+    assert chain.fundamental_matrix is chain.fundamental_matrix

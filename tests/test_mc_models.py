@@ -1,0 +1,166 @@
+"""Unit tests for the Monte-Carlo lifetime samplers.
+
+The central claim checked here: each sampler's mean agrees with the
+corresponding analytic EL (cross-validation between the two independent
+evaluation methods)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.lifetimes import (
+    el_s0_po,
+    el_s0_so,
+    el_s1_po,
+    el_s1_so,
+    el_s2_po,
+)
+from repro.core.specs import s0, s1, s2
+from repro.errors import ConfigurationError
+from repro.mc.models import (
+    S0POModel,
+    S0SOModel,
+    S1POModel,
+    S1SOModel,
+    S2POModel,
+    S2POStepModel,
+    S2SOModel,
+    model_for,
+)
+from repro.mc.montecarlo import run_model
+from repro.randomization.obfuscation import Scheme
+
+TRIALS = 40_000
+
+
+def agrees(model, analytic, seed=0, trials=TRIALS):
+    estimate = run_model(model, trials, seed=seed)
+    halfwidth = max(estimate.stats.ci_halfwidth, 1e-9)
+    return abs(estimate.mean - analytic) <= 4 * halfwidth  # generous 4-sigma
+
+
+# ----------------------------------------------------------------------
+# PO samplers vs closed forms
+# ----------------------------------------------------------------------
+def test_s1_po_sampler_matches_analytic():
+    spec = s1(Scheme.PO, alpha=5e-3)
+    assert agrees(S1POModel(spec), el_s1_po(5e-3))
+
+
+def test_s0_po_sampler_matches_analytic():
+    spec = s0(Scheme.PO, alpha=2e-2)
+    assert agrees(S0POModel(spec), el_s0_po(2e-2))
+
+
+def test_s2_po_sampler_matches_analytic():
+    spec = s2(Scheme.PO, alpha=5e-3, kappa=0.5)
+    assert agrees(S2POModel(spec), el_s2_po(5e-3, 0.5))
+
+
+def test_s2_po_step_model_validates_closed_form():
+    """The step-by-step simulation never uses the closed-form q; its
+    agreement with the formula validates the q derivation itself."""
+    spec = s2(Scheme.PO, alpha=0.05, kappa=0.4)
+    assert agrees(S2POStepModel(spec), el_s2_po(0.05, 0.4), trials=20_000)
+
+
+def test_s2_po_step_model_kappa_zero():
+    spec = s2(Scheme.PO, alpha=0.15, kappa=0.0)
+    assert agrees(S2POStepModel(spec), el_s2_po(0.15, 0.0), trials=20_000)
+
+
+# ----------------------------------------------------------------------
+# SO samplers vs closed forms
+# ----------------------------------------------------------------------
+def test_s1_so_sampler_matches_analytic():
+    spec = s1(Scheme.SO, alpha=2e-3)
+    assert agrees(S1SOModel(spec), el_s1_so(2e-3))
+
+
+def test_s1_so_never_exceeds_exhaustion():
+    spec = s1(Scheme.SO, alpha=0.1)
+    lifetimes = S1SOModel(spec).sample(5000, np.random.default_rng(1))
+    assert lifetimes.max() <= 10  # ceil(1/alpha) steps, minus 1, bounded
+    assert lifetimes.min() >= 0
+
+
+def test_s0_so_sampler_matches_analytic():
+    spec = s0(Scheme.SO, alpha=2e-3)
+    assert agrees(S0SOModel(spec), el_s0_so(2e-3))
+
+
+def test_s0_so_second_order_statistic_shape():
+    """S0SO must fail strictly no later than S1SO's worst case, and its
+    lifetimes sit at the 2nd of 4 key discoveries."""
+    rng = np.random.default_rng(2)
+    spec = s0(Scheme.SO, alpha=0.05)
+    lifetimes = S0SOModel(spec).sample(20_000, rng)
+    # Exact discrete EL at this coarse alpha (the 0.4/alpha continuum
+    # approximation is a few % off here, which el_s0_so captures).
+    assert lifetimes.mean() == pytest.approx(el_s0_so(0.05), rel=0.03)
+
+
+def test_s2_so_sampler_basic_properties():
+    spec = s2(Scheme.SO, alpha=0.01, kappa=0.5)
+    lifetimes = S2SOModel(spec).sample(20_000, np.random.default_rng(3))
+    assert lifetimes.min() >= 0
+    # The server key must be found within the combined-rate exhaustion
+    # horizon: kappa*omega*t (+ omega after first proxy) covers chi by
+    # t ~ 1/(kappa*alpha) at the latest.
+    assert lifetimes.max() <= int(1 / (0.5 * 0.01)) + 1
+
+
+def test_s2_so_kappa_zero_still_terminates():
+    """κ=0: compromise only via launch pad after a proxy key is found,
+    or via all proxy keys — both eventually certain under SO."""
+    spec = s2(Scheme.SO, alpha=0.02, kappa=0.0)
+    lifetimes = S2SOModel(spec).sample(10_000, np.random.default_rng(4))
+    assert lifetimes.max() <= 2 * int(1 / 0.02)
+    assert lifetimes.mean() > 0
+
+
+def test_s2_so_monotone_in_kappa():
+    means = []
+    for kappa in (0.0, 0.5, 1.0):
+        spec = s2(Scheme.SO, alpha=0.01, kappa=kappa)
+        lifetimes = S2SOModel(spec).sample(20_000, np.random.default_rng(5))
+        means.append(lifetimes.mean())
+    assert means[0] > means[1] > means[2]
+
+
+# ----------------------------------------------------------------------
+# Dispatcher and validation
+# ----------------------------------------------------------------------
+def test_model_for_dispatch():
+    assert isinstance(model_for(s0(Scheme.PO, alpha=1e-3)), S0POModel)
+    assert isinstance(model_for(s1(Scheme.PO, alpha=1e-3)), S1POModel)
+    assert isinstance(model_for(s2(Scheme.PO, alpha=1e-3)), S2POModel)
+    assert isinstance(
+        model_for(s2(Scheme.PO, alpha=1e-3), step_level=True), S2POStepModel
+    )
+    assert isinstance(model_for(s0(Scheme.SO, alpha=1e-3)), S0SOModel)
+    assert isinstance(model_for(s1(Scheme.SO, alpha=1e-3)), S1SOModel)
+    assert isinstance(model_for(s2(Scheme.SO, alpha=1e-3)), S2SOModel)
+
+
+def test_models_reject_mismatched_specs():
+    with pytest.raises(ConfigurationError):
+        S1POModel(s1(Scheme.SO, alpha=1e-3))
+    with pytest.raises(ConfigurationError):
+        S1SOModel(s0(Scheme.SO, alpha=1e-3))
+    with pytest.raises(ConfigurationError):
+        S2POStepModel(s2(Scheme.SO, alpha=1e-3))
+
+
+def test_sample_size_validation():
+    model = S1POModel(s1(Scheme.PO, alpha=1e-3))
+    with pytest.raises(ConfigurationError):
+        model.sample(0, np.random.default_rng(0))
+
+
+def test_sampling_reproducible_per_seed():
+    model = S2SOModel(s2(Scheme.SO, alpha=0.01, kappa=0.3))
+    a = model.sample(100, np.random.default_rng(7))
+    b = model.sample(100, np.random.default_rng(7))
+    assert (a == b).all()

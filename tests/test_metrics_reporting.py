@@ -1,0 +1,135 @@
+"""Unit tests for statistics helpers and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.mc.sweeps import Series, SweepPoint
+from repro.metrics.stats import bootstrap_ci, geometric_mean, summarize
+from repro.reporting.tables import (
+    format_quantity,
+    render_series_table,
+    render_table,
+)
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+def test_summarize_basic_fields():
+    stats = summarize([1.0, 2.0, 3.0, 4.0])
+    assert stats.n == 4
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.minimum == 1.0 and stats.maximum == 4.0
+    assert stats.ci_low < 2.5 < stats.ci_high
+
+
+def test_summarize_single_value_degenerate_ci():
+    stats = summarize([5.0])
+    assert stats.mean == 5.0
+    assert stats.ci_low == stats.ci_high == 5.0
+    assert stats.std == 0.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(AnalysisError):
+        summarize([])
+
+
+def test_ci_narrows_with_sample_size():
+    small = summarize([1.0, 2.0] * 10)
+    large = summarize([1.0, 2.0] * 1000)
+    assert large.ci_halfwidth < small.ci_halfwidth
+
+
+def test_overlaps():
+    a = summarize([1.0, 2.0, 3.0])
+    b = summarize([2.0, 3.0, 4.0])
+    c = summarize([100.0, 101.0])
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+
+
+def test_bootstrap_ci_contains_mean_for_well_behaved_sample():
+    values = [float(v) for v in range(100)]
+    low, high = bootstrap_ci(values, seed=1)
+    assert low < 49.5 < high
+    assert high - low < 20
+
+
+def test_bootstrap_validation():
+    with pytest.raises(AnalysisError):
+        bootstrap_ci([])
+    with pytest.raises(AnalysisError):
+        bootstrap_ci([1.0], confidence=1.5)
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+    with pytest.raises(AnalysisError):
+        geometric_mean([])
+    with pytest.raises(AnalysisError):
+        geometric_mean([1.0, -1.0])
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def test_format_quantity_ranges():
+    assert format_quantity(1234567.0) == "1.235e+06"
+    assert format_quantity(123.4) == "123.4"
+    assert format_quantity(0.25) == "0.25"
+    assert format_quantity(1e-5) == "1.000e-05"
+    assert format_quantity(float("nan")) == "nan"
+
+
+def test_render_table_alignment_and_rule():
+    text = render_table(["name", "value"], [["a", "1"], ["bb", "22"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    assert len(lines) == 5
+
+
+def test_render_table_validates_shape():
+    with pytest.raises(ConfigurationError):
+        render_table([], [])
+    with pytest.raises(ConfigurationError):
+        render_table(["a"], [["1", "2"]])
+
+
+def make_series(label, xs, means):
+    return Series(
+        label=label,
+        x_name="alpha",
+        points=[SweepPoint(x=x, mean=m, ci_low=m, ci_high=m) for x, m in zip(xs, means)],
+    )
+
+
+def test_render_series_table_columns():
+    a = make_series("A", [0.1, 0.2], [10.0, 20.0])
+    b = make_series("B", [0.1, 0.2], [30.0, 40.0])
+    text = render_series_table([a, b], title="fig")
+    assert "alpha" in text and "A" in text and "B" in text
+    assert "10" in text and "40" in text
+
+
+def test_render_series_table_with_ci():
+    series = Series(
+        label="A",
+        x_name="kappa",
+        points=[SweepPoint(x=0.5, mean=10.0, ci_low=9.0, ci_high=11.0)],
+    )
+    text = render_series_table([series], with_ci=True)
+    assert "[9" in text and "11]" in text
+
+
+def test_render_series_table_mismatched_grids_rejected():
+    a = make_series("A", [0.1], [1.0])
+    b = make_series("B", [0.2], [1.0])
+    with pytest.raises(ConfigurationError):
+        render_series_table([a, b])
+    with pytest.raises(ConfigurationError):
+        render_series_table([])

@@ -1,0 +1,88 @@
+"""Unit tests for the trusted name server."""
+
+from __future__ import annotations
+
+from repro.net.latency import FixedLatency
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.proxy.nameserver import NS_INFO, NS_LOOKUP, Directory, NameServer
+from repro.sim.engine import Simulator
+from repro.sim.process import SimProcess
+
+
+class Asker(SimProcess):
+    def __init__(self, sim, name):
+        super().__init__(sim, name, respawn_delay=None)
+        self.answers: list = []
+
+    def handle_message(self, message: Message) -> None:
+        if message.mtype == NS_INFO:
+            self.answers.append(message.payload)
+
+
+def test_lookup_returns_directory():
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=FixedLatency(0.001))
+    directory = Directory(
+        proxy_addresses=["proxy-0", "proxy-1"],
+        proxy_keys={"proxy-0": "pk0", "proxy-1": "pk1"},
+        server_indices=[0, 1, 2],
+        server_keys={0: "sk0", 1: "sk1", 2: "sk2"},
+        replication="primary-backup",
+    )
+    ns = NameServer(sim, net, directory)
+    net.register(ns)
+    asker = Asker(sim, "client")
+    net.register(asker)
+    net.send(Message("client", "nameserver", NS_LOOKUP, {}))
+    sim.run(until=0.1)
+    assert len(asker.answers) == 1
+    answer = asker.answers[0]
+    assert answer["proxy_addresses"] == ["proxy-0", "proxy-1"]
+    assert answer["server_indices"] == [0, 1, 2]
+    assert answer["replication"] == "primary-backup"
+    assert ns.lookups_served == 1
+
+
+def test_fortified_directory_hides_server_addresses():
+    """Paper §3: clients know server *indices* and keys, never addresses."""
+    directory = Directory(
+        proxy_addresses=["proxy-0"],
+        server_indices=[0, 1, 2],
+        server_keys={0: "k"},
+    )
+    payload = directory.as_payload()
+    assert payload["server_addresses"] == {}
+    assert payload["server_indices"] == [0, 1, 2]
+
+
+def test_one_tier_directory_publishes_addresses():
+    directory = Directory(
+        server_indices=[0, 1],
+        server_addresses={0: "server-0", 1: "server-1"},
+        replication="smr",
+        fault_threshold=1,
+    )
+    payload = directory.as_payload()
+    assert payload["server_addresses"] == {0: "server-0", 1: "server-1"}
+    assert payload["fault_threshold"] == 1
+
+
+def test_payload_is_a_copy():
+    directory = Directory(proxy_addresses=["p"])
+    payload = directory.as_payload()
+    payload["proxy_addresses"].append("evil")
+    assert directory.proxy_addresses == ["p"]
+
+
+def test_nameserver_ignores_other_message_types():
+    sim = Simulator(seed=2)
+    net = Network(sim, latency=FixedLatency(0.001))
+    ns = NameServer(sim, net, Directory())
+    net.register(ns)
+    asker = Asker(sim, "client")
+    net.register(asker)
+    net.send(Message("client", "nameserver", "write_attempt", {"evil": True}))
+    sim.run(until=0.1)
+    assert asker.answers == []
+    assert ns.lookups_served == 0

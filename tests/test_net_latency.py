@@ -1,0 +1,58 @@
+"""Unit tests for latency models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.latency import ExponentialLatency, FixedLatency, UniformLatency
+
+
+def test_fixed_latency_constant():
+    model = FixedLatency(0.25)
+    rng = random.Random(0)
+    assert all(model.sample(rng) == 0.25 for _ in range(10))
+
+
+def test_fixed_latency_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        FixedLatency(-1.0)
+
+
+def test_uniform_latency_within_bounds():
+    model = UniformLatency(0.1, 0.2)
+    rng = random.Random(1)
+    samples = [model.sample(rng) for _ in range(200)]
+    assert all(0.1 <= s <= 0.2 for s in samples)
+    assert max(samples) > 0.15  # actually spreads across the range
+    assert min(samples) < 0.15
+
+
+def test_uniform_latency_validates_range():
+    with pytest.raises(ConfigurationError):
+        UniformLatency(0.2, 0.1)
+    with pytest.raises(ConfigurationError):
+        UniformLatency(-0.1, 0.2)
+
+
+def test_exponential_latency_mean_roughly_correct():
+    model = ExponentialLatency(mean=0.5)
+    rng = random.Random(2)
+    samples = [model.sample(rng) for _ in range(5000)]
+    mean = sum(samples) / len(samples)
+    assert 0.45 < mean < 0.55
+
+
+def test_exponential_latency_cap_enforced():
+    model = ExponentialLatency(mean=0.5, cap=0.6)
+    rng = random.Random(3)
+    assert all(model.sample(rng) <= 0.6 for _ in range(1000))
+
+
+def test_exponential_latency_validation():
+    with pytest.raises(ConfigurationError):
+        ExponentialLatency(mean=0.0)
+    with pytest.raises(ConfigurationError):
+        ExponentialLatency(mean=1.0, cap=0.5)

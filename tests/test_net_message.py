@@ -1,0 +1,42 @@
+"""Unit tests for message construction."""
+
+from __future__ import annotations
+
+from repro.net.message import Message
+
+
+def test_message_ids_unique_and_increasing():
+    a = Message("x", "y", "ping")
+    b = Message("x", "y", "ping")
+    assert b.msg_id > a.msg_id
+
+
+def test_reply_swaps_endpoints():
+    request = Message("client", "server", "request", {"k": 1})
+    response = request.reply("response", {"ok": True})
+    assert response.src == "server"
+    assert response.dst == "client"
+    assert response.mtype == "response"
+    assert response.payload == {"ok": True}
+
+
+def test_reply_default_payload_empty():
+    m = Message("a", "b", "t")
+    assert m.reply("r").payload == {}
+
+
+def test_forwarded_preserves_type_and_payload():
+    original = Message("client", "proxy", "client_request", {"body": {"op": "get"}})
+    forwarded = original.forwarded("proxy", "server")
+    assert forwarded.src == "proxy"
+    assert forwarded.dst == "server"
+    assert forwarded.mtype == original.mtype
+    assert forwarded.payload == original.payload
+    assert forwarded.msg_id != original.msg_id
+
+
+def test_default_payload_is_independent():
+    a = Message("x", "y", "t")
+    b = Message("x", "y", "t")
+    assert a.payload == {}
+    assert a.payload is not b.payload

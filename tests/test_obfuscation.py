@@ -1,0 +1,147 @@
+"""Unit tests for PO/SO epoch scheduling and key groups."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.randomization.keyspace import KeySpace
+from repro.randomization.node import RandomizedProcess
+from repro.randomization.obfuscation import ObfuscationManager, Scheme
+from repro.sim.engine import Simulator
+
+
+def make_nodes(sim, count, entropy=10):
+    return [
+        RandomizedProcess(
+            sim, f"n{i}", KeySpace(entropy), random.Random(100 + i), respawn_delay=None
+        )
+        for i in range(count)
+    ]
+
+
+def test_po_resamples_keys_each_epoch():
+    sim = Simulator(seed=1)
+    (node,) = make_nodes(sim, 1)
+    manager = ObfuscationManager(sim, Scheme.PO, period=1.0)
+    manager.add_node(node)
+    manager.start()
+    keys = [node.address_space.key]
+    for t in range(1, 6):
+        sim.run(until=float(t) + 0.5)
+        keys.append(node.address_space.key)
+    assert len(set(keys)) > 2  # keys actually change across epochs
+    assert manager.epoch == 5
+
+
+def test_so_preserves_keys_but_reboots():
+    sim = Simulator(seed=2)
+    (node,) = make_nodes(sim, 1)
+    original = node.address_space.key
+    manager = ObfuscationManager(sim, Scheme.SO, period=1.0)
+    manager.add_node(node)
+    manager.start()
+    sim.run(until=3.5)
+    assert node.address_space.key == original
+    assert node.reboot_count == 3
+
+
+def test_refresh_cleanses_compromise():
+    sim = Simulator(seed=3)
+    (node,) = make_nodes(sim, 1)
+    manager = ObfuscationManager(sim, Scheme.SO, period=1.0)
+    manager.add_node(node)
+    manager.start()
+    node.mark_compromised()
+    sim.run(until=1.1)
+    assert not node.compromised
+
+
+def test_group_members_share_keys_initially_and_after_po():
+    """FORTRESS: PB servers are randomized identically."""
+    sim = Simulator(seed=4)
+    nodes = make_nodes(sim, 3)
+    manager = ObfuscationManager(sim, Scheme.PO, period=1.0)
+    manager.add_group(nodes)
+    keys = {n.address_space.key for n in nodes}
+    assert len(keys) == 1  # aligned at registration
+    manager.start()
+    for t in range(1, 5):
+        sim.run(until=float(t) + 0.25)
+        keys = {n.address_space.key for n in nodes}
+        assert len(keys) == 1
+
+
+def test_separate_nodes_keep_distinct_streams():
+    sim = Simulator(seed=5)
+    nodes = make_nodes(sim, 2, entropy=16)
+    manager = ObfuscationManager(sim, Scheme.PO, period=1.0)
+    for node in nodes:
+        manager.add_node(node)
+    manager.start()
+    sim.run(until=10.5)
+    # With 2^16 keys, ten epochs of two diverse nodes colliding every
+    # time is essentially impossible.
+    histories_equal = nodes[0].address_space.key == nodes[1].address_space.key
+    assert not histories_equal
+
+
+def test_epoch_listeners_fire_with_index():
+    sim = Simulator(seed=6)
+    (node,) = make_nodes(sim, 1)
+    manager = ObfuscationManager(sim, Scheme.PO, period=2.0)
+    manager.add_node(node)
+    epochs = []
+    manager.add_epoch_listener(epochs.append)
+    manager.start()
+    sim.run(until=7.0)
+    assert epochs == [1, 2, 3]
+
+
+def test_group_offset_delays_refresh_within_period():
+    sim = Simulator(seed=7)
+    (node,) = make_nodes(sim, 1)
+    manager = ObfuscationManager(sim, Scheme.SO, period=1.0)
+    manager.add_group([node], offset=0.5)
+    manager.start()
+    sim.run(until=1.25)
+    assert node.reboot_count == 0  # boundary passed, offset not yet
+    sim.run(until=1.75)
+    assert node.reboot_count == 1
+
+
+def test_validation_errors():
+    sim = Simulator()
+    (node,) = make_nodes(sim, 1)
+    with pytest.raises(ConfigurationError):
+        ObfuscationManager(sim, Scheme.PO, period=0.0)
+    with pytest.raises(ConfigurationError):
+        ObfuscationManager(sim, Scheme.PO, period=1.0, reboot_duration=1.0)
+    manager = ObfuscationManager(sim, Scheme.PO)
+    with pytest.raises(ConfigurationError):
+        manager.add_group([])
+    with pytest.raises(ConfigurationError):
+        manager.add_group([node], offset=1.5)
+    manager.start()
+    with pytest.raises(ConfigurationError):
+        manager.start()
+
+
+def test_mixed_keyspace_group_rejected():
+    sim = Simulator()
+    a = RandomizedProcess(sim, "a", KeySpace(4), random.Random(1), respawn_delay=None)
+    b = RandomizedProcess(sim, "b", KeySpace(5), random.Random(2), respawn_delay=None)
+    manager = ObfuscationManager(sim, Scheme.PO)
+    with pytest.raises(ConfigurationError):
+        manager.add_group([a, b])
+
+
+def test_time_step_index():
+    sim = Simulator()
+    manager = ObfuscationManager(sim, Scheme.PO, period=2.0)
+    assert manager.time_step_index() == 1
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    assert manager.time_step_index() == 2

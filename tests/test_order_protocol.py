@@ -1,0 +1,126 @@
+"""Unit tests for the PBFT-style ordering state (quorum bookkeeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.replication.order_protocol import (
+    OrderingState,
+    SlotPhase,
+    quorum_size,
+)
+
+
+def test_quorum_size_formula():
+    assert quorum_size(4, 1) == 3
+    assert quorum_size(7, 2) == 5
+
+
+def test_quorum_rejects_insufficient_replicas():
+    with pytest.raises(ProtocolError):
+        quorum_size(3, 1)
+
+
+def make_state():
+    return OrderingState(n=4, f=1)
+
+
+def test_slot_starts_empty():
+    state = make_state()
+    slot = state.slot(0, 1)
+    assert slot.phase is SlotPhase.EMPTY
+    assert slot.digest is None
+
+
+def test_normal_three_phase_progress():
+    state = make_state()
+    state.record_preprepare(0, 1, "d", {"request_id": "r"})
+    assert state.slot(0, 1).phase is SlotPhase.PRE_PREPARED
+    state.record_prepare(0, 1, "d", "a")
+    state.record_prepare(0, 1, "d", "b")
+    newly_prepared = state.record_prepare(0, 1, "d", "c")
+    assert newly_prepared
+    assert state.slot(0, 1).phase is SlotPhase.PREPARED
+    state.record_commit(0, 1, "d", "a")
+    state.record_commit(0, 1, "d", "b")
+    newly_committed = state.record_commit(0, 1, "d", "c")
+    assert newly_committed
+    assert state.slot(0, 1).phase is SlotPhase.COMMITTED
+
+
+def test_duplicate_votes_do_not_fill_quorum():
+    state = make_state()
+    state.record_preprepare(0, 1, "d", {})
+    for _ in range(5):
+        state.record_prepare(0, 1, "d", "a")  # same voter repeatedly
+    assert state.slot(0, 1).phase is SlotPhase.PRE_PREPARED
+
+
+def test_conflicting_digest_votes_rejected():
+    state = make_state()
+    state.record_preprepare(0, 1, "good", {})
+    assert not state.record_prepare(0, 1, "evil", "a")
+    assert "a" not in state.slot(0, 1).prepare_voters
+
+
+def test_equivocating_preprepare_ignored():
+    state = make_state()
+    assert state.record_preprepare(0, 1, "first", {"request_id": "x"})
+    assert not state.record_preprepare(0, 1, "second", {"request_id": "y"})
+    assert state.slot(0, 1).digest == "first"
+
+
+def test_votes_before_preprepare_buffered():
+    """Prepares may arrive before the pre-prepare (network reordering);
+    the slot must still advance once the pre-prepare lands."""
+    state = make_state()
+    state.record_prepare(0, 1, "d", "a")
+    state.record_prepare(0, 1, "d", "b")
+    state.record_prepare(0, 1, "d", "c")
+    assert state.slot(0, 1).phase is SlotPhase.EMPTY
+    state.record_preprepare(0, 1, "d", {})
+    assert state.slot(0, 1).phase is SlotPhase.PREPARED
+
+
+def test_commit_requires_prepared_first():
+    state = make_state()
+    state.record_preprepare(0, 1, "d", {})
+    for voter in ("a", "b", "c"):
+        state.record_commit(0, 1, "d", voter)
+    # commits alone cannot commit an un-prepared slot...
+    assert state.slot(0, 1).phase is SlotPhase.PRE_PREPARED
+    # ...but once prepares land, the buffered commits count.
+    for voter in ("a", "b", "c"):
+        state.record_prepare(0, 1, "d", voter)
+    assert state.slot(0, 1).phase is SlotPhase.COMMITTED
+
+
+def test_commits_across_views_are_independent():
+    state = make_state()
+    state.record_preprepare(0, 1, "d", {})
+    for voter in ("a", "b", "c"):
+        state.record_prepare(0, 1, "d", voter)
+        state.record_commit(0, 1, "d", voter)
+    assert state.slot(0, 1).phase is SlotPhase.COMMITTED
+    assert state.slot(1, 1).phase is SlotPhase.EMPTY
+
+
+def test_committed_slots_sorted_by_seq():
+    state = make_state()
+    for seq in (3, 1, 2):
+        state.record_preprepare(0, seq, f"d{seq}", {"request_id": f"r{seq}"})
+        for voter in ("a", "b", "c"):
+            state.record_prepare(0, seq, f"d{seq}", voter)
+            state.record_commit(0, seq, f"d{seq}", voter)
+    assert [s.seq for s in state.committed_slots(0)] == [1, 2, 3]
+
+
+def test_drop_view_clears_only_that_view():
+    state = make_state()
+    state.record_preprepare(0, 1, "d", {})
+    state.record_preprepare(1, 1, "e", {})
+    dropped = state.drop_view(0)
+    assert dropped == 1
+    assert len(state) == 1
+    assert state.slot(1, 1).digest == "e"

@@ -1,0 +1,72 @@
+"""Unit tests for the §6 ordering analysis and crossovers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lifetimes import el_s0_po, el_s1_po, el_s2_po
+from repro.analysis.orderings import (
+    DEFAULT_ALPHAS,
+    kappa_crossover_s2_vs_s0,
+    kappa_crossover_s2_vs_s1,
+    lifetimes_at,
+    summary_chain_holds,
+    verify_paper_trends,
+)
+from repro.errors import AnalysisError
+
+
+def test_lifetimes_at_has_all_five_systems():
+    el = lifetimes_at(1e-3, 0.5)
+    assert set(el) == {"S0PO", "S2PO", "S1PO", "S1SO", "S0SO"}
+    assert all(v > 0 for v in el.values())
+
+
+def test_all_four_trends_hold_on_default_grid():
+    reports = verify_paper_trends()
+    assert [r.name for r in reports] == ["T1", "T2", "T3", "T4"]
+    for report in reports:
+        assert report.holds, f"{report.name} failed: {report.detail}"
+
+
+def test_summary_chain_holds_in_condition_region():
+    for alpha in DEFAULT_ALPHAS:
+        for kappa in (0.1, 0.5, 0.9):
+            assert summary_chain_holds(alpha, kappa)
+
+
+def test_crossover_s2_vs_s1_location():
+    """EL(S2PO) = EL(S1PO) at κ* slightly above the paper's 0.9 bound;
+    below κ* FORTRESS wins, above it plain PB+PO wins."""
+    for alpha in (1e-4, 1e-3, 1e-2):
+        kappa_star = kappa_crossover_s2_vs_s1(alpha)
+        assert 0.9 < kappa_star < 1.0
+        assert el_s2_po(alpha, kappa_star * 0.99) > el_s1_po(alpha)
+        assert el_s2_po(alpha, min(1.0, kappa_star * 1.01)) < el_s1_po(alpha)
+
+
+def test_crossover_s2_vs_s0_is_theta_alpha():
+    """The S0PO/S2PO crossover sits at κ = Θ(α): 'except when κ = 0'."""
+    for alpha in (1e-4, 1e-3, 1e-2):
+        kappa_star = kappa_crossover_s2_vs_s0(alpha)
+        assert 0.5 * alpha < kappa_star < 10 * alpha
+        assert el_s2_po(alpha, kappa_star * 0.5) > el_s0_po(alpha)
+        assert el_s2_po(alpha, min(1.0, kappa_star * 2)) < el_s0_po(alpha)
+
+
+def test_crossover_monotone_in_alpha():
+    stars = [kappa_crossover_s2_vs_s0(a) for a in (1e-5, 1e-4, 1e-3)]
+    assert stars == sorted(stars)
+
+
+def test_crossover_without_root_raises():
+    """At α = 0.6 with λ = 1 the proxy-tier losses alone already make
+    S2PO worse than S1PO at κ = 0, so no crossover exists in [0, 1] and
+    the bisection must refuse rather than fabricate a root."""
+    with pytest.raises(AnalysisError):
+        kappa_crossover_s2_vs_s1(0.6)
+
+
+def test_trends_with_custom_grid_and_lambda():
+    reports = verify_paper_trends(alphas=(1e-4, 1e-3), kappa=0.3, launchpad_fraction=0.5)
+    assert all(r.holds for r in reports)

@@ -1,0 +1,157 @@
+"""Headline reproduction tests: the paper's §6 results.
+
+These are the assertions the whole repository exists to support.  Each
+trend is checked with the analytic models across the paper's α range and
+cross-checked by Monte-Carlo at representative points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.lifetimes import expected_lifetime
+from repro.analysis.orderings import (
+    DEFAULT_ALPHAS,
+    kappa_crossover_s2_vs_s1,
+    lifetimes_at,
+    summary_chain_holds,
+    verify_paper_trends,
+)
+from repro.core.specs import s0, s1, s2
+from repro.mc.montecarlo import mc_expected_lifetime
+from repro.randomization.obfuscation import Scheme
+
+
+# ----------------------------------------------------------------------
+# Trend 1: S1SO outlives S0SO
+# ----------------------------------------------------------------------
+def test_trend1_s1so_outlives_s0so_analytic():
+    for alpha in DEFAULT_ALPHAS:
+        el = lifetimes_at(alpha, kappa=0.5)
+        assert el["S1SO"] > el["S0SO"], f"T1 fails at alpha={alpha}"
+
+
+def test_trend1_factor_is_five_fourths():
+    """The continuum limits are 1/(2α) vs 2/(5α): a 25% advantage."""
+    el = lifetimes_at(1e-4, kappa=0.5)
+    assert el["S1SO"] / el["S0SO"] == pytest.approx(1.25, rel=0.01)
+
+
+def test_trend1_monte_carlo():
+    alpha = 1e-3
+    s1so = mc_expected_lifetime(s1(Scheme.SO, alpha=alpha), trials=40_000, seed=1)
+    s0so = mc_expected_lifetime(s0(Scheme.SO, alpha=alpha), trials=40_000, seed=2)
+    assert s1so.stats.ci_low > s0so.stats.ci_high
+
+
+# ----------------------------------------------------------------------
+# Trend 2: S2PO and S1PO outlive all SO systems
+# ----------------------------------------------------------------------
+def test_trend2_po_systems_outlive_so_systems():
+    for alpha in DEFAULT_ALPHAS:
+        el = lifetimes_at(alpha, kappa=1.0)  # S2PO's worst kappa
+        po_floor = min(el["S2PO"], el["S1PO"])
+        so_ceiling = max(el["S1SO"], el["S0SO"])
+        assert po_floor > so_ceiling, f"T2 fails at alpha={alpha}"
+
+
+def test_trend2_monte_carlo():
+    alpha = 1e-3
+    s2po = mc_expected_lifetime(
+        s2(Scheme.PO, alpha=alpha, kappa=1.0), trials=40_000, seed=3
+    )
+    s1so = mc_expected_lifetime(s1(Scheme.SO, alpha=alpha), trials=40_000, seed=4)
+    assert s2po.stats.ci_low > s1so.stats.ci_high
+
+
+# ----------------------------------------------------------------------
+# Trend 3: S2PO outlives S1PO when kappa <= 0.9
+# ----------------------------------------------------------------------
+def test_trend3_s2po_outlives_s1po_at_kappa_09():
+    for alpha in DEFAULT_ALPHAS:
+        el = lifetimes_at(alpha, kappa=0.9)
+        assert el["S2PO"] > el["S1PO"], f"T3 fails at alpha={alpha}"
+
+
+def test_trend3_fails_at_kappa_1():
+    """At κ = 1 proxies confer no pacing advantage and their own attack
+    surface makes S2PO strictly worse — the condition is binding."""
+    for alpha in (1e-3, 1e-2):
+        el = lifetimes_at(alpha, kappa=1.0)
+        assert el["S2PO"] < el["S1PO"]
+
+
+def test_trend3_crossover_between_09_and_1():
+    for alpha in DEFAULT_ALPHAS:
+        assert 0.9 < kappa_crossover_s2_vs_s1(alpha) < 1.0
+
+
+def test_trend3_monte_carlo():
+    alpha = 2e-3
+    s2po = mc_expected_lifetime(
+        s2(Scheme.PO, alpha=alpha, kappa=0.9), trials=60_000, seed=5
+    )
+    s1po = mc_expected_lifetime(s1(Scheme.PO, alpha=alpha), trials=60_000, seed=6)
+    assert s2po.stats.ci_low > s1po.stats.ci_high
+
+
+# ----------------------------------------------------------------------
+# Trend 4: S0PO outlives S2PO except when kappa = 0
+# ----------------------------------------------------------------------
+def test_trend4_s0po_outlives_s2po_for_positive_kappa():
+    for alpha in DEFAULT_ALPHAS:
+        for kappa in (0.1, 0.5, 1.0):
+            el = lifetimes_at(alpha, kappa)
+            assert el["S0PO"] > el["S2PO"], f"T4 fails at alpha={alpha}, kappa={kappa}"
+
+
+def test_trend4_s2po_wins_at_kappa_zero():
+    for alpha in DEFAULT_ALPHAS:
+        el = lifetimes_at(alpha, kappa=0.0)
+        assert el["S2PO"] > el["S0PO"], f"T4(κ=0) fails at alpha={alpha}"
+
+
+def test_trend4_factor_at_kappa_zero_is_two():
+    """q(S2PO, κ=0) ≈ 3λα² vs q(S0PO) ≈ 6α²: FORTRESS is ~2x better."""
+    el = lifetimes_at(1e-4, kappa=0.0)
+    assert el["S2PO"] / el["S0PO"] == pytest.approx(2.0, rel=0.02)
+
+
+# ----------------------------------------------------------------------
+# The summary ordering chain
+# ----------------------------------------------------------------------
+def test_summary_ordering_chain():
+    """S0PO -> S2PO -> S1PO -> S1SO -> S0SO for 0 < kappa <= 0.9."""
+    for alpha in DEFAULT_ALPHAS:
+        for kappa in (0.05, 0.5, 0.9):
+            assert summary_chain_holds(alpha, kappa)
+
+
+def test_verify_paper_trends_end_to_end():
+    reports = verify_paper_trends()
+    assert all(r.holds for r in reports)
+    assert len(reports) == 4
+
+
+# ----------------------------------------------------------------------
+# Magnitudes (documented in EXPERIMENTS.md)
+# ----------------------------------------------------------------------
+def test_expected_lifetime_magnitudes_at_midrange():
+    el = lifetimes_at(1e-3, kappa=0.5)
+    assert el["S1PO"] == pytest.approx(999.0)
+    assert el["S1SO"] == pytest.approx(499.5, rel=1e-3)
+    assert el["S0SO"] == pytest.approx(399.5, rel=1e-2)
+    assert el["S0PO"] == pytest.approx(1.668e5, rel=0.01)
+    assert el["S2PO"] == pytest.approx(1987.0, rel=0.01)
+
+
+def test_el_decreases_in_alpha_for_every_system():
+    labels = ("S0PO", "S2PO", "S1PO", "S1SO", "S0SO")
+    previous = None
+    for alpha in sorted(DEFAULT_ALPHAS):
+        current = lifetimes_at(alpha, kappa=0.5)
+        if previous is not None:
+            for label in labels:
+                assert current[label] < previous[label]
+        previous = current

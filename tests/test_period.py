@@ -1,0 +1,84 @@
+"""Unit tests for the re-randomization-period AMC extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lifetimes import el_s2_po
+from repro.analysis.period import (
+    ABSORB_PROXIES,
+    ABSORB_SERVER,
+    build_s2_po_period_chain,
+    compromise_route_split,
+    el_s2_po_with_period,
+)
+from repro.errors import AnalysisError
+
+
+def test_period_one_matches_closed_form():
+    """P=1 must reduce exactly to the S2PO closed form — the consistency
+    anchor between the AMC extension and the paper's model."""
+    for alpha, kappa in ((1e-3, 0.5), (1e-2, 0.1), (5e-3, 0.9)):
+        chain_el = el_s2_po_with_period(alpha, kappa, period_steps=1)
+        closed = el_s2_po(alpha, kappa)
+        assert chain_el == pytest.approx(closed, rel=1e-9)
+
+
+def test_longer_period_shortens_lifetime():
+    """Slower re-randomization lets compromised proxies accumulate, so
+    EL must decrease monotonically in P."""
+    alpha, kappa = 5e-3, 0.5
+    els = [el_s2_po_with_period(alpha, kappa, period_steps=p) for p in (1, 2, 4, 8)]
+    assert els == sorted(els, reverse=True)
+
+
+def test_state_space_shape():
+    chain = build_s2_po_period_chain(1e-3, 0.5, n_proxies=3, period_steps=4)
+    assert chain.n_transient == 12  # 4 phases x k in {0,1,2}
+    assert chain.n_absorbing == 2
+    assert chain.absorbing_labels == [ABSORB_SERVER, ABSORB_PROXIES]
+
+
+def test_route_split_sums_to_one_and_shifts_with_kappa():
+    low = compromise_route_split(1e-2, kappa=0.0, period_steps=2)
+    high = compromise_route_split(1e-2, kappa=1.0, period_steps=2)
+    assert sum(low.values()) == pytest.approx(1.0)
+    assert sum(high.values()) == pytest.approx(1.0)
+    # More indirect strength -> more mass on the server route.
+    assert high[ABSORB_SERVER] > low[ABSORB_SERVER]
+    assert high[ABSORB_PROXIES] < low[ABSORB_PROXIES]
+
+
+def test_kappa_zero_long_period_still_absorbs():
+    """Even with κ=0 the chain must absorb (launch pads + proxy capture)."""
+    el = el_s2_po_with_period(1e-2, kappa=0.0, period_steps=4)
+    assert el > 0
+    split = compromise_route_split(1e-2, kappa=0.0, period_steps=4)
+    assert split[ABSORB_SERVER] > 0  # launch-pad route exists without κ
+
+
+def test_proxy_count_tradeoff():
+    """Proxy count is *not* monotone: one proxy is clearly worst (capturing
+    it is both 'all proxies' and a launch pad), but beyond two, extra
+    proxies add launch-pad hosts faster than they harden the
+    all-proxies route.  The ablation bench quantifies this trade-off."""
+    alpha, kappa = 5e-3, 0.2
+    els = {
+        n: el_s2_po_with_period(alpha, kappa, n_proxies=n, period_steps=2)
+        for n in (1, 2, 3, 4)
+    }
+    assert els[1] < els[2]  # a single proxy is by far the weakest
+    assert els[1] < els[3] and els[1] < els[4]
+    # The launch-pad exposure effect: 4 proxies do not beat 2.
+    assert els[4] < els[2]
+
+
+def test_validation():
+    with pytest.raises(AnalysisError):
+        build_s2_po_period_chain(0.0, 0.5)
+    with pytest.raises(AnalysisError):
+        build_s2_po_period_chain(1e-3, 1.5)
+    with pytest.raises(AnalysisError):
+        build_s2_po_period_chain(1e-3, 0.5, period_steps=0)
+    with pytest.raises(AnalysisError):
+        build_s2_po_period_chain(1e-3, 0.5, n_proxies=0)

@@ -1,0 +1,149 @@
+"""Additional hypothesis property tests covering the extension modules."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.lifetimes import (
+    el_s2_po,
+    el_s2_smr_po,
+    per_step_compromise_s2_smr_po,
+)
+from repro.analysis.period import compromise_route_split
+from repro.analysis.s2so import s2_so_survival
+from repro.analysis.sensitivity import elasticity
+from repro.faults.plans import crash_storm, rolling_outages
+from repro.proxy.detection import DetectionLog, DetectionPolicy
+from repro.workloads.distributions import ZipfKeys
+
+alphas = st.floats(min_value=1e-4, max_value=0.2, allow_nan=False)
+kappas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# Analytic extensions
+# ----------------------------------------------------------------------
+@given(alpha=alphas, kappa=kappas)
+@settings(max_examples=50, deadline=None)
+def test_s2_smr_q_is_probability_and_beats_pb_route(alpha, kappa):
+    q = per_step_compromise_s2_smr_po(alpha, kappa)
+    assert 0.0 <= q <= 1.0
+    # The fortified SMR tier never has a *higher* hazard than the PB
+    # tier at the same (alpha, kappa): EL dominates.
+    assert el_s2_smr_po(alpha, kappa) >= el_s2_po(alpha, kappa) - 1e-9
+
+
+@given(
+    alpha=st.floats(min_value=5e-3, max_value=0.2),
+    kappa=kappas,
+    steps=st.integers(1, 60),
+)
+@settings(max_examples=40, deadline=None)
+def test_s2so_survival_is_monotone_probability_curve(alpha, kappa, steps):
+    curve = s2_so_survival(alpha, kappa, steps)
+    assert curve.min() >= -1e-12
+    assert curve.max() <= 1.0 + 1e-12
+    assert (np.diff(curve) <= 1e-9).all()
+
+
+@given(
+    alpha=st.floats(min_value=1e-4, max_value=0.05),
+    kappa=st.floats(min_value=0.0, max_value=1.0),
+    period=st.integers(1, 5),
+)
+@settings(max_examples=30, deadline=None)
+def test_route_split_is_distribution(alpha, kappa, period):
+    split = compromise_route_split(alpha, kappa, period_steps=period)
+    assert sum(split.values()) == pytest.approx(1.0)
+    assert all(v >= -1e-12 for v in split.values())
+
+
+@given(exponent=st.floats(min_value=-3.0, max_value=3.0),
+       at=st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=50, deadline=None)
+def test_elasticity_recovers_power_law_exponent(exponent, at):
+    assert elasticity(lambda x: x**exponent, at) == pytest.approx(
+        exponent, abs=1e-4
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload distributions
+# ----------------------------------------------------------------------
+@given(n_keys=st.integers(1, 200), s=st.floats(min_value=0.0, max_value=3.0))
+@settings(max_examples=40, deadline=None)
+def test_zipf_probabilities_form_distribution(n_keys, s):
+    dist = ZipfKeys(n_keys=n_keys, s=s)
+    probabilities = [dist.probability(i) for i in range(n_keys)]
+    assert sum(probabilities) == pytest.approx(1.0)
+    assert all(p >= 0 for p in probabilities)
+    # Monotone non-increasing popularity.
+    assert all(a >= b - 1e-12 for a, b in zip(probabilities, probabilities[1:]))
+
+
+@given(n_keys=st.integers(1, 64), s=st.floats(min_value=0.0, max_value=2.0),
+       seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_zipf_samples_are_valid_keys(n_keys, s, seed):
+    dist = ZipfKeys(n_keys=n_keys, s=s)
+    rng = random.Random(seed)
+    for _ in range(20):
+        key = dist.sample(rng)
+        index = int(key[1:])
+        assert 0 <= index < n_keys
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+@given(seed=st.integers(0, 500),
+       rate=st.floats(min_value=0.1, max_value=3.0),
+       horizon=st.floats(min_value=2.0, max_value=50.0))
+@settings(max_examples=30, deadline=None)
+def test_crash_storm_events_sorted_and_in_range(seed, rate, horizon):
+    plan = crash_storm(random.Random(seed), ["a", "b", "c"], horizon, rate=rate)
+    times = [f.time for f in plan]
+    assert times == sorted(times)
+    assert all(0.5 <= t < horizon for t in times)
+
+
+@given(n=st.integers(1, 6), rounds=st.integers(1, 12),
+       period=st.floats(min_value=0.5, max_value=4.0))
+@settings(max_examples=30, deadline=None)
+def test_rolling_outages_cover_targets_cyclically(n, rounds, period):
+    targets = [f"t{i}" for i in range(n)]
+    plan = rolling_outages(targets, period=period, down_for=period / 3, rounds=rounds)
+    assert len(plan) == rounds
+    for i, fault in enumerate(plan):
+        assert fault.target == targets[i % n]
+    # Never overlapping.
+    for first, second in zip(plan, plan[1:]):
+        assert first.time + first.down_for < second.time + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Detection log
+# ----------------------------------------------------------------------
+@given(
+    events=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]),
+                  st.floats(min_value=0.0, max_value=100.0)),
+        max_size=60,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_detection_log_counts_are_consistent(events):
+    log = DetectionLog(DetectionPolicy(window=10.0, threshold=5))
+    events = sorted(events, key=lambda e: e[1])
+    for source, time in events:
+        log.record_invalid(source, time)
+    total = sum(log.invalid_count(s) for s in ("a", "b", "c"))
+    assert total == len(events) == log.invalid_total
+    # Blacklisted sources must have accumulated more than the threshold.
+    for source in log.blacklisted_sources:
+        assert log.invalid_count(source) > 5

@@ -1,0 +1,101 @@
+"""Unit tests for the proxy's invalid-request frequency analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.proxy.detection import DetectionLog, DetectionPolicy, kappa_for_policy
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigurationError):
+        DetectionPolicy(window=0.0)
+    with pytest.raises(ConfigurationError):
+        DetectionPolicy(threshold=0)
+
+
+def test_max_sustainable_rate():
+    assert DetectionPolicy(window=10.0, threshold=100).max_sustainable_rate == 10.0
+
+
+def test_under_threshold_not_blacklisted():
+    log = DetectionLog(DetectionPolicy(window=10.0, threshold=5))
+    for t in range(5):
+        assert not log.record_invalid("src", float(t))
+    assert not log.is_blacklisted("src")
+
+
+def test_exceeding_threshold_blacklists():
+    log = DetectionLog(DetectionPolicy(window=10.0, threshold=5))
+    tripped = [log.record_invalid("src", float(t) * 0.1) for t in range(6)]
+    assert tripped == [False] * 5 + [True]
+    assert log.is_blacklisted("src")
+
+
+def test_blacklist_event_reported_once():
+    log = DetectionLog(DetectionPolicy(window=10.0, threshold=2))
+    flags = [log.record_invalid("s", float(i) * 0.1) for i in range(5)]
+    assert flags.count(True) == 1
+
+
+def test_window_expiry_allows_paced_probing():
+    """An attacker pacing below threshold/window is never blacklisted —
+    the mechanism that caps his indirect rate (κ)."""
+    log = DetectionLog(DetectionPolicy(window=10.0, threshold=5))
+    # One invalid request every 4 time units: 2.5 per window < 5.
+    for i in range(50):
+        assert not log.record_invalid("patient", i * 4.0)
+    assert not log.is_blacklisted("patient")
+
+
+def test_sources_tracked_independently():
+    log = DetectionLog(DetectionPolicy(window=10.0, threshold=3))
+    for i in range(4):
+        log.record_invalid("noisy", float(i) * 0.1)
+    log.record_invalid("quiet", 0.5)
+    assert log.is_blacklisted("noisy")
+    assert not log.is_blacklisted("quiet")
+    assert log.blacklisted_sources == frozenset({"noisy"})
+
+
+def test_suspicion_fraction():
+    log = DetectionLog(DetectionPolicy(window=10.0, threshold=4))
+    assert log.suspicion("s", now=0.0) == 0.0
+    log.record_invalid("s", 0.0)
+    log.record_invalid("s", 1.0)
+    assert log.suspicion("s", now=1.0) == pytest.approx(0.5)
+    # Old events age out of the window.
+    assert log.suspicion("s", now=20.0) == 0.0
+
+
+def test_lifetime_counts_survive_window_expiry():
+    log = DetectionLog(DetectionPolicy(window=1.0, threshold=100))
+    for i in range(10):
+        log.record_invalid("s", float(i) * 5.0)
+    assert log.invalid_count("s") == 10
+    assert log.invalid_total == 10
+
+
+# ----------------------------------------------------------------------
+# κ derivation
+# ----------------------------------------------------------------------
+def test_kappa_caps_strong_attackers():
+    policy = DetectionPolicy(window=10.0, threshold=100)  # 10 invalid/sec max
+    # Attacker of strength 100 probes/step must slow to 10 -> kappa 0.1.
+    assert kappa_for_policy(policy, omega=100.0, period=1.0) == pytest.approx(0.1)
+
+
+def test_kappa_is_one_for_weak_attackers():
+    policy = DetectionPolicy(window=10.0, threshold=100)
+    assert kappa_for_policy(policy, omega=5.0, period=1.0) == 1.0
+
+
+def test_kappa_scales_with_period():
+    policy = DetectionPolicy(window=10.0, threshold=100)
+    assert kappa_for_policy(policy, omega=100.0, period=2.0) == pytest.approx(0.2)
+
+
+def test_kappa_requires_positive_omega():
+    with pytest.raises(ConfigurationError):
+        kappa_for_policy(DetectionPolicy(), omega=0.0)

@@ -1,0 +1,143 @@
+"""Unit tests for key spaces, address spaces and randomized processes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.randomization.keyspace import PAX_32BIT_ENTROPY, KeySpace
+from repro.randomization.layout import AddressSpace, ProbeOutcome
+from repro.randomization.node import RandomizedProcess
+from repro.sim.engine import Simulator
+from repro.sim.process import ProcessState
+
+
+# ----------------------------------------------------------------------
+# KeySpace
+# ----------------------------------------------------------------------
+def test_keyspace_size_is_power_of_two():
+    assert KeySpace(4).size == 16
+    assert KeySpace(PAX_32BIT_ENTROPY).size == 65536
+
+
+def test_keyspace_rejects_zero_entropy():
+    with pytest.raises(ConfigurationError):
+        KeySpace(0)
+
+
+def test_sample_key_in_range():
+    space = KeySpace(6)
+    rng = random.Random(1)
+    for _ in range(100):
+        assert space.contains(space.sample_key(rng))
+
+
+def test_alpha_omega_roundtrip():
+    space = KeySpace(16)
+    alpha = space.alpha_for_probe_rate(655.36)
+    assert alpha == pytest.approx(0.01)
+    assert space.probe_rate_for_alpha(alpha) == pytest.approx(655.36)
+
+
+def test_alpha_caps_at_one():
+    space = KeySpace(4)
+    assert space.alpha_for_probe_rate(1e9) == 1.0
+
+
+def test_alpha_validation():
+    space = KeySpace(4)
+    with pytest.raises(ConfigurationError):
+        space.alpha_for_probe_rate(-1)
+    with pytest.raises(ConfigurationError):
+        space.probe_rate_for_alpha(1.5)
+
+
+# ----------------------------------------------------------------------
+# AddressSpace
+# ----------------------------------------------------------------------
+def test_probe_wrong_guess_crashes():
+    space = AddressSpace(KeySpace(6), key=10)
+    assert space.check_probe(11) is ProbeOutcome.CRASH
+    assert space.crashes_caused == 1
+    assert space.intrusions == 0
+
+
+def test_probe_right_guess_intrudes():
+    space = AddressSpace(KeySpace(6), key=10)
+    assert space.check_probe(10) is ProbeOutcome.INTRUSION
+    assert space.intrusions == 1
+
+
+def test_out_of_range_guess_is_crash():
+    space = AddressSpace(KeySpace(6), key=10)
+    assert space.check_probe(-1) is ProbeOutcome.CRASH
+    assert space.check_probe(9999) is ProbeOutcome.CRASH
+
+
+def test_key_validation():
+    with pytest.raises(ConfigurationError):
+        AddressSpace(KeySpace(4), key=16)
+    space = AddressSpace(KeySpace(4), key=0)
+    with pytest.raises(ConfigurationError):
+        space.set_key(-1)
+
+
+def test_rerandomize_changes_key_eventually():
+    space = AddressSpace(KeySpace(10), key=5)
+    rng = random.Random(3)
+    keys = {space.rerandomize(rng) for _ in range(50)}
+    assert len(keys) > 10  # fresh draws, not stuck
+    assert space.randomizations == 51
+
+
+# ----------------------------------------------------------------------
+# RandomizedProcess
+# ----------------------------------------------------------------------
+def make_node(sim=None, entropy=6, key=None):
+    sim = sim or Simulator(seed=9)
+    node = RandomizedProcess(
+        sim, "node", KeySpace(entropy), random.Random(4), key=key, respawn_delay=0.01
+    )
+    return sim, node
+
+
+def test_receive_probe_wrong_crashes_then_respawns_same_key():
+    """Fork semantics: the daemon's child keeps the parent's key."""
+    sim, node = make_node(key=7)
+    assert node.receive_probe(8) is ProbeOutcome.CRASH
+    assert node.state is ProcessState.CRASHED
+    sim.run()
+    assert node.state is ProcessState.RUNNING
+    assert node.address_space.key == 7  # unchanged by respawn
+
+
+def test_receive_probe_right_compromises():
+    sim, node = make_node(key=7)
+    assert node.receive_probe(7) is ProbeOutcome.INTRUSION
+    assert node.compromised
+    assert node.state is ProcessState.RUNNING  # intrusion, not crash
+
+
+def test_rerandomize_cleanses_and_changes_key():
+    sim, node = make_node(key=7)
+    node.mark_compromised()
+    new_key = node.rerandomize()
+    assert not node.compromised
+    assert node.address_space.key == new_key
+
+
+def test_rerandomize_with_explicit_group_key():
+    sim, node = make_node()
+    assert node.rerandomize(key=13) == 13
+    assert node.address_space.key == 13
+
+
+def test_recover_keeps_key_but_cleanses():
+    sim, node = make_node(key=7)
+    node.mark_compromised()
+    kept = node.recover()
+    assert kept == 7
+    assert node.address_space.key == 7
+    assert not node.compromised

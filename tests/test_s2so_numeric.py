@@ -1,0 +1,78 @@
+"""Tests for the numeric S2SO survival quadrature."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.s2so import el_s2_so_numeric, s2_so_survival
+from repro.core.specs import s2
+from repro.errors import AnalysisError
+from repro.mc.montecarlo import mc_expected_lifetime, mc_survival_curve
+from repro.randomization.obfuscation import Scheme
+
+
+def test_survival_is_a_decreasing_probability_curve():
+    curve = s2_so_survival(0.02, 0.5, steps=120)
+    assert curve.max() <= 1.0 + 1e-12
+    assert curve.min() >= 0.0
+    assert (np.diff(curve) <= 1e-12).all()
+
+
+def test_survival_hits_zero_by_double_exhaustion():
+    alpha = 0.05
+    curve = s2_so_survival(alpha, 0.0, steps=2 * int(1 / alpha) + 2)
+    assert curve[-1] == pytest.approx(0.0, abs=1e-12)
+
+
+@pytest.mark.parametrize(
+    "alpha,kappa",
+    [(0.01, 0.5), (0.01, 0.0), (0.01, 1.0), (0.05, 0.25), (0.002, 0.75)],
+)
+def test_numeric_el_matches_monte_carlo(alpha, kappa):
+    numeric = el_s2_so_numeric(alpha, kappa)
+    mc = mc_expected_lifetime(
+        s2(Scheme.SO, alpha=alpha, kappa=kappa), trials=60_000, seed=9
+    )
+    # The continuum p(t) = t*alpha approximation differs from the
+    # integer-grid sampler by O(1/chi) per step; 4 sigma + 1% slack.
+    slack = 4 * mc.stats.ci_halfwidth + 0.01 * mc.mean
+    assert abs(numeric - mc.mean) <= slack
+
+
+def test_numeric_survival_matches_empirical():
+    spec = s2(Scheme.SO, alpha=0.05, kappa=0.5)
+    numeric = s2_so_survival(0.05, 0.5, steps=15)
+    empirical = mc_survival_curve(spec, steps=15, trials=60_000, seed=10)
+    assert np.abs(numeric - empirical).max() < 0.02
+
+
+def test_monotone_in_kappa():
+    els = [el_s2_so_numeric(0.01, k) for k in (0.0, 0.25, 0.5, 1.0)]
+    assert els == sorted(els, reverse=True)
+
+
+def test_more_proxies_shifts_all_proxy_route():
+    """With more proxies, the all-proxies absorption needs more key
+    discoveries, so (at kappa=0, where it matters) EL grows."""
+    els = [el_s2_so_numeric(0.02, 0.0, n_proxies=n) for n in (1, 2, 3, 4)]
+    assert els == sorted(els)
+
+
+def test_s2so_sits_between_s1so_and_s1po_at_midrange():
+    """Sanity anchor used in EXPERIMENTS.md: at alpha=1e-3, kappa=0.5,
+    S2SO (~455) lies between S1SO (499.5 is *above* it — the proxies'
+    SO tier loses to the plain PB SO tier once launch pads persist)."""
+    el = el_s2_so_numeric(1e-3, 0.5)
+    assert 400 < el < 500
+
+
+def test_validation():
+    with pytest.raises(AnalysisError):
+        el_s2_so_numeric(0.0, 0.5)
+    with pytest.raises(AnalysisError):
+        el_s2_so_numeric(0.01, 1.5)
+    with pytest.raises(AnalysisError):
+        s2_so_survival(0.01, 0.5, steps=0)
+    with pytest.raises(AnalysisError):
+        el_s2_so_numeric(1e-5, 0.5)  # O((1/alpha)^2) guard

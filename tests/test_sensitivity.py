@@ -1,0 +1,64 @@
+"""Tests for the elasticity / sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lifetimes import el_s0_po, el_s1_po
+from repro.analysis.sensitivity import (
+    elasticity,
+    indirect_route_share,
+    s2_po_alpha_elasticity,
+    s2_po_kappa_elasticity,
+)
+from repro.errors import AnalysisError
+
+
+def test_elasticity_of_power_laws_exact():
+    assert elasticity(lambda x: x**3, 2.0) == pytest.approx(3.0, abs=1e-6)
+    assert elasticity(lambda x: 5.0 / x, 0.7) == pytest.approx(-1.0, abs=1e-6)
+    assert elasticity(lambda x: 42.0, 1.0) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_elasticity_validation():
+    with pytest.raises(AnalysisError):
+        elasticity(lambda x: x, 0.0)
+    with pytest.raises(AnalysisError):
+        elasticity(lambda x: x, 1.0, rel_step=0.9)
+    with pytest.raises(AnalysisError):
+        elasticity(lambda x: x - 2.0, 1.0)  # negative values
+
+
+def test_s1_and_s0_po_alpha_elasticities():
+    """The headline scaling laws: EL(S1PO) ∝ α^-1, EL(S0PO) ∝ α^-2."""
+    assert elasticity(el_s1_po, 1e-3) == pytest.approx(-1.0, abs=0.01)
+    assert elasticity(el_s0_po, 1e-3) == pytest.approx(-2.0, abs=0.01)
+
+
+def test_s2_alpha_elasticity_interpolates_regimes():
+    # Indirect-dominated: behaves like 1/alpha.
+    assert s2_po_alpha_elasticity(1e-4, 0.5) == pytest.approx(-1.0, abs=0.02)
+    # kappa = 0: the Θ(α²) launch-pad route dominates.
+    assert s2_po_alpha_elasticity(1e-4, 0.0) == pytest.approx(-2.0, abs=0.05)
+
+
+def test_s2_kappa_elasticity_tracks_route_share():
+    alpha = 1e-3
+    for kappa in (0.1, 0.5, 0.9):
+        share = indirect_route_share(alpha, kappa)
+        assert s2_po_kappa_elasticity(alpha, kappa) == pytest.approx(
+            -share, abs=0.02
+        )
+
+
+def test_kappa_elasticity_undefined_at_zero():
+    with pytest.raises(AnalysisError):
+        s2_po_kappa_elasticity(1e-3, 0.0)
+
+
+def test_route_share_monotone_in_kappa():
+    alpha = 1e-3
+    shares = [indirect_route_share(alpha, k) for k in (0.0, 0.1, 0.5, 1.0)]
+    assert shares[0] == 0.0
+    assert shares == sorted(shares)
+    assert shares[-1] > 0.95  # at kappa=1 the indirect route owns the hazard

@@ -1,0 +1,154 @@
+"""Unit tests for the process model (crash / respawn / reboot / compromise)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import ProcessState, SimProcess
+
+
+def make_process(sim, respawn_delay=0.01):
+    process = SimProcess(sim, "node", respawn_delay=respawn_delay)
+    return process
+
+
+def test_initial_state_running():
+    sim = Simulator()
+    p = make_process(sim)
+    assert p.state is ProcessState.RUNNING
+    assert p.is_available
+    assert not p.compromised
+
+
+def test_crash_then_forking_daemon_respawn():
+    sim = Simulator()
+    p = make_process(sim, respawn_delay=0.5)
+    p.crash()
+    assert p.state is ProcessState.CRASHED
+    assert not p.is_available
+    sim.run()
+    assert p.state is ProcessState.RUNNING
+    assert p.crash_count == 1
+    assert p.respawn_count == 1
+
+
+def test_no_daemon_means_no_respawn():
+    sim = Simulator()
+    p = make_process(sim, respawn_delay=None)
+    p.crash()
+    sim.run()
+    assert p.state is ProcessState.CRASHED
+
+
+def test_double_crash_is_idempotent():
+    sim = Simulator()
+    p = make_process(sim)
+    p.crash()
+    p.crash()
+    assert p.crash_count == 1
+
+
+def test_crash_listeners_fire():
+    sim = Simulator()
+    p = make_process(sim)
+    seen = []
+    p.add_crash_listener(lambda proc: seen.append(proc.name))
+    p.crash()
+    assert seen == ["node"]
+
+
+def test_instant_reboot_restores_running_and_cleanses():
+    sim = Simulator()
+    p = make_process(sim)
+    p.mark_compromised()
+    assert p.compromised
+    p.begin_reboot(0.0)
+    assert p.state is ProcessState.RUNNING
+    assert not p.compromised
+    assert p.reboot_count == 1
+
+
+def test_timed_reboot_goes_through_rebooting_state():
+    sim = Simulator()
+    p = make_process(sim)
+    p.begin_reboot(1.0)
+    assert p.state is ProcessState.REBOOTING
+    assert not p.is_available
+    sim.run()
+    assert p.state is ProcessState.RUNNING
+
+
+def test_reboot_interrupts_pending_respawn():
+    """A node that crashed and then got rebooted must not 'respawn' back."""
+    sim = Simulator()
+    p = make_process(sim, respawn_delay=1.0)
+    p.crash()
+    p.begin_reboot(0.0)  # refresh wins over pending respawn
+    sim.run()
+    assert p.state is ProcessState.RUNNING
+    assert p.respawn_count == 0
+
+
+def test_stopped_process_cannot_reboot():
+    sim = Simulator()
+    p = make_process(sim)
+    p.stop()
+    with pytest.raises(SimulationError):
+        p.begin_reboot(0.0)
+
+
+def test_compromise_listener_and_hook():
+    sim = Simulator()
+
+    class Hooked(SimProcess):
+        def __init__(self):
+            super().__init__(sim, "h")
+            self.hook_called = False
+
+        def on_compromised(self):
+            self.hook_called = True
+
+    p = Hooked()
+    seen = []
+    p.add_compromise_listener(lambda proc: seen.append(proc.name))
+    p.mark_compromised()
+    assert p.hook_called
+    assert seen == ["h"]
+
+
+def test_mark_compromised_on_stopped_process_ignored():
+    sim = Simulator()
+    p = make_process(sim)
+    p.stop()
+    p.mark_compromised()
+    assert not p.compromised
+
+
+def test_state_listener_sees_transitions():
+    sim = Simulator()
+    p = make_process(sim, respawn_delay=0.1)
+    states = []
+    p.add_state_listener(lambda proc: states.append(proc.state))
+    p.crash()
+    sim.run()
+    assert states == [ProcessState.CRASHED, ProcessState.RUNNING]
+
+
+def test_message_acl_default_open_and_restrictable():
+    sim = Simulator()
+    p = make_process(sim)
+    assert p.accepts_message_from("anyone")
+    p.allowed_senders = {"proxy-0"}
+    assert p.accepts_message_from("proxy-0")
+    assert not p.accepts_message_from("attacker")
+
+
+def test_connection_acl_default_open_and_restrictable():
+    sim = Simulator()
+    p = make_process(sim)
+    assert p.accepts_connection_from("anyone")
+    p.allowed_connection_initiators = {"proxy-1"}
+    assert p.accepts_connection_from("proxy-1")
+    assert not p.accepts_connection_from("attacker")

@@ -1,0 +1,72 @@
+"""Unit tests for system specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.specs import SystemClass, SystemSpec, paper_systems, s0, s1, s2
+from repro.errors import ConfigurationError
+from repro.randomization.obfuscation import Scheme
+
+
+def test_class_defaults_match_paper():
+    assert s0(Scheme.PO).n_servers == 4  # Definition 1
+    assert s1(Scheme.PO).n_servers == 3  # Definition 2
+    spec = s2(Scheme.PO)
+    assert spec.n_servers == 3 and spec.n_proxies == 3  # Definition 3
+
+
+def test_labels():
+    assert s0(Scheme.PO).label == "S0PO"
+    assert s1(Scheme.SO).label == "S1SO"
+    assert s2(Scheme.PO).label == "S2PO"
+
+
+def test_chi_and_omega_derivation():
+    spec = s1(Scheme.PO, alpha=0.01, entropy_bits=16)
+    assert spec.chi == 65536
+    assert spec.omega == pytest.approx(655.36)
+
+
+def test_default_entropy_is_pax_16_bits():
+    assert s1(Scheme.PO).entropy_bits == 16
+
+
+def test_with_alpha_and_kappa_copies():
+    base = s2(Scheme.PO, alpha=1e-3, kappa=0.5)
+    hi = base.with_alpha(1e-2)
+    assert hi.alpha == 1e-2 and base.alpha == 1e-3
+    k = base.with_kappa(0.9)
+    assert k.kappa == 0.9 and k.alpha == 1e-3
+
+
+def test_validation_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        s1(Scheme.PO, alpha=0.0)
+    with pytest.raises(ConfigurationError):
+        s1(Scheme.PO, alpha=1.5)
+    with pytest.raises(ConfigurationError):
+        s2(Scheme.PO, kappa=-0.1)
+    with pytest.raises(ConfigurationError):
+        s2(Scheme.PO, launchpad_fraction=2.0)
+    with pytest.raises(ConfigurationError):
+        SystemSpec(system=SystemClass.S0, scheme=Scheme.PO, n_servers=3, f=1)
+    with pytest.raises(ConfigurationError):
+        SystemSpec(system=SystemClass.S2, scheme=Scheme.PO, period=0.0)
+
+
+def test_s0_custom_size_obeys_3f_rule():
+    spec = SystemSpec(system=SystemClass.S0, scheme=Scheme.PO, n_servers=7, f=2)
+    assert spec.n_servers == 7
+
+
+def test_paper_systems_order_and_count():
+    systems = paper_systems(alpha=1e-3, kappa=0.5)
+    assert [s.label for s in systems] == ["S0PO", "S2PO", "S1PO", "S1SO", "S0SO"]
+    assert all(s.alpha == 1e-3 for s in systems)
+
+
+def test_spec_is_frozen():
+    spec = s1(Scheme.PO)
+    with pytest.raises(Exception):
+        spec.alpha = 0.5  # type: ignore[misc]

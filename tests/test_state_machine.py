@@ -1,0 +1,161 @@
+"""Unit tests for the replicated services."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.replication.state_machine import (
+    CounterService,
+    KVStoreService,
+    SessionTokenService,
+)
+
+
+# ----------------------------------------------------------------------
+# KVStoreService
+# ----------------------------------------------------------------------
+def test_kv_put_get_roundtrip():
+    kv = KVStoreService()
+    assert kv.apply({"op": "put", "key": "a", "value": 1}) == {"ok": True}
+    assert kv.apply({"op": "get", "key": "a"}) == {"ok": True, "value": 1}
+
+
+def test_kv_get_missing():
+    kv = KVStoreService()
+    assert kv.apply({"op": "get", "key": "zz"}) == {"ok": False, "error": "not_found"}
+
+
+def test_kv_delete():
+    kv = KVStoreService()
+    kv.apply({"op": "put", "key": "a", "value": 1})
+    assert kv.apply({"op": "delete", "key": "a"}) == {"ok": True, "existed": True}
+    assert kv.apply({"op": "delete", "key": "a"}) == {"ok": True, "existed": False}
+
+
+def test_kv_incr_default_and_custom():
+    kv = KVStoreService()
+    assert kv.apply({"op": "incr", "key": "c"}) == {"ok": True, "value": 1}
+    assert kv.apply({"op": "incr", "key": "c", "by": 5}) == {"ok": True, "value": 6}
+
+
+def test_kv_incr_non_integer_rejected():
+    kv = KVStoreService()
+    kv.apply({"op": "put", "key": "s", "value": "text"})
+    assert kv.apply({"op": "incr", "key": "s"})["ok"] is False
+
+
+def test_kv_keys_sorted():
+    kv = KVStoreService()
+    for k in ("b", "a", "c"):
+        kv.apply({"op": "put", "key": k, "value": 0})
+    assert kv.apply({"op": "keys"}) == {"ok": True, "keys": ["a", "b", "c"]}
+
+
+def test_kv_unknown_op():
+    kv = KVStoreService()
+    response = kv.apply({"op": "explode"})
+    assert response["ok"] is False
+    assert kv.ops_applied == 0
+
+
+def test_kv_snapshot_restore_is_deep():
+    kv = KVStoreService()
+    kv.apply({"op": "put", "key": "a", "value": [1, 2]})
+    snap = kv.snapshot()
+    kv.apply({"op": "put", "key": "a", "value": [9]})
+    other = KVStoreService()
+    other.restore(snap)
+    assert other.apply({"op": "get", "key": "a"}) == {"ok": True, "value": [1, 2]}
+    # mutating the restored state must not leak into the snapshot
+    other.apply({"op": "put", "key": "a", "value": "x"})
+    third = KVStoreService()
+    third.restore(snap)
+    assert third.apply({"op": "get", "key": "a"})["value"] == [1, 2]
+
+
+def test_kv_digest_tracks_state():
+    a, b = KVStoreService(), KVStoreService()
+    assert a.digest() == b.digest()
+    a.apply({"op": "put", "key": "k", "value": 1})
+    assert a.digest() != b.digest()
+    b.apply({"op": "put", "key": "k", "value": 1})
+    assert a.digest() == b.digest()
+
+
+def test_kv_determinism_property():
+    """Same request sequence => same state: the SMR requirement."""
+    requests = [
+        {"op": "put", "key": "a", "value": 1},
+        {"op": "incr", "key": "a"},
+        {"op": "delete", "key": "b"},
+        {"op": "put", "key": "b", "value": "x"},
+    ]
+    a, b = KVStoreService(), KVStoreService()
+    ra = [a.apply(r) for r in requests]
+    rb = [b.apply(r) for r in requests]
+    assert ra == rb
+    assert a.digest() == b.digest()
+    assert a.deterministic
+
+
+# ----------------------------------------------------------------------
+# CounterService
+# ----------------------------------------------------------------------
+def test_counter_add_and_read():
+    c = CounterService()
+    assert c.apply({"op": "add", "by": 3}) == {"ok": True, "value": 3}
+    assert c.apply({"op": "read"}) == {"ok": True, "value": 3}
+
+
+def test_counter_snapshot_restore():
+    c = CounterService()
+    c.apply({"op": "add", "by": 7})
+    d = CounterService()
+    d.restore(c.snapshot())
+    assert d.value == 7
+
+
+# ----------------------------------------------------------------------
+# SessionTokenService (non-deterministic)
+# ----------------------------------------------------------------------
+def test_session_service_flags_nondeterminism():
+    assert SessionTokenService(0).deterministic is False
+
+
+def test_session_replicas_diverge_on_login():
+    """Two replicas with different entropy mint different tokens for the
+    same request — exactly why SMR cannot host this service."""
+    a, b = SessionTokenService(seed=1), SessionTokenService(seed=2)
+    request = {"op": "login", "user": "u"}
+    token_a = a.apply(request)["token"]
+    token_b = b.apply(request)["token"]
+    assert token_a != token_b
+    assert a.digest() != b.digest()
+
+
+def test_session_state_transfer_keeps_tokens_valid():
+    """Primary-backup replication of the same service works: the backup
+    installs the primary's state, token included."""
+    primary, backup = SessionTokenService(seed=1), SessionTokenService(seed=99)
+    token = primary.apply({"op": "login", "user": "u"})["token"]
+    backup.restore(primary.snapshot())
+    assert backup.apply({"op": "whoami", "token": token}) == {"ok": True, "user": "u"}
+    assert backup.digest() == primary.digest()
+
+
+def test_session_authenticated_kv_access():
+    service = SessionTokenService(seed=3)
+    token = service.apply({"op": "login", "user": "u"})["token"]
+    assert service.apply({"op": "put", "key": "k", "value": 1, "token": token})["ok"]
+    assert service.apply({"op": "get", "key": "k", "token": token})["value"] == 1
+    assert service.apply({"op": "get", "key": "k", "token": "bad"}) == {
+        "ok": False,
+        "error": "unauthenticated",
+    }
+
+
+def test_session_logout():
+    service = SessionTokenService(seed=4)
+    token = service.apply({"op": "login", "user": "u"})["token"]
+    assert service.apply({"op": "logout", "user": "u"}) == {"ok": True, "existed": True}
+    assert service.apply({"op": "whoami", "token": token})["ok"] is False

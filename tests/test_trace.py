@@ -1,0 +1,97 @@
+"""Tests for the event-tracing subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builders import attach_attacker, build_system
+from repro.core.specs import s1
+from repro.errors import ConfigurationError
+from repro.randomization.obfuscation import Scheme
+from repro.sim.engine import Simulator
+from repro.sim.process import SimProcess
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+
+def test_record_stamps_current_time():
+    sim = Simulator()
+    trace = TraceRecorder(sim)
+    sim.schedule(2.5, lambda: trace.record("custom", "x", value=1))
+    sim.run()
+    (event,) = trace.events()
+    assert event.time == 2.5
+    assert event.category == "custom"
+    assert event.detail == {"value": 1}
+
+
+def test_attach_process_traces_lifecycle():
+    sim = Simulator()
+    trace = TraceRecorder(sim)
+    p = SimProcess(sim, "node", respawn_delay=0.1)
+    trace.attach_process(p)
+    p.crash()
+    sim.run()
+    p.mark_compromised()
+    states = [e.detail["state"] for e in trace.events(category="state")]
+    assert states == ["crashed", "running"]
+    assert trace.count("compromise") == 1
+
+
+def test_filters_by_category_subject_and_time():
+    sim = Simulator()
+    trace = TraceRecorder(sim)
+    trace.record("a", "x")
+    sim.schedule(1.0, lambda: trace.record("a", "y"))
+    sim.schedule(2.0, lambda: trace.record("b", "x"))
+    sim.run()
+    assert len(trace.events(category="a")) == 2
+    assert len(trace.events(subject="x")) == 2
+    assert len(trace.events(category="a", subject="x")) == 1
+    assert len(trace.events(since=0.5)) == 2
+
+
+def test_bounded_buffer_drops_oldest():
+    sim = Simulator()
+    trace = TraceRecorder(sim, limit=3)
+    for i in range(5):
+        trace.record("c", f"s{i}")
+    assert trace.count() == 3
+    assert trace.dropped == 2
+    assert [e.subject for e in trace.events()] == ["s2", "s3", "s4"]
+
+
+def test_limit_validation():
+    with pytest.raises(ConfigurationError):
+        TraceRecorder(Simulator(), limit=0)
+
+
+def test_render_timeline():
+    sim = Simulator()
+    trace = TraceRecorder(sim)
+    assert trace.render_timeline() == "(empty trace)"
+    trace.record("epoch", "obfuscation", epoch=1)
+    text = trace.render_timeline()
+    assert "epoch" in text and "epoch=1" in text
+
+
+def test_deployment_trace_end_to_end():
+    """A full lifetime run leaves a coherent timeline: epochs, node
+    compromises, and exactly one system-down event with the cause."""
+    spec = s1(Scheme.SO, alpha=0.1, entropy_bits=6)
+    deployed = build_system(spec, seed=77)
+    trace = TraceRecorder(deployed.sim, limit=None)
+    trace.attach_deployment(deployed)
+    attach_attacker(deployed)
+    deployed.start()
+    deployed.sim.run(until=40.0)
+    assert deployed.monitor.is_compromised
+    downs = trace.events(category="system-down")
+    assert len(downs) == 1
+    assert "primary" in downs[0].detail["cause"]
+    assert trace.count("compromise") >= 1
+    # Epochs fired until the monitor stopped the run.
+    epochs = trace.events(category="epoch")
+    assert epochs
+    # The system-down event is at (or after) the first node compromise.
+    first_compromise = trace.events(category="compromise")[0]
+    assert downs[0].time >= first_compromise.time
