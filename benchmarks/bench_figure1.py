@@ -6,10 +6,13 @@ the five candidate systems S0PO, S2PO, S1PO, S1SO, S0SO at χ = 2^16,
 κ = 0.5.  Two independent generators are benchmarked:
 
 * the analytic formulas (closed forms / numeric sums);
-* the Monte-Carlo samplers (with 95% confidence intervals).
+* the Monte-Carlo engine (vectorized samplers with 95% confidence
+  intervals, optionally fanned out across processes via the
+  ``REPRO_BENCH_WORKERS`` environment variable).
 
 The paper's qualitative reading of the figure — the ordering
 ``S0PO > S2PO > S1PO > S1SO > S0SO`` — is asserted on the output.
+Under ``--smoke`` the Monte-Carlo trial count scales down for CI.
 """
 
 from __future__ import annotations
@@ -49,11 +52,17 @@ def bench_figure1_analytic(benchmark, save_table):
     )
 
 
-def bench_figure1_montecarlo(benchmark, save_table):
+def bench_figure1_montecarlo(benchmark, save_table, scale_trials, bench_workers):
     """Monte-Carlo generation of the Figure-1 curves (with CIs)."""
+    trials = scale_trials(MC_TRIALS)
     series_list = benchmark.pedantic(
         figure1_series,
-        kwargs={"alphas": FIGURE1_ALPHAS, "kappa": KAPPA, "trials": MC_TRIALS},
+        kwargs={
+            "alphas": FIGURE1_ALPHAS,
+            "kappa": KAPPA,
+            "trials": trials,
+            "workers": bench_workers,
+        },
         rounds=1,
         iterations=1,
     )
@@ -65,7 +74,7 @@ def bench_figure1_montecarlo(benchmark, save_table):
             x_header="alpha",
             title=(
                 "Figure 1 (Monte-Carlo): expected lifetime vs alpha"
-                f" [chi=2^16, kappa={KAPPA}, {MC_TRIALS} trials/point, mean [95% CI]]"
+                f" [chi=2^16, kappa={KAPPA}, {trials} trials/point, mean [95% CI]]"
             ),
             with_ci=True,
         ),

@@ -44,12 +44,15 @@ def bench_figure2_analytic(benchmark, save_table):
     )
 
 
-def bench_figure2_kappa_sweep_montecarlo(benchmark, save_table):
+def bench_figure2_kappa_sweep_montecarlo(benchmark, save_table, scale_trials, bench_workers):
     """The κ axis itself, Monte-Carlo, at a mid-range α."""
     base = s2(Scheme.PO, alpha=1e-3)
+    # Adjacent κ curves sit ~10% apart, so the monotonicity assert needs
+    # a higher smoke floor than the widely separated Figure-1 systems.
+    trials = scale_trials(MC_TRIALS, floor=2000)
 
     def generate():
-        return sweep_kappa(base, FIGURE2_KAPPAS, trials=MC_TRIALS)
+        return sweep_kappa(base, FIGURE2_KAPPAS, trials=trials, workers=bench_workers)
 
     series = benchmark.pedantic(generate, rounds=1, iterations=1)
     means = series.means
@@ -61,7 +64,7 @@ def bench_figure2_kappa_sweep_montecarlo(benchmark, save_table):
             x_header="kappa",
             title=(
                 "Figure 2 cross-section (Monte-Carlo): EL of S2PO vs kappa"
-                f" at alpha=1e-3 [{MC_TRIALS} trials/point]"
+                f" at alpha=1e-3 [{trials} trials/point]"
             ),
             with_ci=True,
         ),

@@ -1,0 +1,263 @@
+"""MC engine — scalar-loop vs vectorized-batch throughput (BENCH record).
+
+Times every paper sampler on two code paths with a common seed:
+
+* ``sample_scalar`` — one trial per Python-loop iteration, the
+  pre-engine costing of "more trials for tighter CIs";
+* ``sample_batch`` — the chunked vectorized engine path.
+
+Asserted content: the geometric (PO) samplers gain at least 10× in
+trials/sec, every Figure-1 system's vectorized mean falls inside the
+scalar run's 95% CI, and the step-level / S2SO samplers agree within a
+5σ combined tolerance.  A second bench exercises CI-width-targeted
+early stopping against the known geometric case.  Both persist JSON
+records under ``benchmarks/results/`` so speedups are diffable across
+commits.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.lifetimes import el_s1_po, expected_lifetime
+from repro.core.specs import paper_systems, s1, s2
+from repro.mc.executor import estimate_to_precision
+from repro.mc.models import S2POStepModel, model_for
+from repro.mc.montecarlo import summarize_array
+from repro.randomization.obfuscation import Scheme
+from repro.reporting.tables import render_table
+
+SEED = 20260727
+FULL_TRIALS = 1_000_000
+STEP_SCALAR_TRIALS = 20_000
+STEP_VECTOR_TRIALS = 200_000
+GEOMETRIC_LABELS = ("S0PO", "S2PO", "S1PO")
+MIN_GEOMETRIC_SPEEDUP = 10.0
+
+
+def _timed(fn, n, repeats=1):
+    """Best-of-``repeats`` throughput (shields against noisy runners)."""
+    values = None
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        drawn = fn(n, np.random.default_rng(SEED))
+        elapsed = time.perf_counter() - start
+        if values is None:
+            values = drawn
+        best = max(best, n / elapsed)
+    return values, best
+
+
+def _combined_sigma(stats_a, stats_b) -> float:
+    se_a = stats_a.std / np.sqrt(stats_a.n)
+    se_b = stats_b.std / np.sqrt(stats_b.n)
+    return float(np.hypot(se_a, se_b))
+
+
+def bench_mc_engine_throughput(save_table, save_json, scale_trials, smoke):
+    """Old-vs-new trials/sec for every sampler, with agreement checks."""
+    cases = [
+        (spec, model_for(spec), scale_trials(FULL_TRIALS, floor=20_000))
+        for spec in paper_systems(alpha=1e-3, kappa=0.5)
+    ]
+    cases.append(
+        (
+            s2(Scheme.SO, alpha=1e-3, kappa=0.5),
+            model_for(s2(Scheme.SO, alpha=1e-3, kappa=0.5)),
+            scale_trials(FULL_TRIALS, floor=20_000),
+        )
+    )
+    step_spec = s2(Scheme.PO, alpha=0.05, kappa=0.4)
+    rows = []
+    records = []
+    for spec, model, n_vector in cases:
+        n_scalar = n_vector
+        # Same best-of policy on both arms, so recorded speedups stay
+        # comparable across commits and noisy runners.
+        scalar_values, scalar_tps = _timed(model.sample_scalar, n_scalar, repeats=2)
+        vector_values, vector_tps = _timed(model.sample_batch, n_vector, repeats=2)
+        scalar_stats = summarize_array(scalar_values.astype(np.float64))
+        vector_stats = summarize_array(vector_values.astype(np.float64))
+        speedup = vector_tps / scalar_tps
+        within = bool(scalar_stats.ci_low <= vector_stats.mean <= scalar_stats.ci_high)
+        records.append(
+            {
+                "label": spec.label,
+                "alpha": spec.alpha,
+                "kappa": spec.kappa,
+                "scalar_trials": n_scalar,
+                "vectorized_trials": n_vector,
+                "scalar_trials_per_sec": scalar_tps,
+                "vectorized_trials_per_sec": vector_tps,
+                "speedup": speedup,
+                "scalar_mean": scalar_stats.mean,
+                "scalar_ci": [scalar_stats.ci_low, scalar_stats.ci_high],
+                "vectorized_mean": vector_stats.mean,
+                "vectorized_within_scalar_ci": within,
+            }
+        )
+        rows.append(
+            [
+                spec.label,
+                f"{scalar_tps:,.0f}",
+                f"{vector_tps:,.0f}",
+                f"{speedup:.1f}x",
+                f"{scalar_stats.mean:.2f}",
+                f"{vector_stats.mean:.2f}",
+                "yes" if within else "NO",
+            ]
+        )
+        if spec.label in GEOMETRIC_LABELS:
+            assert speedup >= MIN_GEOMETRIC_SPEEDUP, (
+                f"{spec.label}: vectorized path only {speedup:.1f}x over the "
+                f"scalar loop (required {MIN_GEOMETRIC_SPEEDUP}x)"
+            )
+        if spec.label != "S2SO":
+            # Same seed drives both arms of every Figure-1 sampler, so
+            # the draws are common random numbers: means must agree
+            # within the scalar run's own CI.
+            assert within, (
+                f"{spec.label}: vectorized mean {vector_stats.mean:.3f} outside "
+                f"scalar 95% CI [{scalar_stats.ci_low:.3f}, "
+                f"{scalar_stats.ci_high:.3f}]"
+            )
+        else:
+            # S2SO's scalar kernel draws in a different order, so CRN
+            # does not apply; use a combined-error tolerance instead.
+            sigma = _combined_sigma(scalar_stats, vector_stats)
+            assert abs(scalar_stats.mean - vector_stats.mean) <= 5.0 * sigma, (
+                f"{spec.label}: scalar/vectorized means disagree beyond 5 sigma"
+            )
+        if spec.label != "S2SO":  # S2SO's quadrature is priced separately
+            records[-1]["analytic_el"] = expected_lifetime(spec)
+
+    # Step-level S2PO validator: the genuinely sequential sampler, where
+    # the block-stepper fallback does the heavy lifting.
+    step_model = S2POStepModel(step_spec)
+    n_step_scalar = scale_trials(STEP_SCALAR_TRIALS, floor=2_000)
+    n_step_vector = scale_trials(STEP_VECTOR_TRIALS, floor=5_000)
+    scalar_values, scalar_tps = _timed(
+        step_model.sample_scalar, n_step_scalar, repeats=2
+    )
+    vector_values, vector_tps = _timed(
+        step_model.sample_batch, n_step_vector, repeats=2
+    )
+    scalar_stats = summarize_array(scalar_values.astype(np.float64))
+    vector_stats = summarize_array(vector_values.astype(np.float64))
+    sigma = _combined_sigma(scalar_stats, vector_stats)
+    assert abs(scalar_stats.mean - vector_stats.mean) <= 5.0 * sigma
+    speedup = vector_tps / scalar_tps
+    records.append(
+        {
+            "label": "S2PO(step-level)",
+            "alpha": step_spec.alpha,
+            "kappa": step_spec.kappa,
+            "scalar_trials": n_step_scalar,
+            "vectorized_trials": n_step_vector,
+            "scalar_trials_per_sec": scalar_tps,
+            "vectorized_trials_per_sec": vector_tps,
+            "speedup": speedup,
+            "scalar_mean": scalar_stats.mean,
+            "scalar_ci": [scalar_stats.ci_low, scalar_stats.ci_high],
+            "vectorized_mean": vector_stats.mean,
+            "vectorized_within_scalar_ci": bool(
+                scalar_stats.ci_low <= vector_stats.mean <= scalar_stats.ci_high
+            ),
+        }
+    )
+    rows.append(
+        [
+            "S2PO(step)",
+            f"{scalar_tps:,.0f}",
+            f"{vector_tps:,.0f}",
+            f"{speedup:.1f}x",
+            f"{scalar_stats.mean:.2f}",
+            f"{vector_stats.mean:.2f}",
+            "-",
+        ]
+    )
+
+    save_json(
+        "bench_mc_engine",
+        {
+            "benchmark": "mc_engine_throughput",
+            "seed": SEED,
+            "smoke": smoke,
+            "min_geometric_speedup": MIN_GEOMETRIC_SPEEDUP,
+            "rows": records,
+        },
+    )
+    save_table(
+        "mc_engine_throughput",
+        render_table(
+            [
+                "system",
+                "scalar t/s",
+                "vectorized t/s",
+                "speedup",
+                "scalar mean",
+                "vec mean",
+                "in CI",
+            ],
+            rows,
+            title=(
+                "MC engine: scalar per-trial loop vs chunked vectorized batch\n"
+                f"(common seed per system; geometric samplers must clear "
+                f"{MIN_GEOMETRIC_SPEEDUP:.0f}x)"
+            ),
+        ),
+    )
+
+
+def bench_mc_engine_early_stopping(save_table, save_json, scale_trials, smoke):
+    """CI-width-targeted sampling on the known geometric case."""
+    alpha = 1e-2
+    analytic = el_s1_po(alpha)
+    model = model_for(s1(Scheme.PO, alpha=alpha))
+    target = 0.05 if smoke else 0.01
+    max_trials = scale_trials(2_000_000, floor=50_000)
+    start = time.perf_counter()
+    estimate = estimate_to_precision(
+        model, rel_halfwidth=target, seed=SEED, max_trials=max_trials
+    )
+    elapsed = time.perf_counter() - start
+    halfwidth = estimate.stats.ci_halfwidth
+    assert estimate.converged, "early stopping failed to converge within budget"
+    assert halfwidth <= target * abs(estimate.mean) * 1.0001
+    assert abs(estimate.mean - analytic) <= 5.0 * max(halfwidth / 1.96, 1e-9)
+    save_json(
+        "bench_mc_engine_early_stopping",
+        {
+            "benchmark": "mc_engine_early_stopping",
+            "seed": SEED,
+            "smoke": smoke,
+            "target_rel_halfwidth": target,
+            "trials_used": estimate.trials,
+            "max_trials": max_trials,
+            "mean": estimate.mean,
+            "analytic": analytic,
+            "seconds": elapsed,
+        },
+    )
+    save_table(
+        "mc_engine_early_stopping",
+        render_table(
+            ["target rel CI", "trials used", "mean", "analytic", "seconds"],
+            [
+                [
+                    f"{target:g}",
+                    str(estimate.trials),
+                    f"{estimate.mean:.3f}",
+                    f"{analytic:.3f}",
+                    f"{elapsed:.3f}",
+                ]
+            ],
+            title=(
+                "MC engine early stopping: S1PO (EL = 99) sampled to a target\n"
+                "relative CI half-width instead of a fixed trial count"
+            ),
+        ),
+    )

@@ -2,11 +2,15 @@
 
 Every bench regenerates one of the paper's evaluation artifacts (or an
 ablation extending it) and both prints the resulting table and saves it
-under ``benchmarks/results/`` so runs leave a diffable record.
+under ``benchmarks/results/`` so runs leave a diffable record.  Benches
+that track quantitative baselines (throughput, speedups) additionally
+persist a machine-readable JSON via ``save_json``.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 import pytest
@@ -22,7 +26,31 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
 
+def emit_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a BENCH record as pretty-printed JSON; returns the path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
 @pytest.fixture
 def save_table():
     """Fixture handing benches the emit() helper."""
     return emit
+
+
+@pytest.fixture
+def save_json():
+    """Fixture handing benches the emit_json() helper."""
+    return emit_json
+
+
+@pytest.fixture(scope="session")
+def bench_workers() -> int:
+    """Worker-process count for MC sweeps (REPRO_BENCH_WORKERS env).
+
+    Defaults to serial so benchmark timings stay comparable; set the
+    env var to fan sweep grids out when wall-clock matters more.
+    """
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "0"))

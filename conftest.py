@@ -1,0 +1,53 @@
+"""Repo-level pytest knobs shared by the test suite and the benchmarks.
+
+``--smoke`` (or the ``REPRO_SMOKE=1`` environment variable, for runners
+that cannot pass options through) scales Monte-Carlo trial counts down
+so benchmarks and slow MC tests finish in CI-friendly time without
+duplicating reduced constants everywhere: heavy call sites request their
+full-scale trial count through the ``scale_trials`` fixture and get a
+proportionally smaller one back in smoke mode.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SMOKE_ENV = "REPRO_SMOKE"
+SMOKE_FRACTION = 0.02
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="scale Monte-Carlo trial counts down for fast CI runs "
+        f"(equivalent to {SMOKE_ENV}=1)",
+    )
+
+
+def smoke_enabled(config: pytest.Config) -> bool:
+    """Whether this run asked for reduced trial counts."""
+    if config.getoption("--smoke", default=False):
+        return True
+    return os.environ.get(SMOKE_ENV, "0") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def smoke(request: pytest.FixtureRequest) -> bool:
+    """True when running in smoke (reduced-scale) mode."""
+    return smoke_enabled(request.config)
+
+
+@pytest.fixture(scope="session")
+def scale_trials(smoke: bool):
+    """Callable mapping a full-scale trial count to this run's count."""
+
+    def scale(trials: int, floor: int = 200) -> int:
+        if not smoke:
+            return trials
+        return max(floor, int(trials * SMOKE_FRACTION))
+
+    return scale

@@ -12,6 +12,12 @@ exact in the small-α limit:
 
 The generic :func:`elasticity` estimator (central log-difference) works
 on any EL function, so ablations can rank parameters uniformly.
+
+Systems without a closed form (S2SO above all) get the same treatment
+through :func:`mc_elasticity`: EL at the two perturbed points is
+estimated by the Monte-Carlo engine with CI-width-targeted early
+stopping, using a *common* seed at both points (common random numbers)
+so most sampling noise cancels out of the log-difference.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from ..core.specs import SystemSpec
 from ..errors import AnalysisError
 from .lifetimes import el_s2_po, per_step_compromise_s2_po
 
@@ -61,6 +68,99 @@ def s2_po_kappa_elasticity(alpha: float, kappa: float) -> float:
     if kappa <= 0:
         raise AnalysisError("kappa elasticity undefined at kappa = 0 (log scale)")
     return elasticity(lambda k: el_s2_po(alpha, min(k, 1.0)), kappa)
+
+
+def mc_elasticity(
+    spec_at: Callable[[float], SystemSpec],
+    at: float,
+    rel_step: float = 0.05,
+    *,
+    precision: float = 0.005,
+    seed: int = 0,
+    max_trials: int = 2_000_000,
+) -> float:
+    """Monte-Carlo elasticity ``d log EL / d log x`` at ``x = at``.
+
+    ``spec_at`` maps a parameter value to a spec; EL at ``at·(1±δ)`` is
+    estimated by the vectorized engine with early stopping at the given
+    relative CI half-width.  Both points share one seed, so the paired
+    estimates ride the same random-number stream and their common noise
+    cancels in the log-difference (variance reduction that makes a
+    finite-difference on sampled values usable at all).
+
+    The Monte-Carlo step ``rel_step`` is deliberately coarser than the
+    analytic default: the residual noise of the two estimates must stay
+    small against the EL change across the interval.
+    """
+    from ..mc.montecarlo import mc_expected_lifetime  # deferred: avoids cycle
+
+    if at <= 0:
+        raise AnalysisError(f"elasticity needs a positive point, got {at}")
+    if not 0 < rel_step < 0.5:
+        raise AnalysisError(f"rel_step must be in (0, 0.5), got {rel_step}")
+    hi = at * (1.0 + rel_step)
+    lo = at * (1.0 - rel_step)
+    estimates = [
+        mc_expected_lifetime(
+            spec_at(x), seed=seed, precision=precision, max_trials=max_trials
+        )
+        for x in (hi, lo)
+    ]
+    for estimate in estimates:
+        if not estimate.converged:
+            raise AnalysisError(
+                f"MC elasticity needs precision {precision:g} but "
+                f"{estimate.label} did not converge within {max_trials} "
+                "trials; raise max_trials or loosen precision"
+            )
+    el_hi, el_lo = estimates[0].mean, estimates[1].mean
+    if el_hi <= 0 or el_lo <= 0:
+        raise AnalysisError("expected lifetime must be positive around the point")
+    return (math.log(el_hi) - math.log(el_lo)) / (math.log(hi) - math.log(lo))
+
+
+def s2_so_alpha_elasticity(
+    alpha: float, kappa: float, *, precision: float = 0.005, seed: int = 0
+) -> float:
+    """Elasticity of EL(S2SO) wrt α, by Monte-Carlo (no closed form)."""
+    from ..core.specs import s2  # deferred: avoids cycle
+    from ..randomization.obfuscation import Scheme
+
+    return mc_elasticity(
+        lambda a: s2(Scheme.SO, alpha=a, kappa=kappa),
+        alpha,
+        precision=precision,
+        seed=seed,
+    )
+
+
+def s2_so_kappa_elasticity(
+    alpha: float, kappa: float, *, precision: float = 0.005, seed: int = 0
+) -> float:
+    """Elasticity of EL(S2SO) wrt κ, by Monte-Carlo (no closed form).
+
+    The perturbation interval shrinks near κ = 1 so the upper point
+    never clips at the domain boundary (clipping would silently bias
+    the log-difference); at κ = 1 itself no upward perturbation exists
+    and the elasticity is undefined.
+    """
+    from ..core.specs import s2  # deferred: avoids cycle
+    from ..randomization.obfuscation import Scheme
+
+    if kappa <= 0:
+        raise AnalysisError("kappa elasticity undefined at kappa = 0 (log scale)")
+    if kappa >= 1.0:
+        raise AnalysisError(
+            "kappa elasticity undefined at kappa = 1 (no upward perturbation)"
+        )
+    rel_step = min(0.05, (1.0 - kappa) / kappa)
+    return mc_elasticity(
+        lambda k: s2(Scheme.SO, alpha=alpha, kappa=k),
+        kappa,
+        rel_step=rel_step,
+        precision=precision,
+        seed=seed,
+    )
 
 
 def indirect_route_share(alpha: float, kappa: float) -> float:

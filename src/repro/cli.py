@@ -50,20 +50,51 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--entropy-bits", type=int, default=16)
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="fan Monte-Carlo grid points across N processes "
+             "(-1 = all cores; default serial)",
+    )
+    parser.add_argument(
+        "--precision", type=float, default=None,
+        help="target relative 95%% CI half-width per Monte-Carlo point "
+             "(early stopping instead of a fixed trial count)",
+    )
+
+
 def cmd_figure1(args: argparse.Namespace) -> int:
-    series = figure1_series(FIGURE1_ALPHAS, kappa=args.kappa, trials=args.mc_trials)
-    method = f"Monte-Carlo x{args.mc_trials}" if args.mc_trials else "analytic"
+    series = figure1_series(
+        FIGURE1_ALPHAS,
+        kappa=args.kappa,
+        trials=args.mc_trials,
+        precision=args.precision,
+        workers=args.workers,
+    )
+    use_mc = args.mc_trials is not None or args.precision is not None
+    if args.precision is not None:
+        method = f"Monte-Carlo @ {args.precision:g} rel. CI"
+    elif args.mc_trials:
+        method = f"Monte-Carlo x{args.mc_trials}"
+    else:
+        method = "analytic"
     print(render_series_table(
         series,
         x_header="alpha",
         title=f"Figure 1 ({method}): EL vs alpha [chi=2^16, kappa={args.kappa}]",
-        with_ci=args.mc_trials is not None,
+        with_ci=use_mc,
     ))
     return 0
 
 
 def cmd_figure2(args: argparse.Namespace) -> int:
-    series = figure2_series(FIGURE1_ALPHAS, FIGURE2_KAPPAS, trials=args.mc_trials)
+    series = figure2_series(
+        FIGURE1_ALPHAS,
+        FIGURE2_KAPPAS,
+        trials=args.mc_trials,
+        precision=args.precision,
+        workers=args.workers,
+    )
     print(render_series_table(
         series,
         x_header="alpha",
@@ -103,10 +134,18 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
         print(f"analytic EL   : {format_quantity(expected_lifetime(spec))} steps")
     except ReproError as exc:
         print(f"analytic EL   : unavailable ({exc})")
-    estimate = mc_expected_lifetime(spec, trials=args.trials, seed=args.seed)
+    estimate = mc_expected_lifetime(
+        spec,
+        trials=args.trials,
+        seed=args.seed,
+        vectorized=not args.scalar,
+        precision=args.precision,
+    )
+    note = "" if estimate.converged else ", NOT converged"
     print(f"Monte-Carlo EL: {format_quantity(estimate.mean)} steps "
           f"[95% CI {format_quantity(estimate.stats.ci_low)}, "
-          f"{format_quantity(estimate.stats.ci_high)}] ({estimate.trials} trials)")
+          f"{format_quantity(estimate.stats.ci_high)}] "
+          f"({estimate.trials} trials{note})")
     return 0
 
 
@@ -152,10 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure1", help="EL vs alpha for the five systems")
     p.add_argument("--kappa", type=float, default=0.5)
     p.add_argument("--mc-trials", type=int, default=None)
+    _add_engine_arguments(p)
     p.set_defaults(fn=cmd_figure1)
 
     p = sub.add_parser("figure2", help="EL of S2PO as kappa varies")
     p.add_argument("--mc-trials", type=int, default=None)
+    _add_engine_arguments(p)
     p.set_defaults(fn=cmd_figure2)
 
     p = sub.add_parser("trends", help="verify the Section-6 trends")
@@ -166,6 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(p)
     p.add_argument("--trials", type=int, default=20_000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--precision", type=float, default=None,
+        help="target relative 95%% CI half-width (overrides --trials)",
+    )
+    p.add_argument(
+        "--scalar", action="store_true",
+        help="use the bit-stable reference sampler instead of the "
+             "vectorized engine",
+    )
     p.set_defaults(fn=cmd_lifetime)
 
     p = sub.add_parser("protocol", help="protocol-level lifetime runs")

@@ -10,12 +10,11 @@ exchanges protocol messages, crashes processes and reboots nodes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..metrics.stats import SummaryStats, summarize
-from .builders import DeployedSystem, add_clients, attach_attacker, build_system
+from .builders import add_clients, attach_attacker, build_system
 from .specs import SystemSpec
 
 

@@ -13,7 +13,7 @@ all three evaluation methods: analytic models
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..errors import ConfigurationError
 from ..randomization.keyspace import PAX_32BIT_ENTROPY, KeySpace

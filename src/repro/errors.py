@@ -38,3 +38,32 @@ class ProtocolError(ReproError):
 
 class AnalysisError(ReproError):
     """An analytic model could not be constructed or solved."""
+
+
+class UnsampleableSpecError(ConfigurationError, AnalysisError):
+    """A step-level sampler ran past its step budget for one spec.
+
+    Raised instead of a bare message so callers can recover
+    programmatically: the exception carries the offending ``spec`` and
+    the exhausted ``max_steps`` budget, and the usual remedy (switch to
+    the closed-form geometric sampler, whose cost is independent of the
+    per-step compromise probability q) is stated in the message.  Also
+    derives from :class:`AnalysisError` — the type this guard raised
+    before it was typed — so pre-existing handlers keep catching it.
+    """
+
+    def __init__(self, spec, max_steps: int) -> None:
+        self.spec = spec
+        self.max_steps = max_steps
+        label = getattr(spec, "label", None) or repr(spec)
+        super().__init__(
+            f"step-level sampling of {label} exceeded {max_steps} steps "
+            f"(spec: {spec!r}); q is too small for step simulation — "
+            "use the geometric sampler instead"
+        )
+
+    def __reduce__(self):
+        # Rebuild from the constructor arguments: the default reduction
+        # replays args=(message,) into the two-argument __init__, which
+        # breaks unpickling across process-pool boundaries.
+        return (type(self), (self.spec, self.max_steps))

@@ -19,7 +19,7 @@ generated reproducibly by :mod:`repro.faults.plans`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import ConfigurationError

@@ -1,0 +1,287 @@
+"""Sweep execution engine: process fan-out, streaming, early stopping.
+
+Three cooperating pieces sit behind the figure sweeps:
+
+* :class:`StreamingMoments` — a mergeable running-moments accumulator
+  (Chan/Welford) so estimates can be built batch by batch without ever
+  materializing the full trial array;
+* :func:`estimate_to_precision` — streaming sampling with CI-width-based
+  early stopping: callers ask for a target relative precision instead of
+  a trial count;
+* :class:`SweepExecutor` — fans independent grid points (one
+  :class:`MCTask` each) out across worker processes.  Every task carries
+  its own seed, fixed *before* dispatch, so results are bit-identical
+  for any worker count — including the serial fallback used when
+  process pools are unavailable (sandboxes, restricted CI runners).
+
+The sweeps assign per-point seeds as simple root-seed offsets
+(preserving the pre-engine seed layout); that is already deterministic
+and worker-count independent, and ``np.random.default_rng`` hashes
+integer seeds through ``SeedSequence``, so adjacent offsets still get
+decorrelated PCG64 streams.  :func:`derive_point_seed` is the utility
+for callers who additionally want structural (multi-index) derivation.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.specs import SystemSpec
+from ..errors import ConfigurationError
+from ..metrics.stats import SummaryStats, Z_95
+from .models import LifetimeModel, model_for
+from .montecarlo import MCEstimate, run_model
+
+#: Trials drawn per streaming batch (small enough to stop promptly once
+#: the target precision is reached, large enough to amortize dispatch).
+DEFAULT_BATCH = 16_384
+
+
+def derive_point_seed(root_seed: int, *indices: int) -> int:
+    """Deterministic seed for one grid point from its grid indices.
+
+    The root seed and the point's indices are hashed through
+    ``np.random.SeedSequence``, so the result depends only on the grid
+    position — never on which process evaluates the point.  (Named
+    distinctly from :func:`repro.sim.rng.derive_seed`, which derives
+    ``random.Random`` seeds from component *names*.)
+    """
+    if root_seed < 0 or any(i < 0 for i in indices):
+        raise ConfigurationError(
+            f"seed components must be non-negative, got {root_seed}, {indices}"
+        )
+    sequence = np.random.SeedSequence([root_seed, *indices])
+    return int(sequence.generate_state(1, np.uint64)[0])
+
+
+@dataclass
+class StreamingMoments:
+    """Running mean/variance/extrema with O(1) state (mergeable)."""
+
+    count: int = 0
+    mean: float = 0.0
+    sum_sq_dev: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold a batch of samples into the running moments."""
+        n = int(values.size)
+        if n == 0:
+            return
+        batch = StreamingMoments(
+            count=n,
+            mean=float(values.mean()),
+            sum_sq_dev=float(((values - values.mean()) ** 2).sum()),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+        )
+        self.merge(batch)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Chan et al. parallel-merge of two moment accumulators."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.sum_sq_dev = other.sum_sq_dev
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.sum_sq_dev += (
+            other.sum_sq_dev + delta * delta * self.count * other.count / total
+        )
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def std(self) -> float:
+        """Sample (n-1) standard deviation."""
+        if self.count < 2:
+            return 0.0
+        return float(np.sqrt(self.sum_sq_dev / (self.count - 1)))
+
+    @property
+    def ci_halfwidth(self) -> float:
+        """Half-width of the 95% normal interval for the mean."""
+        if self.count < 2:
+            return float("inf")
+        return Z_95 * self.std / float(np.sqrt(self.count))
+
+    def to_stats(self) -> SummaryStats:
+        """Freeze the accumulator into a :class:`SummaryStats`."""
+        if self.count == 0:
+            raise ConfigurationError("cannot summarize an empty accumulator")
+        half = self.ci_halfwidth if self.count > 1 else 0.0
+        return SummaryStats(
+            n=self.count,
+            mean=self.mean,
+            std=self.std,
+            ci_low=self.mean - half,
+            ci_high=self.mean + half,
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
+
+
+def estimate_to_precision(
+    model: LifetimeModel,
+    rel_halfwidth: float = 0.01,
+    seed: int = 0,
+    *,
+    min_trials: int = 1_000,
+    max_trials: int = 10_000_000,
+    batch_size: int = DEFAULT_BATCH,
+    vectorized: bool = True,
+) -> MCEstimate:
+    """Sample until the 95% CI half-width is ``rel_halfwidth × |mean|``.
+
+    Batches stream into a :class:`StreamingMoments` accumulator, so
+    memory stays O(batch) regardless of how many trials the target
+    precision ends up costing.  ``converged=False`` on the returned
+    estimate means the ``max_trials`` budget ran out first.
+    """
+    if rel_halfwidth <= 0:
+        raise ConfigurationError(f"rel_halfwidth must be positive, got {rel_halfwidth}")
+    if not 2 <= min_trials <= max_trials:
+        raise ConfigurationError(
+            f"need 2 <= min_trials <= max_trials, got {min_trials}, {max_trials}"
+        )
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    rng = np.random.default_rng(seed)
+    moments = StreamingMoments()
+    converged = False
+    while moments.count < max_trials:
+        take = min(batch_size, max_trials - moments.count)
+        if vectorized:
+            values = model.sample_batch(take, rng)
+        else:
+            values = model.sample(take, rng)
+        moments.update(values.astype(np.float64))
+        if moments.count < min_trials:
+            continue
+        scale = max(abs(moments.mean), np.finfo(float).tiny)
+        if moments.ci_halfwidth <= rel_halfwidth * scale:
+            converged = True
+            break
+    return MCEstimate(
+        label=model.label,
+        spec=model.spec,
+        stats=moments.to_stats(),
+        trials=moments.count,
+        converged=converged,
+    )
+
+
+# ----------------------------------------------------------------------
+# Grid fan-out
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MCTask:
+    """One grid point of a sweep: a spec plus its sampling policy.
+
+    ``seed`` is fixed by the caller before dispatch, which is what makes
+    sweep results independent of the worker count.
+    """
+
+    spec: SystemSpec
+    seed: int
+    trials: int = 10_000
+    step_level: bool = False
+    vectorized: bool = True
+    precision: float | None = None
+    max_trials: int = 10_000_000
+
+    def run(self) -> MCEstimate:
+        """Evaluate this point in the current process."""
+        model = model_for(self.spec, step_level=self.step_level)
+        if self.precision is not None:
+            return estimate_to_precision(
+                model,
+                rel_halfwidth=self.precision,
+                seed=self.seed,
+                max_trials=self.max_trials,
+                vectorized=self.vectorized,
+            )
+        return run_model(model, self.trials, self.seed, vectorized=self.vectorized)
+
+
+def run_task(task: MCTask) -> MCEstimate:
+    """Module-level task runner (picklable for process pools)."""
+    return task.run()
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker request: None/0/1 → serial; -1 → all cores."""
+    if workers is None:
+        return 1
+    if workers < 0:
+        return max(os.cpu_count() or 1, 1)
+    return max(workers, 1)
+
+
+class SweepExecutor:
+    """Evaluates a batch of :class:`MCTask` grid points, in order.
+
+    ``workers`` ≤ 1 (or ``None``) runs serially in-process; larger
+    values fan the tasks out over a process pool.  Because every task
+    carries its own pre-derived seed, the two modes return bit-identical
+    estimates.  If the platform refuses to start a pool the executor
+    degrades to the serial path with a warning instead of failing.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = resolve_workers(workers)
+
+    def map(self, tasks: Sequence[MCTask]) -> list[MCEstimate]:
+        """Run every task, preserving input order in the results."""
+        tasks = list(tasks)
+        if self.workers <= 1 or len(tasks) <= 1:
+            return [task.run() for task in tasks]
+        results: list[MCEstimate] = []
+        warned = False
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+        except (OSError, PermissionError) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); falling back to "
+                "serial sweep execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [task.run() for task in tasks]
+        with pool:
+            futures = [pool.submit(run_task, task) for task in tasks]
+            for task, future in zip(tasks, futures):
+                try:
+                    results.append(future.result())
+                except (OSError, PermissionError, BrokenProcessPool) as exc:
+                    # Keep every result already computed; only the tasks
+                    # the broken pool never finished re-run serially.
+                    # (Per-task seeds make the outcome identical either
+                    # way.)  Task-level errors from inside a healthy
+                    # worker — e.g. UnsampleableSpecError — re-raise
+                    # above unchanged.
+                    if not warned:
+                        warnings.warn(
+                            f"process pool unavailable ({exc!r}); running "
+                            "remaining sweep tasks serially",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        warned = True
+                    results.append(task.run())
+        return results

@@ -25,22 +25,52 @@ state space is path-dependent).  Modelling notes for S2SO:
   are known (the attacker then holds all proxies simultaneously);
 * the sub-step λ refinement of the discovery step is neglected (it
   shifts lifetimes by less than one step).
+
+Sampling paths
+--------------
+Every model exposes three entry points with identical distributions:
+
+``sample(n, rng)``
+    The reference path, preserved bit-for-bit from the original
+    implementation (regression anchor; select it through
+    ``vectorized=False`` in :mod:`repro.mc.montecarlo`).
+``sample_batch(n, rng, chunk_size=None)``
+    The engine path: fully vectorized numpy sampling, drawn in bounded
+    chunks so arbitrarily large trial counts run in constant memory.
+    For :class:`S2POStepModel` — the only truly sequential sampler —
+    this simulates *blocks* of steps for all pending trials at once and
+    retires finished trials between blocks.
+``sample_scalar(n, rng)``
+    A deliberate one-trial-at-a-time pure-Python loop over
+    ``_sample_one``; the throughput baseline that
+    ``benchmarks/bench_mc_engine.py`` compares the batch path against.
 """
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 
 import numpy as np
 
-from ..errors import AnalysisError, ConfigurationError
-from ..randomization.obfuscation import Scheme
-from ..core.specs import SystemClass, SystemSpec
 from ..analysis.lifetimes import per_step_compromise
+from ..core.specs import SystemClass, SystemSpec
+from ..errors import ConfigurationError, UnsampleableSpecError
+from ..randomization.obfuscation import Scheme
+
+#: Default number of trials drawn per vectorized chunk.  Bounds peak
+#: memory at a few tens of MB per intermediate array while keeping the
+#: per-chunk numpy dispatch overhead negligible.
+DEFAULT_CHUNK = 1 << 20
 
 
 class LifetimeModel(ABC):
     """Draws i.i.d. lifetimes (whole steps survived) for one spec."""
+
+    #: Per-model override of the vectorized chunk size (step-level
+    #: simulation allocates (trials × block) scratch, so it chunks
+    #: harder than the O(1)-per-trial samplers).
+    batch_chunk: int = DEFAULT_CHUNK
 
     def __init__(self, spec: SystemSpec) -> None:
         self.spec = spec
@@ -52,7 +82,49 @@ class LifetimeModel(ABC):
 
     @abstractmethod
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        """Return ``n`` independent lifetimes as an int64 array."""
+        """Return ``n`` independent lifetimes as an int64 array.
+
+        Reference path — bit-identical to the pre-engine implementation
+        for a given generator state.
+        """
+
+    @abstractmethod
+    def _sample_one(self, rng: np.random.Generator) -> int:
+        """Draw a single lifetime (scalar kernel for the loop path)."""
+
+    def _sample_vectorized(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """One vectorized chunk; by default the reference path is
+        already array-at-a-time, so it is reused directly."""
+        return self.sample(n, rng)
+
+    def sample_batch(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        chunk_size: int | None = None,
+    ) -> np.ndarray:
+        """Vectorized sampling of ``n`` lifetimes in bounded chunks."""
+        self._check_n(n)
+        chunk = self.batch_chunk if chunk_size is None else chunk_size
+        if chunk < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk}")
+        if n <= chunk:
+            return self._sample_vectorized(n, rng)
+        parts = []
+        remaining = n
+        while remaining > 0:
+            take = min(chunk, remaining)
+            parts.append(self._sample_vectorized(take, rng))
+            remaining -= take
+        return np.concatenate(parts)
+
+    def sample_scalar(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """One-trial-at-a-time loop path (throughput baseline)."""
+        self._check_n(n)
+        out = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            out[i] = self._sample_one(rng)
+        return out
 
     def _check_n(self, n: int) -> None:
         if n < 1:
@@ -77,6 +149,9 @@ class GeometricPOModel(LifetimeModel):
         # whole steps survived is one less.
         return rng.geometric(self.q, size=n).astype(np.int64) - 1
 
+    def _sample_one(self, rng: np.random.Generator) -> int:
+        return int(rng.geometric(self.q)) - 1
+
 
 class S0POModel(GeometricPOModel):
     """S0 (4-replica SMR) under proactive obfuscation."""
@@ -97,7 +172,16 @@ class S2POStepModel(LifetimeModel):
     and (when a proxy falls) the same-step launch-pad attack, then apply
     Definition 3's compromise conditions.  Used to validate
     :func:`repro.analysis.lifetimes.per_step_compromise_s2_po`.
+
+    The vectorized path simulates ``block_steps`` steps for every
+    pending trial at once, retires the trials whose first compromise
+    falls inside the block (``argmax`` over the step axis), and repeats
+    with the survivors — the chunked fallback for this genuinely
+    sequential sampler.
     """
+
+    batch_chunk = 8192
+    block_steps = 128
 
     def __init__(self, spec: SystemSpec, max_steps: int = 10_000_000) -> None:
         if spec.scheme is not Scheme.PO or spec.system is not SystemClass.S2:
@@ -106,26 +190,47 @@ class S2POStepModel(LifetimeModel):
         self.max_steps = max_steps
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        self._check_n(n)
+        return self.sample_scalar(n, rng)
+
+    def _sample_one(self, rng: np.random.Generator) -> int:
         spec = self.spec
+        steps = 0
+        while True:
+            if steps >= self.max_steps:
+                raise UnsampleableSpecError(spec, self.max_steps)
+            if rng.random() < spec.kappa * spec.alpha:
+                break  # indirect attack landed
+            fallen = rng.binomial(spec.n_proxies, spec.alpha)
+            if fallen == spec.n_proxies:
+                break  # all proxies held simultaneously
+            if fallen >= 1 and rng.random() < spec.launchpad_fraction * spec.alpha:
+                break  # same-step launch-pad attack landed
+            steps += 1
+        return steps
+
+    def _sample_vectorized(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        spec = self.spec
+        q_indirect = spec.kappa * spec.alpha
+        q_launchpad = spec.launchpad_fraction * spec.alpha
         out = np.empty(n, dtype=np.int64)
-        for i in range(n):
-            steps = 0
-            while True:
-                if steps >= self.max_steps:
-                    raise AnalysisError(
-                        f"S2PO step simulation exceeded {self.max_steps} steps; "
-                        "use the geometric sampler for such small q"
-                    )
-                if rng.random() < spec.kappa * spec.alpha:
-                    break  # indirect attack landed
-                fallen = rng.binomial(spec.n_proxies, spec.alpha)
-                if fallen == spec.n_proxies:
-                    break  # all proxies held simultaneously
-                if fallen >= 1 and rng.random() < spec.launchpad_fraction * spec.alpha:
-                    break  # same-step launch-pad attack landed
-                steps += 1
-            out[i] = steps
+        pending = np.arange(n)
+        survived = 0  # steps already survived by every pending trial
+        while pending.size:
+            if survived >= self.max_steps:
+                raise UnsampleableSpecError(spec, self.max_steps)
+            # Never simulate past the budget: the scalar path raises the
+            # moment a trial reaches max_steps, so no returned lifetime
+            # may equal or exceed it.
+            block = min(self.block_steps, self.max_steps - survived)
+            m = pending.size
+            indirect = rng.random((m, block)) < q_indirect
+            fallen = rng.binomial(spec.n_proxies, spec.alpha, size=(m, block))
+            launchpad = (fallen >= 1) & (rng.random((m, block)) < q_launchpad)
+            ended = indirect | (fallen == spec.n_proxies) | launchpad
+            done = ended.any(axis=1)
+            out[pending[done]] = survived + ended.argmax(axis=1)[done]
+            pending = pending[~done]
+            survived += block
         return out
 
 
@@ -151,6 +256,10 @@ class S1SOModel(LifetimeModel):
         found_step = np.ceil(positions / self.spec.omega).astype(np.int64)
         return found_step - 1
 
+    def _sample_one(self, rng: np.random.Generator) -> int:
+        position = int(rng.integers(1, self.spec.chi + 1))
+        return math.ceil(position / self.spec.omega) - 1
+
 
 class S0SOModel(LifetimeModel):
     """S0 under start-up-only randomization.
@@ -173,6 +282,14 @@ class S0SOModel(LifetimeModel):
         found_steps.sort(axis=1)
         fatal = found_steps[:, spec.f]  # 0-indexed: the (f+1)-th discovery
         return fatal - 1
+
+    def _sample_one(self, rng: np.random.Generator) -> int:
+        spec = self.spec
+        found_steps = sorted(
+            math.ceil(int(rng.integers(1, spec.chi + 1)) / spec.omega)
+            for _ in range(spec.n_servers)
+        )
+        return found_steps[spec.f] - 1
 
 
 class S2SOModel(LifetimeModel):
@@ -207,9 +324,9 @@ class S2SOModel(LifetimeModel):
         # proxy key is known (full-rate launch pad joins in).
         consumed_by_t1 = kappa * omega * first_proxy.astype(np.float64)
         remaining = np.maximum(server_position - consumed_by_t1, 0.0)
-        late = first_proxy + np.ceil(
-            remaining / ((1.0 + kappa) * omega)
-        ).astype(np.int64)
+        late = first_proxy + np.ceil(remaining / ((1.0 + kappa) * omega)).astype(
+            np.int64
+        )
         # If the key position falls exactly within step T1's combined
         # budget, ceil() of 0 remaining gives T1 itself, which is right.
         late = np.maximum(late, first_proxy)
@@ -217,6 +334,28 @@ class S2SOModel(LifetimeModel):
         server_step = np.where(found_early, early, late)
         fatal = np.minimum(server_step, all_proxies)
         return (fatal - 1).astype(np.int64)
+
+    def _sample_one(self, rng: np.random.Generator) -> int:
+        spec = self.spec
+        omega = spec.omega
+        kappa = spec.kappa
+
+        proxy_steps = [
+            math.ceil(int(rng.integers(1, spec.chi + 1)) / omega)
+            for _ in range(spec.n_proxies)
+        ]
+        first_proxy = min(proxy_steps)
+        all_proxies = max(proxy_steps)
+
+        server_position = float(rng.integers(1, spec.chi + 1))
+        if kappa > 0.0:
+            early = math.ceil(server_position / (kappa * omega))
+            if early <= first_proxy:
+                return min(early, all_proxies) - 1
+
+        remaining = max(server_position - kappa * omega * first_proxy, 0.0)
+        late = first_proxy + math.ceil(remaining / ((1.0 + kappa) * omega))
+        return min(max(late, first_proxy), all_proxies) - 1
 
 
 # ----------------------------------------------------------------------

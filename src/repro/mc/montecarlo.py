@@ -4,6 +4,19 @@ Thin runner over the samplers in :mod:`repro.mc.models`: draws trials,
 summarizes them with a 95% confidence interval, and exposes the same
 Definition-7 lifetime convention as the analytic formulas so the two can
 be compared term by term.
+
+Two drawing paths are available everywhere:
+
+* ``vectorized=True`` (default) uses each model's chunked
+  ``sample_batch`` engine path;
+* ``vectorized=False`` replays the original ``sample`` reference path
+  bit-for-bit — the regression anchor for the vectorized engine.
+
+Passing ``precision=`` switches from a fixed trial count to streaming
+accumulation with CI-width-based early stopping (see
+:mod:`repro.mc.executor`): sampling continues until the 95% interval
+half-width falls below ``precision × |mean|`` or the trial budget runs
+out.
 """
 
 from __future__ import annotations
@@ -12,9 +25,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.specs import SystemSpec
 from ..errors import ConfigurationError
 from ..metrics.stats import SummaryStats, Z_95
-from ..core.specs import SystemSpec
 from .models import LifetimeModel, model_for
 
 
@@ -32,12 +45,16 @@ class MCEstimate:
         Mean / CI / spread of the sampled lifetimes.
     trials:
         Number of trials drawn.
+    converged:
+        ``False`` only for precision-targeted runs that hit their trial
+        budget before reaching the requested CI half-width.
     """
 
     label: str
     spec: SystemSpec
     stats: SummaryStats
     trials: int
+    converged: bool = True
 
     @property
     def mean(self) -> float:
@@ -49,11 +66,12 @@ class MCEstimate:
         return self.stats.ci_low <= value <= self.stats.ci_high
 
 
-def _summarize_array(values: np.ndarray) -> SummaryStats:
+def summarize_array(values: np.ndarray) -> SummaryStats:
+    """95% normal-interval summary of a sample array."""
     n = int(values.size)
     mean = float(values.mean())
     std = float(values.std(ddof=1)) if n > 1 else 0.0
-    half = Z_95 * std / np.sqrt(n) if n > 1 else 0.0
+    half = float(Z_95 * std / np.sqrt(n)) if n > 1 else 0.0
     return SummaryStats(
         n=n,
         mean=mean,
@@ -65,16 +83,29 @@ def _summarize_array(values: np.ndarray) -> SummaryStats:
     )
 
 
-def run_model(model: LifetimeModel, trials: int, seed: int = 0) -> MCEstimate:
+# Backwards-compatible alias (pre-engine private name).
+_summarize_array = summarize_array
+
+
+def run_model(
+    model: LifetimeModel,
+    trials: int,
+    seed: int = 0,
+    *,
+    vectorized: bool = True,
+) -> MCEstimate:
     """Draw ``trials`` lifetimes from ``model`` and summarize them."""
     if trials < 2:
         raise ConfigurationError(f"need at least 2 trials for a CI, got {trials}")
     rng = np.random.default_rng(seed)
-    values = model.sample(trials, rng)
+    if vectorized:
+        values = model.sample_batch(trials, rng)
+    else:
+        values = model.sample(trials, rng)
     return MCEstimate(
         label=model.label,
         spec=model.spec,
-        stats=_summarize_array(values.astype(np.float64)),
+        stats=summarize_array(values.astype(np.float64)),
         trials=trials,
     )
 
@@ -84,19 +115,48 @@ def mc_expected_lifetime(
     trials: int = 10_000,
     seed: int = 0,
     step_level: bool = False,
+    *,
+    vectorized: bool = True,
+    precision: float | None = None,
+    max_trials: int | None = None,
 ) -> MCEstimate:
-    """Monte-Carlo EL of ``spec`` (see :func:`repro.mc.models.model_for`)."""
-    return run_model(model_for(spec, step_level=step_level), trials, seed)
+    """Monte-Carlo EL of ``spec`` (see :func:`repro.mc.models.model_for`).
+
+    With ``precision`` set, ``trials`` is ignored as a count and
+    sampling instead streams batches until the 95% CI half-width drops
+    below ``precision × |mean|`` (budget: ``max_trials``, default 10M).
+    """
+    model = model_for(spec, step_level=step_level)
+    if precision is not None:
+        from .executor import estimate_to_precision  # deferred: avoids cycle
+
+        return estimate_to_precision(
+            model,
+            rel_halfwidth=precision,
+            seed=seed,
+            max_trials=max_trials or 10_000_000,
+            vectorized=vectorized,
+        )
+    return run_model(model, trials, seed, vectorized=vectorized)
 
 
 def mc_survival_curve(
-    spec: SystemSpec, steps: int, trials: int = 10_000, seed: int = 0
+    spec: SystemSpec,
+    steps: int,
+    trials: int = 10_000,
+    seed: int = 0,
+    *,
+    vectorized: bool = True,
 ) -> np.ndarray:
     """Empirical ``S(t)`` for ``t = 1..steps`` from sampled lifetimes."""
     if steps < 1:
         raise ConfigurationError(f"steps must be >= 1, got {steps}")
     rng = np.random.default_rng(seed)
-    lifetimes = model_for(spec).sample(trials, rng)
+    model = model_for(spec)
+    if vectorized:
+        lifetimes = model.sample_batch(trials, rng)
+    else:
+        lifetimes = model.sample(trials, rng)
     t = np.arange(1, steps + 1)
     # A run with lifetime L survives t whole steps iff L >= t.
     return (lifetimes[None, :] >= t[:, None]).mean(axis=1)

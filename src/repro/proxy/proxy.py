@@ -23,7 +23,7 @@ and compromised over direct connections, exactly like servers in a
 from __future__ import annotations
 
 import random
-from typing import Any, Mapping, Optional
+from typing import Mapping, Optional
 
 from ..crypto.signatures import Signed, SignatureAuthority
 from ..net.message import Message

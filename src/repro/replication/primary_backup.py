@@ -29,7 +29,7 @@ path of FORTRESS.
 from __future__ import annotations
 
 import random
-from typing import Any, Mapping, Optional
+from typing import Optional
 
 from ..crypto.signatures import SignatureAuthority
 from ..net.message import Message

@@ -13,7 +13,6 @@ SMR).
 from __future__ import annotations
 
 import itertools
-import random
 from typing import Mapping, Optional
 
 from ..core.clients import BodyFactory, default_body_factory

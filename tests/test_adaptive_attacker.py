@@ -6,7 +6,7 @@ from __future__ import annotations
 import pytest
 
 from repro.attacker.adaptive import AdaptiveIndirectProber
-from repro.core.builders import add_clients, attach_attacker, build_system
+from repro.core.builders import add_clients, build_system
 from repro.core.specs import s2
 from repro.errors import ConfigurationError, NetworkError
 from repro.proxy.detection import DetectionLog, DetectionPolicy

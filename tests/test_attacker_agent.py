@@ -5,8 +5,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.attacker.agent import AttackerProcess
 from repro.attacker.probe import connection_probe, is_intrusion_ack, request_probe
 from repro.net.latency import FixedLatency

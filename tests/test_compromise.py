@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.compromise import CompromiseMonitor
 from repro.core.specs import SystemClass
 from repro.sim.engine import Simulator

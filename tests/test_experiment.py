@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.experiment import (
     LifetimeOutcome,
     estimate_protocol_lifetime,
     run_protocol_lifetime,
 )
-from repro.core.specs import s0, s1, s2
+from repro.core.specs import s1, s2
 from repro.randomization.obfuscation import Scheme
 
 

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.core.builders import add_clients, build_system
 from repro.core.specs import s0, s1, s2
 from repro.faults.injector import FaultInjector, MessageLossFault, PartitionFault

@@ -7,7 +7,6 @@ cross-checked by Monte-Carlo at representative points.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis.lifetimes import expected_lifetime

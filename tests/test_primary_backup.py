@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.crypto.signatures import SignatureAuthority
 from repro.net.latency import FixedLatency
 from repro.net.message import Message

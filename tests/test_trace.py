@@ -10,7 +10,7 @@ from repro.errors import ConfigurationError
 from repro.randomization.obfuscation import Scheme
 from repro.sim.engine import Simulator
 from repro.sim.process import SimProcess
-from repro.sim.trace import TraceEvent, TraceRecorder
+from repro.sim.trace import TraceRecorder
 
 
 def test_record_stamps_current_time():
