@@ -1,0 +1,207 @@
+"""Protocol engine — serial vs parallel campaign throughput (BENCH record).
+
+Runs the same S2 protocol campaign (an α × κ grid of S2SO, χ = 2^8)
+twice through :func:`repro.core.campaign.run_campaign` — once serially
+(``workers=1``) and once fanned across 4 worker processes — and records
+runs/sec for both legs plus the speedup.  Because every seed is derived
+before dispatch, the two legs must return bit-identical estimates; the
+bench asserts that, so the throughput numbers can never come from
+silently divergent campaigns.
+
+S2SO is the campaign system on purpose: it is the one candidate whose
+lifetime has no closed form, so the paper itself falls back to the
+Monte-Carlo sampler there — protocol-vs-MC is the meaningful agreement
+check.  (S2PO at laptop-scale α carries a known ~1.5× protocol-fidelity
+gap — respawn delays and reconnect gaps are a large fraction of a step
+when lifetimes are ~10 steps — tracked by ``bench_protocol_vs_model``'s
+wide tolerance rather than asserted tightly here.)
+
+Asserted content: serial/parallel bit-identity, protocol-vs-MC-model
+agreement within a 5σ combined tolerance on every grid point, zero
+heavily-censored points, and — on machines with ≥ 4 CPUs — a ≥ 3×
+parallel speedup at 4 workers.  Single-core runners record their
+measured speedup plus a dispatch-overhead-based projection of the
+4-core figure instead of asserting it.  The JSON record persists under
+``benchmarks/results/bench_protocol_engine.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.campaign import campaign_grid, run_campaign
+from repro.core.specs import SystemClass
+from repro.mc.montecarlo import mc_expected_lifetime
+from repro.randomization.obfuscation import Scheme
+from repro.reporting.tables import render_campaign_table, render_table
+
+SEED = 20260727
+MC_SEED = 11
+ALPHAS = (0.15, 0.2)
+ENTROPY = 8
+KAPPAS = (0.25, 0.5)
+TRIALS_PER_POINT = 100
+MAX_STEPS = 400
+WORKERS = 4
+MIN_PARALLEL_SPEEDUP = 3.0
+
+
+def _campaign_specs():
+    return campaign_grid(
+        systems=(SystemClass.S2,),
+        schemes=(Scheme.SO,),
+        alphas=ALPHAS,
+        kappas=KAPPAS,
+        entropy_bits=ENTROPY,
+    )
+
+
+def _timed_campaign(specs, trials, workers):
+    start = time.perf_counter()
+    result = run_campaign(
+        specs,
+        trials=trials,
+        max_steps=MAX_STEPS,
+        seed=SEED,
+        workers=workers,
+    )
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def bench_protocol_engine(save_table, save_json, scale_trials, smoke):
+    """Serial-vs-parallel campaign throughput + model agreement."""
+    specs = _campaign_specs()
+    trials = scale_trials(TRIALS_PER_POINT, floor=10)
+    serial, serial_seconds = _timed_campaign(specs, trials, workers=1)
+    parallel, parallel_seconds = _timed_campaign(specs, trials, workers=WORKERS)
+
+    # Determinism first: the throughput comparison is meaningless unless
+    # both legs ran the exact same campaign.
+    for a, b in zip(serial, parallel):
+        assert a.stats == b.stats, f"{a.spec.label}: serial/parallel diverged"
+        assert [o.steps for o in a.outcomes] == [o.steps for o in b.outcomes]
+
+    total_runs = serial.total_runs
+    serial_rps = total_runs / serial_seconds
+    parallel_rps = total_runs / parallel_seconds
+    speedup = parallel_rps / serial_rps
+    cpu_count = os.cpu_count() or 1
+    # Single-core runners cannot express process parallelism; project the
+    # 4-core figure from the measured dispatch overhead so the record
+    # stays comparable across machines (clearly labelled as projected).
+    overhead_seconds = max(parallel_seconds - serial_seconds, 0.0)
+    projected_seconds = serial_seconds / WORKERS + overhead_seconds
+    projected_speedup = serial_seconds / projected_seconds
+    speedup_asserted = cpu_count >= WORKERS and not smoke
+    if speedup_asserted:
+        # Smoke runs are sub-second: pool startup and shared-runner
+        # noise dominate, so only the full workload gates the 3x bar.
+        assert speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"parallel campaign only {speedup:.2f}x over serial at "
+            f"{WORKERS} workers (required {MIN_PARALLEL_SPEEDUP}x)"
+        )
+
+    rows = []
+    model_means = {}
+    for i, estimate in enumerate(serial):
+        spec = estimate.spec
+        model = mc_expected_lifetime(
+            spec, seed=MC_SEED, precision=0.02, max_trials=500_000
+        )
+        model_means[i] = model.mean
+        protocol_se = estimate.stats.std / np.sqrt(estimate.stats.n)
+        model_se = model.stats.std / np.sqrt(model.stats.n)
+        sigma = float(np.hypot(protocol_se, model_se))
+        distance = abs(estimate.mean_steps - model.mean)
+        within_ci = bool(
+            estimate.stats.ci_low <= model.mean <= estimate.stats.ci_high
+        )
+        assert estimate.censored_fraction <= 0.1, (
+            f"{spec.label} kappa={spec.kappa:g}: campaign point heavily "
+            f"censored ({estimate.censored}/{estimate.stats.n})"
+        )
+        assert distance <= 5.0 * max(sigma, 1e-9), (
+            f"{spec.label} kappa={spec.kappa:g}: protocol "
+            f"{estimate.mean_steps:.2f} vs MC model {model.mean:.2f} "
+            f"disagree beyond 5 sigma ({distance / sigma:.1f})"
+        )
+        rows.append(
+            {
+                "label": spec.label,
+                "alpha": spec.alpha,
+                "kappa": spec.kappa,
+                "runs": estimate.stats.n,
+                "protocol_mean": estimate.mean_steps,
+                "protocol_ci": [estimate.stats.ci_low, estimate.stats.ci_high],
+                "censored": estimate.censored,
+                "km_mean": estimate.km_mean_steps,
+                "mc_model_mean": model.mean,
+                "mc_model_trials": model.trials,
+                "model_within_protocol_ci": within_ci,
+                "sigma_distance": distance / sigma if sigma else 0.0,
+            }
+        )
+
+    save_json(
+        "bench_protocol_engine",
+        {
+            "benchmark": "protocol_engine",
+            "seed": SEED,
+            "smoke": smoke,
+            "cpu_count": cpu_count,
+            "workers": WORKERS,
+            "trials_per_point": trials,
+            "max_steps": MAX_STEPS,
+            "grid_points": len(specs),
+            "total_runs": total_runs,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "serial_runs_per_sec": serial_rps,
+            "parallel_runs_per_sec": parallel_rps,
+            "speedup": speedup,
+            "speedup_projected_at_4_cores": projected_speedup,
+            "speedup_target": MIN_PARALLEL_SPEEDUP,
+            "speedup_asserted": speedup_asserted,
+            "serial_parallel_bit_identical": True,
+            "rows": rows,
+        },
+    )
+    table = render_campaign_table(
+        serial.estimates,
+        title=(
+            f"Protocol engine: S2SO campaign ({trials} seeds/point, budget "
+            f"{MAX_STEPS} steps, chi=2^{ENTROPY})\n"
+            f"serial {serial_rps:.1f} runs/s vs {WORKERS}-worker "
+            f"{parallel_rps:.1f} runs/s = {speedup:.2f}x on {cpu_count} "
+            f"CPU(s) (projected {projected_speedup:.2f}x at 4 cores)"
+        ),
+        model_means=model_means,
+    )
+    save_table("protocol_engine_campaign", table)
+    save_table(
+        "protocol_engine_throughput",
+        render_table(
+            [
+                "leg",
+                "workers",
+                "runs",
+                "seconds",
+                "runs/sec",
+            ],
+            [
+                ["serial", "1", str(total_runs), f"{serial_seconds:.2f}",
+                 f"{serial_rps:.1f}"],
+                ["parallel", str(WORKERS), str(total_runs),
+                 f"{parallel_seconds:.2f}", f"{parallel_rps:.1f}"],
+            ],
+            title=(
+                "Protocol engine throughput (bit-identical campaigns; "
+                f"speedup {speedup:.2f}x measured, "
+                f"{projected_speedup:.2f}x projected at 4 cores)"
+            ),
+        ),
+    )

@@ -2,12 +2,13 @@
 
 Commands
 --------
-``figure1``   regenerate Figure 1 (EL vs α, five systems)
-``figure2``   regenerate Figure 2 (EL of S2PO as κ varies)
-``trends``    verify the §6 trends and print the κ crossovers
-``lifetime``  EL of one system spec (analytic + Monte-Carlo)
-``protocol``  run protocol-level lifetime experiments
-``advise``    the paper's §7 design recommendation
+``figure1``         regenerate Figure 1 (EL vs α, five systems)
+``figure2``         regenerate Figure 2 (EL of S2PO as κ varies)
+``trends``          verify the §6 trends and print the κ crossovers
+``lifetime``        EL of one system spec (analytic + Monte-Carlo)
+``protocol``        run protocol-level lifetime experiments
+``protocol-sweep``  (system × scheme × α × κ) protocol campaigns
+``advise``          the paper's §7 design recommendation
 """
 
 from __future__ import annotations
@@ -23,13 +24,19 @@ from .analysis.orderings import (
     lifetimes_at,
     verify_paper_trends,
 )
+from .core.campaign import campaign_grid, run_campaign
 from .core.experiment import estimate_protocol_lifetime
 from .core.specs import SystemClass, SystemSpec
 from .errors import ReproError
 from .mc.montecarlo import mc_expected_lifetime
 from .mc.sweeps import FIGURE1_ALPHAS, FIGURE2_KAPPAS, figure1_series, figure2_series
 from .randomization.obfuscation import Scheme
-from .reporting.tables import format_quantity, render_series_table, render_table
+from .reporting.tables import (
+    format_quantity,
+    render_campaign_table,
+    render_series_table,
+    render_table,
+)
 
 
 def _spec_from_args(args: argparse.Namespace) -> SystemSpec:
@@ -152,14 +159,56 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
 def cmd_protocol(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     estimate = estimate_protocol_lifetime(
-        spec, trials=args.trials, max_steps=args.max_steps, seed0=args.seed
+        spec,
+        trials=args.trials,
+        max_steps=args.max_steps,
+        seed0=args.seed,
+        workers=args.workers,
+        precision=args.precision,
     )
+    note = "" if estimate.converged else " (NOT converged)"
     print(f"{spec.label} protocol-level lifetimes over {estimate.stats.n} seeds "
           f"(chi=2^{spec.entropy_bits}, omega={spec.omega:.1f} probes/step):")
     print(f"mean EL  : {estimate.mean_steps:.2f} whole steps "
+          f"[95% CI {estimate.stats.ci_low:.2f}, {estimate.stats.ci_high:.2f}]"
+          f"{note} "
           f"(min {estimate.stats.minimum:.0f}, max {estimate.stats.maximum:.0f})")
     print(f"censored : {estimate.censored} of {estimate.stats.n} "
-          f"(budget {args.max_steps} steps)")
+          f"(budget {args.max_steps} steps; KM mean "
+          f"{estimate.km_mean_steps:.2f})")
+    if estimate.censored:
+        print("note     : censored runs present — mean EL is a lower bound")
+    return 0
+
+
+def cmd_protocol_sweep(args: argparse.Namespace) -> int:
+    specs = campaign_grid(
+        systems=[SystemClass[s.upper()] for s in args.systems],
+        schemes=[Scheme[s.upper()] for s in args.schemes],
+        alphas=args.alphas,
+        kappas=args.kappas,
+        entropy_bits=args.entropy_bits,
+    )
+    result = run_campaign(
+        specs,
+        trials=args.trials,
+        max_steps=args.max_steps,
+        seed=args.seed,
+        workers=args.workers,
+        precision=args.precision,
+    )
+    if args.precision is not None:
+        method = f"precision {args.precision:g} rel. CI"
+    else:
+        method = f"{args.trials} seeds/point"
+    print(render_campaign_table(
+        result.estimates,
+        title=(
+            f"Protocol campaign ({method}, budget {args.max_steps} steps, "
+            f"chi=2^{args.entropy_bits}): {len(result)} grid points, "
+            f"{result.total_runs} runs, {result.total_censored} censored"
+        ),
+    ))
     return 0
 
 
@@ -223,7 +272,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=10)
     p.add_argument("--max-steps", type=int, default=300)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="fan protocol runs across N processes (-1 = all cores)",
+    )
+    p.add_argument(
+        "--precision", type=float, default=None,
+        help="target relative 95%% CI half-width (early stopping instead "
+             "of --trials; refuses heavily censored samples)",
+    )
     p.set_defaults(fn=cmd_protocol)
+
+    p = sub.add_parser(
+        "protocol-sweep",
+        help="(system x scheme x alpha x kappa) protocol campaigns",
+    )
+    p.add_argument(
+        "--systems", nargs="+", choices=["s0", "s1", "s2"],
+        default=["s0", "s1", "s2"],
+    )
+    p.add_argument(
+        "--schemes", nargs="+", choices=["po", "so"], default=["po", "so"],
+    )
+    p.add_argument(
+        "--alphas", nargs="+", type=float, default=[0.1],
+        help="attacker-strength grid",
+    )
+    p.add_argument(
+        "--kappas", nargs="+", type=float, default=[0.5],
+        help="indirect-attack grid (S2 points only)",
+    )
+    p.add_argument("--entropy-bits", type=int, default=8)
+    p.add_argument("--trials", type=int, default=20, help="seeds per grid point")
+    p.add_argument("--max-steps", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="fan the whole campaign across N processes (-1 = all cores)",
+    )
+    p.add_argument(
+        "--precision", type=float, default=None,
+        help="per-point target relative 95%% CI half-width (early stopping "
+             "instead of --trials)",
+    )
+    p.set_defaults(fn=cmd_protocol_sweep)
 
     p = sub.add_parser("advise", help="SMR or FORTRESS? (paper §7)")
     p.add_argument("--alpha", type=float, default=1e-3)

@@ -7,13 +7,17 @@ from .builders import (
     attach_attacker,
     build_system,
 )
+from .campaign import CampaignResult, campaign_grid, run_campaign
 from .clients import WorkloadClient, default_body_factory
 from .compromise import CompromiseMonitor
 from .experiment import (
+    CensoredPrecisionError,
     LifetimeEstimate,
     LifetimeOutcome,
+    ProtocolTask,
     estimate_protocol_lifetime,
     run_protocol_lifetime,
+    run_protocol_task,
 )
 from .specs import SystemClass, SystemSpec, paper_systems, s0, s1, s2
 
@@ -26,10 +30,16 @@ __all__ = [
     "WorkloadClient",
     "default_body_factory",
     "CompromiseMonitor",
+    "CensoredPrecisionError",
+    "CampaignResult",
+    "campaign_grid",
+    "run_campaign",
     "LifetimeEstimate",
     "LifetimeOutcome",
+    "ProtocolTask",
     "estimate_protocol_lifetime",
     "run_protocol_lifetime",
+    "run_protocol_task",
     "SystemClass",
     "SystemSpec",
     "paper_systems",

@@ -144,7 +144,9 @@ class WorkloadClient(SimProcess):
             payload = {"request_id": request_id, "client": self.name, "body": body}
             for proxy in self.targets:
                 if self.network.knows(proxy):
-                    self.network.send(Message(self.name, proxy, CLIENT_REQUEST, payload))
+                    self.network.send(
+                        Message(self.name, proxy, CLIENT_REQUEST, payload)
+                    )
         else:
             payload = {
                 "request_id": request_id,
@@ -213,7 +215,9 @@ class WorkloadClient(SimProcess):
             self._complete(body["response"])
             return
         # SMR: collect f+1 matching responses.
-        fingerprint = repr(sorted((str(k), repr(v)) for k, v in body["response"].items()))
+        fingerprint = repr(
+            sorted((str(k), repr(v)) for k, v in body["response"].items())
+        )
         current["votes"][body["index"]] = (fingerprint, body["response"])
         counts: dict[str, int] = {}
         for fp, _ in current["votes"].values():

@@ -102,7 +102,10 @@ class CompromiseMonitor:
         servers_down = sum(1 for s in self.servers if s.compromised)
         if self.system is SystemClass.S0:
             if servers_down > self.f:
-                return f"{servers_down} of {len(self.servers)} SMR replicas compromised (> f={self.f})"
+                return (
+                    f"{servers_down} of {len(self.servers)} SMR replicas "
+                    f"compromised (> f={self.f})"
+                )
             return None
         if self.system is SystemClass.S1:
             if servers_down >= 1:

@@ -142,7 +142,9 @@ def s1(scheme: Scheme, alpha: float = 0.001, **kwargs) -> SystemSpec:
     return SystemSpec(system=SystemClass.S1, scheme=scheme, alpha=alpha, **kwargs)
 
 
-def s2(scheme: Scheme, alpha: float = 0.001, kappa: float = 0.5, **kwargs) -> SystemSpec:
+def s2(
+    scheme: Scheme, alpha: float = 0.001, kappa: float = 0.5, **kwargs
+) -> SystemSpec:
     """S2: FORTRESS with n_s = n_p = 3 (Definition 3)."""
     return SystemSpec(
         system=SystemClass.S2, scheme=scheme, alpha=alpha, kappa=kappa, **kwargs

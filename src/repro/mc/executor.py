@@ -1,6 +1,7 @@
-"""Sweep execution engine: process fan-out, streaming, early stopping.
+"""Task execution engine: process fan-out, streaming, early stopping.
 
-Three cooperating pieces sit behind the figure sweeps:
+Four cooperating pieces sit behind the figure sweeps and the
+protocol-level campaigns:
 
 * :class:`StreamingMoments` — a mergeable running-moments accumulator
   (Chan/Welford) so estimates can be built batch by batch without ever
@@ -8,11 +9,16 @@ Three cooperating pieces sit behind the figure sweeps:
 * :func:`estimate_to_precision` — streaming sampling with CI-width-based
   early stopping: callers ask for a target relative precision instead of
   a trial count;
-* :class:`SweepExecutor` — fans independent grid points (one
-  :class:`MCTask` each) out across worker processes.  Every task carries
-  its own seed, fixed *before* dispatch, so results are bit-identical
-  for any worker count — including the serial fallback used when
-  process pools are unavailable (sandboxes, restricted CI runners).
+* :class:`TaskExecutor` — the generic seeded fan-out: maps a picklable
+  function over a sequence of picklable tasks across worker processes,
+  preserving input order.  Tasks must carry their own seeds, fixed
+  *before* dispatch, so results are bit-identical for any worker count —
+  including the serial fallback used when process pools are unavailable
+  (sandboxes, restricted CI runners), and including mid-campaign pool
+  breakage, where completed results are kept and only the unfinished
+  tasks re-run serially;
+* :class:`SweepExecutor` — the Monte-Carlo instantiation: one
+  :class:`MCTask` per sweep grid point.
 
 The sweeps assign per-point seeds as simple root-seed offsets
 (preserving the pre-engine seed layout); that is already deterministic
@@ -29,7 +35,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
@@ -233,38 +239,109 @@ def resolve_workers(workers: int | None) -> int:
     return max(workers, 1)
 
 
-class SweepExecutor:
-    """Evaluates a batch of :class:`MCTask` grid points, in order.
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
 
-    ``workers`` ≤ 1 (or ``None``) runs serially in-process; larger
-    values fan the tasks out over a process pool.  Because every task
-    carries its own pre-derived seed, the two modes return bit-identical
-    estimates.  If the platform refuses to start a pool the executor
-    degrades to the serial path with a warning instead of failing.
+
+class TaskExecutor:
+    """Maps a picklable function over picklable tasks, in order.
+
+    The generic seeded fan-out behind both the Monte-Carlo sweeps and
+    the protocol-level campaigns.  ``workers`` ≤ 1 (or ``None``) runs
+    serially in-process; larger values fan the tasks out over a process
+    pool.  Determinism is the caller's contract: every task must carry
+    its own pre-derived seed (never derive randomness from worker
+    identity), which is what makes the two modes return bit-identical
+    results.  If the platform refuses to start a pool — or the pool
+    breaks mid-campaign — the executor degrades to the serial path with
+    a warning instead of failing, preserving every result the pool
+    already completed and re-running only the unfinished tasks.
     """
 
     def __init__(self, workers: int | None = None) -> None:
         self.workers = resolve_workers(workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._persistent = False
 
-    def map(self, tasks: Sequence[MCTask]) -> list[MCEstimate]:
-        """Run every task, preserving input order in the results."""
+    def __enter__(self) -> "TaskExecutor":
+        """Hold one process pool open across several :meth:`map` calls.
+
+        Streaming callers (CI-width early stopping) dispatch many small
+        rounds; without a persistent pool every round would pay full
+        pool startup.  Outside a ``with`` block each call still uses an
+        ephemeral pool.
+        """
+        self._persistent = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the persistent pool, if one is open."""
+        self._persistent = False
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _acquire_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+            if self._persistent:
+                self._pool = pool
+            return pool
+        return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor, broken: bool) -> None:
+        """Drop a broken or ephemeral pool (a broken persistent pool is
+        replaced on the next :meth:`map` call)."""
+        pool.shutdown(wait=not broken, cancel_futures=broken)
+        if self._pool is pool:
+            self._pool = None
+
+    def map(
+        self, fn: Callable[[TaskT], ResultT], tasks: Sequence[TaskT]
+    ) -> list[ResultT]:
+        """Apply ``fn`` to every task, preserving input order.
+
+        ``fn`` must be a module-level function (picklable) when the
+        executor fans out over processes.  Task-level exceptions raised
+        inside a healthy worker propagate unchanged; only pool-level
+        failures (startup refusal, broken pool) trigger the serial
+        fallback.
+        """
         tasks = list(tasks)
         if self.workers <= 1 or len(tasks) <= 1:
-            return [task.run() for task in tasks]
-        results: list[MCEstimate] = []
+            return [fn(task) for task in tasks]
+        results: list[ResultT] = []
         warned = False
         try:
-            pool = ProcessPoolExecutor(max_workers=self.workers)
+            pool = self._acquire_pool()
         except (OSError, PermissionError) as exc:
             warnings.warn(
                 f"process pool unavailable ({exc!r}); falling back to "
-                "serial sweep execution",
+                "serial task execution",
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return [task.run() for task in tasks]
-        with pool:
-            futures = [pool.submit(run_task, task) for task in tasks]
+            return [fn(task) for task in tasks]
+        broken = False
+        try:
+            try:
+                futures = [pool.submit(fn, task) for task in tasks]
+            except (OSError, PermissionError, BrokenProcessPool) as exc:
+                # A persistent pool can break *between* map() rounds (a
+                # worker died while idle); submit() then raises before
+                # any future exists.  Degrade to serial for the whole
+                # round — per-task seeds make the outcome identical.
+                broken = True
+                warnings.warn(
+                    f"process pool unavailable ({exc!r}); running this "
+                    "round of tasks serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return [fn(task) for task in tasks]
             for task, future in zip(tasks, futures):
                 try:
                     results.append(future.result())
@@ -275,13 +352,38 @@ class SweepExecutor:
                     # way.)  Task-level errors from inside a healthy
                     # worker — e.g. UnsampleableSpecError — re-raise
                     # above unchanged.
+                    broken = True
                     if not warned:
                         warnings.warn(
                             f"process pool unavailable ({exc!r}); running "
-                            "remaining sweep tasks serially",
+                            "remaining tasks serially",
                             RuntimeWarning,
                             stacklevel=2,
                         )
                         warned = True
-                    results.append(task.run())
+                    results.append(fn(task))
+        finally:
+            if broken or not self._persistent:
+                self._discard_pool(pool, broken)
         return results
+
+
+class SweepExecutor(TaskExecutor):
+    """Evaluates a batch of :class:`MCTask` grid points, in order.
+
+    The Monte-Carlo face of :class:`TaskExecutor`: every grid point
+    carries its own pre-derived seed, so sweep results are bit-identical
+    for any worker count.
+    """
+
+    def map(self, fn_or_tasks, tasks: Sequence | None = None) -> list:
+        """Run tasks, preserving input order.
+
+        ``map(tasks)`` is the Monte-Carlo shorthand (each task an
+        :class:`MCTask`); the generic ``map(fn, tasks)`` form still
+        works, so a :class:`SweepExecutor` remains substitutable
+        anywhere a :class:`TaskExecutor` is accepted.
+        """
+        if tasks is None:
+            return super().map(run_task, fn_or_tasks)
+        return super().map(fn_or_tasks, tasks)

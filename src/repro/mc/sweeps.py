@@ -7,12 +7,15 @@ varies).  Sweeps can use either the analytic formulas or the
 Monte-Carlo samplers, so benches can show both side by side.
 
 Monte-Carlo grid points are evaluated through
-:class:`repro.mc.executor.SweepExecutor`: pass ``workers=N`` to fan the
-(system × α × κ) grid out across processes.  Every point's seed is a
-fixed offset of the root seed computed before dispatch (the pre-engine
-layout, kept for bit-compatible regression runs), so sweep results do
-not depend on the worker count.  ``precision=`` switches the points
-from fixed trial counts to CI-width-targeted early stopping.
+:class:`repro.mc.executor.SweepExecutor` (the Monte-Carlo face of the
+generic :class:`~repro.mc.executor.TaskExecutor` fan-out, which also
+hosts the protocol-level campaigns of :mod:`repro.core.campaign`): pass
+``workers=N`` to fan the (system × α × κ) grid out across processes.
+Every point's seed is a fixed offset of the root seed computed before
+dispatch (the pre-engine layout, kept for bit-compatible regression
+runs), so sweep results do not depend on the worker count.
+``precision=`` switches the points from fixed trial counts to CI-width
+targeted early stopping.
 """
 
 from __future__ import annotations

@@ -7,10 +7,14 @@ paper plots, in a form that diffs cleanly across runs.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
+from ..core.specs import SystemClass
 from ..errors import ConfigurationError
 from ..mc.sweeps import Series
+
+if TYPE_CHECKING:
+    from ..core.experiment import LifetimeEstimate
 
 
 def format_quantity(value: float) -> str:
@@ -58,6 +62,63 @@ def render_table(
     for row in rows:
         lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_campaign_table(
+    estimates: Sequence["LifetimeEstimate"],
+    title: str | None = None,
+    model_means: Mapping[int, float] | None = None,
+) -> str:
+    """Render protocol-campaign grid points as one table.
+
+    One row per grid point: spec coordinates, seeds run, mean lifetime
+    with its 95% CI, the censored count (mean and CI are lower bounds
+    whenever it is non-zero, flagged with ``>=``), and the Kaplan-Meier
+    restricted mean.  Precision-targeted points that exhausted their
+    seed budget before reaching the CI target are marked
+    ``(unconverged)``.  ``model_means`` optionally maps row indices to
+    a model (analytic or Monte-Carlo) EL for side-by-side validation.
+    """
+    if not estimates:
+        raise ConfigurationError("campaign table needs at least one estimate")
+    headers = [
+        "system",
+        "alpha",
+        "kappa",
+        "runs",
+        "mean EL",
+        "95% CI",
+        "censored",
+        "KM mean",
+    ]
+    if model_means is not None:
+        headers.append("model EL")
+    rows = []
+    for i, estimate in enumerate(estimates):
+        spec = estimate.spec
+        bound = ">=" if estimate.censored else ""
+        # κ only parameterizes S2 (Definition 5): showing the grid
+        # placeholder for S0/S1 rows would misrepresent the run.
+        kappa = (
+            format_quantity(spec.kappa) if spec.system is SystemClass.S2 else "-"
+        )
+        ci_note = "" if estimate.converged else " (unconverged)"
+        row = [
+            spec.label,
+            format_quantity(spec.alpha),
+            kappa,
+            str(estimate.stats.n),
+            f"{bound}{format_quantity(estimate.mean_steps)}",
+            f"[{format_quantity(estimate.stats.ci_low)}, "
+            f"{format_quantity(estimate.stats.ci_high)}]{ci_note}",
+            str(estimate.censored),
+            f"{bound}{format_quantity(estimate.km_mean_steps)}",
+        ]
+        if model_means is not None:
+            value = model_means.get(i)
+            row.append("-" if value is None else format_quantity(value))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
 
 
 def render_series_table(

@@ -77,6 +77,41 @@ def test_protocol_command(capsys):
     assert "censored : 0 of 3" in out
 
 
+def test_protocol_command_with_workers_and_precision(capsys):
+    code, out, err = run_cli(
+        capsys, "protocol", "--system", "s1", "--scheme", "so",
+        "--alpha", "0.2", "--entropy-bits", "6",
+        "--max-steps", "60", "--workers", "2", "--precision", "0.3",
+    )
+    assert code == 0
+    assert "95% CI" in out
+    assert "KM mean" in out
+
+
+def test_protocol_sweep_command(capsys):
+    code, out, err = run_cli(
+        capsys, "protocol-sweep", "--systems", "s1", "s2",
+        "--schemes", "so", "--alphas", "0.2", "--kappas", "0.5",
+        "--entropy-bits", "6", "--trials", "3", "--max-steps", "40",
+    )
+    assert code == 0
+    assert "Protocol campaign" in out
+    assert "S1SO" in out and "S2SO" in out
+    assert "censored" in out
+
+
+def test_protocol_sweep_worker_invariant_output(capsys):
+    argv = [
+        "protocol-sweep", "--systems", "s1", "--schemes", "so",
+        "--alphas", "0.2", "--entropy-bits", "6",
+        "--trials", "4", "--max-steps", "40", "--seed", "5",
+    ]
+    code_a, out_a, _ = run_cli(capsys, *argv)
+    code_b, out_b, _ = run_cli(capsys, *argv, "--workers", "2")
+    assert code_a == code_b == 0
+    assert out_a == out_b
+
+
 def test_advise_fortress_vs_smr(capsys):
     code, out, err = run_cli(capsys, "advise", "--kappa", "0.5")
     assert code == 0

@@ -6,7 +6,14 @@ import pytest
 
 from repro.errors import AnalysisError, ConfigurationError
 from repro.mc.sweeps import Series, SweepPoint
-from repro.metrics.stats import bootstrap_ci, geometric_mean, summarize
+from repro.metrics.stats import (
+    bootstrap_ci,
+    geometric_mean,
+    kaplan_meier,
+    km_restricted_mean,
+    summarize,
+    summarize_censored,
+)
 from repro.reporting.tables import (
     format_quantity,
     render_series_table,
@@ -71,6 +78,96 @@ def test_geometric_mean():
         geometric_mean([])
     with pytest.raises(AnalysisError):
         geometric_mean([1.0, -1.0])
+
+
+# ----------------------------------------------------------------------
+# Censoring-aware statistics
+# ----------------------------------------------------------------------
+def test_censored_summary_uncensored_sample():
+    """0% censored: the censored summary is just the plain summary."""
+    values = [3.0, 5.0, 7.0, 9.0]
+    summary = summarize_censored(values, [False] * 4)
+    assert summary.n == 4
+    assert summary.n_censored == 0
+    assert summary.censored_fraction == 0.0
+    assert not summary.is_lower_bound
+    assert summary.stats == summarize(values)
+    assert summary.km_mean == pytest.approx(6.0)
+
+
+def test_censored_summary_half_censored_at_common_budget():
+    """50% censored at one common budget: naive mean equals the KM
+    restricted mean (every event before the budget is observed), and
+    both are flagged as lower bounds."""
+    times = [2.0, 4.0, 10.0, 10.0]
+    censored = [False, False, True, True]
+    summary = summarize_censored(times, censored)
+    assert summary.n_censored == 2
+    assert summary.censored_fraction == pytest.approx(0.5)
+    assert summary.is_lower_bound
+    assert summary.stats.mean == pytest.approx(6.5)
+    assert summary.km_mean == pytest.approx(summary.stats.mean)
+    assert summary.stats.ci_low < summary.stats.mean < summary.stats.ci_high
+
+
+def test_censored_summary_fully_censored():
+    """100% censored: all we know is every run outlived the budget."""
+    summary = summarize_censored([10.0] * 5, [True] * 5)
+    assert summary.censored_fraction == 1.0
+    assert summary.stats.mean == 10.0
+    assert summary.km_mean == 10.0
+    assert summary.is_lower_bound
+    # Degenerate spread: the CI collapses onto the budget, which is
+    # exactly why precision-targeted runs must refuse such samples.
+    assert summary.stats.ci_halfwidth == 0.0
+
+
+def test_km_corrects_mixed_censoring_upward():
+    """Censoring *before* the horizon carries partial information; the
+    KM restricted mean sits above the naive (folded) mean."""
+    times = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    censored = [False, True, False, True, False, False]
+    summary = summarize_censored(times, censored)
+    assert summary.km_mean > summary.stats.mean
+
+
+def test_kaplan_meier_hand_computed_curve():
+    """3 observations: death at 1 (S=2/3), censor at 2, death at 3
+    (1 at risk, S=0)."""
+    curve = kaplan_meier([1.0, 2.0, 3.0], [True, False, True])
+    assert len(curve) == 2
+    assert curve[0][0] == 1.0 and curve[0][1] == pytest.approx(2.0 / 3.0)
+    assert curve[1][0] == 3.0 and curve[1][1] == pytest.approx(0.0)
+
+
+def test_kaplan_meier_ties_deaths_before_censorings():
+    """The standard tie convention: a death and a censoring at the same
+    time both count the censored observation as still at risk."""
+    curve = kaplan_meier([2.0, 2.0], [True, False])
+    assert curve == [(2.0, pytest.approx(0.5))]
+
+
+def test_km_restricted_mean_equals_mean_without_censoring():
+    values = [1.0, 4.0, 7.0]
+    events = [True, True, True]
+    assert km_restricted_mean(values, events) == pytest.approx(4.0)
+
+
+def test_km_restricted_mean_horizon_truncates():
+    assert km_restricted_mean([2.0, 8.0], [True, True], horizon=4.0) == (
+        pytest.approx(3.0)
+    )
+
+
+def test_censoring_validation():
+    with pytest.raises(AnalysisError):
+        summarize_censored([1.0], [True, False])
+    with pytest.raises(AnalysisError):
+        kaplan_meier([], [])
+    with pytest.raises(AnalysisError):
+        kaplan_meier([-1.0], [True])
+    with pytest.raises(AnalysisError):
+        km_restricted_mean([1.0], [True], horizon=-2.0)
 
 
 # ----------------------------------------------------------------------

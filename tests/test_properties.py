@@ -54,6 +54,7 @@ def test_s2_q_bounded_by_components(alpha, kappa):
 
 
 @given(alpha=alphas)
+@settings(deadline=None)  # el_s0_so is O(1/alpha); loaded runners overrun 200ms
 def test_el_ordering_po_vs_so_invariant(alpha):
     """Memoryless PO always beats SO for the same system (T2's core)."""
     assert el_s1_po(alpha) >= el_s1_so(alpha) - 1e-9
