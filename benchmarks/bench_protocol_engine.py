@@ -1,25 +1,32 @@
-"""Protocol engine — serial vs parallel campaign throughput (BENCH record).
+"""Protocol engine — campaign throughput + timing-model fidelity (BENCH).
 
-Runs the same S2 protocol campaign (an α × κ grid of S2SO, χ = 2^8)
-twice through :func:`repro.core.campaign.run_campaign` — once serially
-(``workers=1``) and once fanned across 4 worker processes — and records
-runs/sec for both legs plus the speedup.  Because every seed is derived
-before dispatch, the two legs must return bit-identical estimates; the
-bench asserts that, so the throughput numbers can never come from
-silently divergent campaigns.
+Part 1 (throughput): runs the same S2 protocol campaign (an α × κ grid
+of S2SO, χ = 2^8) twice through :func:`repro.core.campaign.run_campaign`
+— once serially (``workers=1``) and once fanned across 4 worker
+processes — and records runs/sec for both legs plus the speedup.
+Because every seed is derived before dispatch, the two legs must return
+bit-identical estimates; the bench asserts that, so the throughput
+numbers can never come from silently divergent campaigns.
 
-S2SO is the campaign system on purpose: it is the one candidate whose
-lifetime has no closed form, so the paper itself falls back to the
-Monte-Carlo sampler there — protocol-vs-MC is the meaningful agreement
-check.  (S2PO at laptop-scale α carries a known ~1.5× protocol-fidelity
-gap — respawn delays and reconnect gaps are a large fraction of a step
-when lifetimes are ~10 steps — tracked by ``bench_protocol_vs_model``'s
-wide tolerance rather than asserted tightly here.)
+Part 2 (fidelity): runs the paper's five systems (S0PO, S2PO, S1PO,
+S1SO, S0SO) at laptop scale under two
+:class:`~repro.core.timing.TimingSpec` presets and compares each
+protocol estimate with the timing-aware Monte-Carlo model:
 
-Asserted content: serial/parallel bit-identity, protocol-vs-MC-model
-agreement within a 5σ combined tolerance on every grid point, zero
-heavily-censored points, and — on machines with ≥ 4 CPUs — a ≥ 3×
-parallel speedup at 4 workers.  Single-core runners record their
+* under ``TimingSpec.ideal()`` (zero-delay infrastructure) the model
+  mean must fall **within the protocol 95% CI for all five systems** —
+  including S2PO, which used to carry a ~1.5–1.9× fidelity gap from
+  respawn/reconnect effects the models did not describe;
+* under ``TimingSpec.paper()`` (the realistic delays) the bench records
+  the measured gap against both the uncorrected paper model and the
+  timing-corrected model, so the JSON tracks how much of the gap the
+  correction explains.
+
+Asserted content: serial/parallel bit-identity, S2SO
+protocol-vs-MC-model agreement within a 5σ combined tolerance on every
+throughput grid point, the five-system within-CI check under ideal
+timing, zero heavily-censored points, and — on machines with ≥ 4 CPUs —
+a ≥ 3× parallel speedup at 4 workers.  Single-core runners record their
 measured speedup plus a dispatch-overhead-based projection of the
 4-core figure instead of asserting it.  The JSON record persists under
 ``benchmarks/results/bench_protocol_engine.json``.
@@ -33,7 +40,8 @@ import time
 import numpy as np
 
 from repro.core.campaign import campaign_grid, run_campaign
-from repro.core.specs import SystemClass
+from repro.core.specs import SystemClass, s0, s1, s2
+from repro.core.timing import TimingSpec
 from repro.mc.montecarlo import mc_expected_lifetime
 from repro.randomization.obfuscation import Scheme
 from repro.reporting.tables import render_campaign_table, render_table
@@ -48,6 +56,11 @@ MAX_STEPS = 400
 WORKERS = 4
 MIN_PARALLEL_SPEEDUP = 3.0
 
+FIDELITY_SEED = 20260728
+FIDELITY_ALPHA = 0.15
+FIDELITY_KAPPA = 0.5
+FIDELITY_TRIALS = 100
+
 
 def _campaign_specs():
     return campaign_grid(
@@ -57,6 +70,18 @@ def _campaign_specs():
         kappas=KAPPAS,
         entropy_bits=ENTROPY,
     )
+
+
+def _fidelity_specs():
+    """The five systems of the paper's Figure 1, at laptop scale."""
+    kwargs = dict(alpha=FIDELITY_ALPHA, entropy_bits=ENTROPY)
+    return [
+        s0(Scheme.PO, **kwargs),
+        s2(Scheme.PO, kappa=FIDELITY_KAPPA, **kwargs),
+        s1(Scheme.PO, **kwargs),
+        s1(Scheme.SO, **kwargs),
+        s0(Scheme.SO, **kwargs),
+    ]
 
 
 def _timed_campaign(specs, trials, workers):
@@ -70,6 +95,52 @@ def _timed_campaign(specs, trials, workers):
     )
     elapsed = time.perf_counter() - start
     return result, elapsed
+
+
+def _fidelity_leg(specs, preset, trials, pure_means):
+    """One five-system campaign under ``preset`` + model comparisons.
+
+    ``pure_means`` carries the timing-free model means, computed once by
+    the caller — they do not depend on the preset.
+    """
+    timing = TimingSpec.named(preset)
+    campaign = run_campaign(
+        specs,
+        trials=trials,
+        max_steps=MAX_STEPS,
+        seed=FIDELITY_SEED,
+        timing=timing,
+    )
+    rows = []
+    for estimate in campaign:
+        spec = estimate.spec
+        model = mc_expected_lifetime(
+            spec, seed=MC_SEED, precision=0.02, max_trials=500_000,
+            timing=timing,
+        )
+        pure_mean = pure_means[spec.label]
+        rows.append(
+            {
+                "label": spec.label,
+                "alpha": spec.alpha,
+                "kappa": spec.kappa,
+                "runs": estimate.stats.n,
+                "protocol_mean": estimate.mean_steps,
+                "protocol_ci": [estimate.stats.ci_low, estimate.stats.ci_high],
+                "censored": estimate.censored,
+                "model_mean": model.mean,
+                "model_within_protocol_ci": bool(
+                    estimate.stats.ci_low <= model.mean <= estimate.stats.ci_high
+                ),
+                # The measured fidelity gap: how far the protocol stack
+                # drifts from the paper's *uncorrected* model, and how
+                # much of that the timing correction explains.
+                "paper_model_mean": pure_mean,
+                "gap_vs_paper_model": estimate.mean_steps / pure_mean,
+                "gap_vs_timed_model": estimate.mean_steps / model.mean,
+            }
+        )
+    return timing, rows
 
 
 def bench_protocol_engine(save_table, save_json, scale_trials, smoke):
@@ -146,6 +217,32 @@ def bench_protocol_engine(save_table, save_json, scale_trials, smoke):
             }
         )
 
+    # ------------------------------------------------------------------
+    # Fidelity: the five paper systems, protocol vs timing-aware model.
+    # Under the zero-delay preset the model must sit inside the protocol
+    # 95% CI for every system (the S2PO gap is *closed*, not tolerated);
+    # under the paper-realistic preset the measured gap is recorded.
+    # ------------------------------------------------------------------
+    fidelity_specs = _fidelity_specs()
+    fidelity_trials = scale_trials(FIDELITY_TRIALS, floor=10)
+    pure_means = {
+        spec.label: mc_expected_lifetime(
+            spec, seed=MC_SEED, precision=0.02, max_trials=500_000
+        ).mean
+        for spec in fidelity_specs
+    }
+    fidelity = {}
+    for preset in ("ideal", "paper"):
+        timing, fidelity_rows = _fidelity_leg(
+            fidelity_specs, preset, fidelity_trials, pure_means
+        )
+        fidelity[preset] = {
+            "timing": timing.as_dict(),
+            "rows": fidelity_rows,
+        }
+    # NB: the fidelity gate runs *after* the record and tables persist,
+    # so a failing run still uploads its own evidence as CI artifacts.
+
     save_json(
         "bench_protocol_engine",
         {
@@ -168,6 +265,14 @@ def bench_protocol_engine(save_table, save_json, scale_trials, smoke):
             "speedup_asserted": speedup_asserted,
             "serial_parallel_bit_identical": True,
             "rows": rows,
+            "fidelity": {
+                "seed": FIDELITY_SEED,
+                "alpha": FIDELITY_ALPHA,
+                "kappa": FIDELITY_KAPPA,
+                "trials_per_system": fidelity_trials,
+                "max_steps": MAX_STEPS,
+                "legs": fidelity,
+            },
         },
     )
     table = render_campaign_table(
@@ -182,6 +287,43 @@ def bench_protocol_engine(save_table, save_json, scale_trials, smoke):
         model_means=model_means,
     )
     save_table("protocol_engine_campaign", table)
+    fidelity_table_rows = []
+    for preset in ("ideal", "paper"):
+        for row in fidelity[preset]["rows"]:
+            fidelity_table_rows.append(
+                [
+                    preset,
+                    row["label"],
+                    f"{row['protocol_mean']:.2f}",
+                    f"[{row['protocol_ci'][0]:.2f}, {row['protocol_ci'][1]:.2f}]",
+                    f"{row['model_mean']:.2f}",
+                    "yes" if row["model_within_protocol_ci"] else "NO",
+                    f"{row['paper_model_mean']:.2f}",
+                    f"{row['gap_vs_paper_model']:.2f}x",
+                ]
+            )
+    save_table(
+        "protocol_engine_fidelity",
+        render_table(
+            [
+                "timing",
+                "system",
+                "protocol EL",
+                "95% CI",
+                "timed model",
+                "in CI",
+                "paper model",
+                "gap",
+            ],
+            fidelity_table_rows,
+            title=(
+                "Timing-model fidelity: five systems, protocol vs "
+                f"timing-aware MC (alpha={FIDELITY_ALPHA}, chi=2^{ENTROPY}, "
+                f"{fidelity_trials} seeds/system; 'gap' = protocol / "
+                "uncorrected paper model)"
+            ),
+        ),
+    )
     save_table(
         "protocol_engine_throughput",
         render_table(
@@ -205,3 +347,28 @@ def bench_protocol_engine(save_table, save_json, scale_trials, smoke):
             ),
         ),
     )
+
+    # The fidelity gate, last: everything above has already persisted,
+    # so a failing run's own record (not a stale one) reaches the CI
+    # artifacts.
+    #
+    # With every seed pinned this is a deterministic regression gate,
+    # not a statistical test: for a *random* seed, five simultaneous
+    # 95%-CI memberships would only hold ~77% of the time even with a
+    # perfect model.  Anything that re-rolls the draw (FIDELITY_SEED,
+    # trial counts, RNG stream consumption order, MC_SEED, the model
+    # precision) therefore needs the gate re-validated, not patched
+    # around.
+    for row in fidelity["ideal"]["rows"]:
+        assert row["censored"] == 0, (
+            f"{row['label']}: censored runs in the ideal-timing campaign"
+        )
+        # Smoke runs draw too few seeds for the interval to mean
+        # anything (n = 10 CIs under-cover badly); they record the
+        # comparison and leave the gate to the full workload.
+        assert smoke or row["model_within_protocol_ci"], (
+            f"{row['label']}: timing-aware model {row['model_mean']:.2f} "
+            f"outside the ideal-timing protocol 95% CI "
+            f"[{row['protocol_ci'][0]:.2f}, {row['protocol_ci'][1]:.2f}] "
+            f"(protocol mean {row['protocol_mean']:.2f})"
+        )

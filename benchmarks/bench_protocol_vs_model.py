@@ -7,6 +7,14 @@ experiments at a laptop-tractable scale (χ = 2^8, α = 0.1, so lifetimes
 are a handful of steps) and compares the measured mean lifetimes with
 the model predictions for every system class and scheme, plus Trend 1
 reproduced end to end at the protocol level.
+
+The deployments run under the paper-realistic
+:meth:`~repro.core.timing.TimingSpec.paper` preset, so the assertion
+compares against the *timing-aware* model — the paper's pure model is
+reported alongside as the measured fidelity gap (at this scale respawn
+delays, reconnect gaps and the within-step launch-pad window stretch
+S2PO lifetimes well past any blanket tolerance; the timing layer models
+them instead of tolerating them).
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from __future__ import annotations
 from repro.analysis.lifetimes import expected_lifetime
 from repro.core.experiment import estimate_protocol_lifetime
 from repro.core.specs import s0, s1, s2
+from repro.core.timing import TimingSpec
 from repro.errors import ReproError
 from repro.mc.montecarlo import mc_expected_lifetime
 from repro.randomization.obfuscation import Scheme
@@ -22,20 +31,21 @@ from repro.reporting.tables import format_quantity, render_table
 ALPHA = 0.1
 ENTROPY = 8
 TRIALS = 25
-#: Accepted protocol-vs-model deviation.  The protocol stack adds real
-#: effects (respawn delay, reconnect gaps, message latency) worth a
-#: fraction of a step.
+#: Accepted protocol-vs-timed-model deviation.  With ~25 seeds of a
+#: roughly geometric lifetime the estimate itself is ±2/√n ≈ ±40% at
+#: 2σ; the timed model removes the *systematic* part of the gap.
 REL_TOL = 0.4
+TIMING = TimingSpec.paper()
 
 
-def _model_el(spec) -> float:
+def _model_el(spec, timing=None) -> float:
     try:
-        return expected_lifetime(spec)
+        return expected_lifetime(spec, timing)
     except ReproError:
-        # No closed form (S2SO): let the engine sample to a 1% CI
-        # half-width instead of hard-coding a trial count.
+        # No closed form (S2SO at small alpha): let the engine sample to
+        # a 1% CI half-width instead of hard-coding a trial count.
         return mc_expected_lifetime(
-            spec, seed=11, precision=0.01, max_trials=200_000
+            spec, seed=11, precision=0.01, max_trials=200_000, timing=timing
         ).mean
 
 
@@ -53,38 +63,55 @@ def bench_protocol_vs_model(benchmark, save_table, scale_trials):
         out = {}
         for spec in specs:
             estimate = estimate_protocol_lifetime(
-                spec, trials=trials, max_steps=400
+                spec, trials=trials, max_steps=400, timing=TIMING
             )
-            out[spec.label] = (estimate.mean_steps, estimate.censored, _model_el(spec))
+            out[spec.label] = (
+                estimate.mean_steps,
+                estimate.censored,
+                _model_el(spec, TIMING),
+                _model_el(spec),
+            )
         return out
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     rows = []
-    for label, (measured, censored, predicted) in results.items():
-        ratio = measured / predicted if predicted else float("nan")
+    for label, (measured, censored, timed, pure) in results.items():
+        ratio = measured / timed if timed else float("nan")
+        gap = measured / pure if pure else float("nan")
         rows.append(
             [
                 label,
                 format_quantity(measured),
-                format_quantity(predicted),
+                format_quantity(timed),
                 f"{ratio:.2f}",
+                format_quantity(pure),
+                f"{gap:.2f}",
                 str(censored),
             ]
         )
         assert censored == 0, f"{label}: censored protocol runs"
         assert (1 - REL_TOL) <= ratio <= (1 + REL_TOL), (
-            f"{label}: protocol {measured:.2f} vs model {predicted:.2f}"
+            f"{label}: protocol {measured:.2f} vs timed model {timed:.2f}"
         )
     # Trend 1 end-to-end at the protocol level.
     assert results["S1SO"][0] > results["S0SO"][0]
     save_table(
         "protocol_vs_model",
         render_table(
-            ["system", "protocol EL", "model EL", "ratio", "censored"],
+            [
+                "system",
+                "protocol EL",
+                "timed model",
+                "ratio",
+                "paper model",
+                "gap",
+                "censored",
+            ],
             rows,
             title=(
                 f"Protocol-level simulation vs models (chi=2^{ENTROPY}, "
-                f"alpha={ALPHA}, {trials} seeds/system)"
+                f"alpha={ALPHA}, {trials} seeds/system, paper timing; "
+                "'gap' = protocol / uncorrected paper model)"
             ),
         ),
     )

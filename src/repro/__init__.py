@@ -41,6 +41,7 @@ from .core import (
     DeployedSystem,
     SystemClass,
     SystemSpec,
+    TimingSpec,
     add_clients,
     attach_attacker,
     build_system,
@@ -76,6 +77,7 @@ __all__ = [
     "DeployedSystem",
     "SystemClass",
     "SystemSpec",
+    "TimingSpec",
     "add_clients",
     "attach_attacker",
     "build_system",

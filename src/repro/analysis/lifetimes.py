@@ -34,9 +34,11 @@ uniform and per-node survival is *linear*: ``S_node(t) = max(0, 1 − tα)``.
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
 
+from ..core.timing import TimingSpec, launchpad_window_scale
 from ..errors import AnalysisError
 from ..randomization.obfuscation import Scheme
 from ..core.specs import SystemClass, SystemSpec
@@ -98,6 +100,64 @@ def per_step_compromise_s2_po(
             launchpad_survive = 1.0 - launchpad_fraction * alpha
         survive += p_b * launchpad_survive
     survive *= 1.0 - kappa * alpha
+    return 1.0 - survive
+
+
+def per_step_compromise_s2_po_timed(
+    alpha: float,
+    kappa: float,
+    launchpad_fraction: float = 1.0,
+    n_proxies: int = 3,
+    *,
+    chi: int,
+    timing: TimingSpec,
+    period: float = 1.0,
+    per_proxy_launchpad: bool = False,
+) -> float:
+    """q for S2PO under a :class:`~repro.core.timing.TimingSpec`.
+
+    Identical compromise structure to :func:`per_step_compromise_s2_po`
+    but with each route's success probability corrected for the
+    protocol stack's timing (see
+    :meth:`~repro.core.timing.TimingSpec.effective_attack`): proxies
+    fall to the *landed* direct rate, the indirect route runs at the
+    executed-probe rate (respawning proxies and primaries drop probes),
+    and the launch pad only covers the within-step window after its
+    host fell.
+
+    Two within-step refinements the pure model elides become visible at
+    protocol fidelity and are included here:
+
+    * the indirect stream and the launch pad consume the *same*
+      without-replacement server pool, so their per-step successes add
+      (``q_ind + q_lp``) instead of composing multiplicatively;
+    * with ``b`` proxies fallen the launch pad starts at the *first*
+      fall, whose expected within-step window is ``b/(b+1)`` — twice
+      the single-fall window at ``b = 1`` is scaled by ``2b/(b+1)``.
+    """
+    _check_alpha(alpha)
+    eff = timing.effective_attack(
+        alpha, chi, kappa=kappa, launchpad_fraction=launchpad_fraction,
+        period=period,
+    )
+    alpha_proxy = eff.alpha_direct
+    q_indirect = eff.kappa * alpha
+    q_launchpad = eff.launchpad_fraction * alpha
+    survive = 0.0
+    for b in range(n_proxies):  # b = n_proxies: all proxies fell, absorbed
+        p_b = (
+            math.comb(n_proxies, b)
+            * alpha_proxy**b
+            * (1.0 - alpha_proxy) ** (n_proxies - b)
+        )
+        if b == 0:
+            q_server = q_indirect
+        elif per_proxy_launchpad:
+            # Ablation: every fallen proxy hosts an independent stream.
+            q_server = 1.0 - (1.0 - q_indirect) * (1.0 - q_launchpad) ** b
+        else:
+            q_server = q_indirect + q_launchpad * launchpad_window_scale(b)
+        survive += p_b * (1.0 - min(1.0, q_server))
     return 1.0 - survive
 
 
@@ -208,18 +268,35 @@ def el_s0_so(alpha: float, n: int = 4, f: int = 1) -> float:
     return float(survival.sum())
 
 
-def survival_curve(spec: SystemSpec, steps: int) -> np.ndarray:
-    """``S(t)`` for ``t = 1..steps`` of any analytically supported spec."""
+def _so_alpha(spec: SystemSpec, timing: Optional[TimingSpec]) -> float:
+    """Per-step key-discovery fraction of one direct stream under
+    ``timing`` (``α`` itself with no timing correction)."""
+    if timing is None:
+        return spec.alpha
+    eff = timing.effective_attack(spec.alpha, spec.chi, period=spec.period)
+    return eff.alpha_direct
+
+
+def survival_curve(
+    spec: SystemSpec, steps: int, timing: Optional[TimingSpec] = None
+) -> np.ndarray:
+    """``S(t)`` for ``t = 1..steps`` of any analytically supported spec.
+
+    ``timing`` evaluates the curve under a
+    :class:`~repro.core.timing.TimingSpec`'s delays; ``None`` is the
+    paper's pure model.
+    """
     if steps < 1:
         raise AnalysisError(f"steps must be >= 1, got {steps}")
     t = np.arange(1, steps + 1, dtype=float)
     if spec.scheme is Scheme.PO:
-        q = per_step_compromise(spec)
+        q = per_step_compromise(spec, timing)
         return (1.0 - q) ** t
+    alpha = _so_alpha(spec, timing)
     if spec.system is SystemClass.S1:
-        return np.maximum(0.0, 1.0 - t * spec.alpha)
+        return np.maximum(0.0, 1.0 - t * alpha)
     if spec.system is SystemClass.S0:
-        p = np.minimum(1.0, t * spec.alpha)
+        p = np.minimum(1.0, t * alpha)
         survival = np.zeros_like(p)
         for k in range(spec.f + 1):
             survival += (
@@ -227,28 +304,56 @@ def survival_curve(spec: SystemSpec, steps: int) -> np.ndarray:
             )
         return survival
     raise AnalysisError(
-        "S2SO has a path-dependent state space; use repro.mc for its survival"
+        "S2SO has a path-dependent state space; use repro.analysis.s2so "
+        "or repro.mc for its survival"
     )
 
 
-def per_step_compromise(spec: SystemSpec) -> float:
-    """Per-step compromise probability of a PO spec."""
+def per_step_compromise(
+    spec: SystemSpec, timing: Optional[TimingSpec] = None
+) -> float:
+    """Per-step compromise probability of a PO spec.
+
+    With ``timing`` given, the probability is corrected for the
+    protocol stack's delays (respawn, reconnect, probe pacing, the
+    within-step launch-pad window); ``None`` keeps the paper's pure
+    model.
+    """
     if spec.scheme is not Scheme.PO:
         raise AnalysisError("per-step probabilities are constant only under PO")
     if spec.system is SystemClass.S0:
-        return per_step_compromise_s0_po(spec.alpha, n=spec.n_servers, f=spec.f)
+        return per_step_compromise_s0_po(
+            _so_alpha(spec, timing), n=spec.n_servers, f=spec.f
+        )
     if spec.system is SystemClass.S1:
-        return per_step_compromise_s1_po(spec.alpha)
-    return per_step_compromise_s2_po(
+        return per_step_compromise_s1_po(_so_alpha(spec, timing))
+    if timing is None:
+        return per_step_compromise_s2_po(
+            spec.alpha,
+            spec.kappa,
+            launchpad_fraction=spec.launchpad_fraction,
+            n_proxies=spec.n_proxies,
+        )
+    return per_step_compromise_s2_po_timed(
         spec.alpha,
         spec.kappa,
         launchpad_fraction=spec.launchpad_fraction,
         n_proxies=spec.n_proxies,
+        chi=spec.chi,
+        timing=timing,
+        period=spec.period,
     )
 
 
-def expected_lifetime(spec: SystemSpec) -> float:
+def expected_lifetime(
+    spec: SystemSpec, timing: Optional[TimingSpec] = None
+) -> float:
     """Analytic EL of ``spec``.
+
+    ``timing`` computes the EL under a
+    :class:`~repro.core.timing.TimingSpec`'s delays — the same
+    assumptions the protocol-level simulation runs under; ``None``
+    (default) is the paper's pure model.
 
     S2SO has no closed form; it is evaluated by the numeric survival
     quadrature of :mod:`repro.analysis.s2so` where the O((1/α)²) cost is
@@ -257,14 +362,21 @@ def expected_lifetime(spec: SystemSpec) -> float:
     itself does for larger state spaces).
     """
     if spec.scheme is Scheme.PO:
-        return el_from_per_step(per_step_compromise(spec))
+        return el_from_per_step(per_step_compromise(spec, timing))
     if spec.system is SystemClass.S0:
-        return el_s0_so(spec.alpha, n=spec.n_servers, f=spec.f)
+        return el_s0_so(_so_alpha(spec, timing), n=spec.n_servers, f=spec.f)
     if spec.system is SystemClass.S1:
-        return el_s1_so(spec.alpha)
+        return el_s1_so(_so_alpha(spec, timing))
     from .s2so import el_s2_so_numeric  # local import to avoid cycles
 
-    return el_s2_so_numeric(spec.alpha, spec.kappa, n_proxies=spec.n_proxies)
+    return el_s2_so_numeric(
+        spec.alpha,
+        spec.kappa,
+        n_proxies=spec.n_proxies,
+        chi=spec.chi,
+        timing=timing,
+        period=spec.period,
+    )
 
 
 def _check_alpha(alpha: float) -> None:

@@ -36,9 +36,11 @@ then), so this is practical for α ≳ 1e-4.
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
 
+from ..core.timing import TimingSpec
 from ..errors import AnalysisError
 
 
@@ -51,32 +53,71 @@ def _validate(alpha: float, kappa: float, n_proxies: int) -> None:
         raise AnalysisError(f"n_proxies must be >= 1, got {n_proxies}")
 
 
+def _rates(
+    alpha: float,
+    kappa: float,
+    chi: Optional[int],
+    timing: Optional[TimingSpec],
+    period: float,
+) -> tuple[float, float, float]:
+    """Per-step pool fractions of the three probe streams.
+
+    Returns ``(alpha_proxy, indirect_frac, launchpad_frac)``: the
+    per-step discovery fraction of one direct proxy stream, of the paced
+    indirect stream, and of the full-rate launch pad once armed.  With
+    no ``timing`` these are the paper's ``(α, κα, α)``; under a
+    :class:`~repro.core.timing.TimingSpec` each is corrected for
+    respawn/reconnect losses.
+    """
+    if timing is None:
+        return alpha, kappa * alpha, alpha
+    if chi is None:
+        raise AnalysisError("timing-aware S2SO evaluation needs chi")
+    eff = timing.effective_attack(alpha, chi, kappa=kappa, period=period)
+    return eff.alpha_direct, eff.indirect_rate / chi, eff.launchpad_rate / chi
+
+
 def s2_so_survival(
-    alpha: float, kappa: float, steps: int, n_proxies: int = 3
+    alpha: float,
+    kappa: float,
+    steps: int,
+    n_proxies: int = 3,
+    *,
+    chi: Optional[int] = None,
+    timing: Optional[TimingSpec] = None,
+    period: float = 1.0,
 ) -> np.ndarray:
     """``S(t)`` for ``t = 1..steps`` of S2SO (see module derivation).
+
+    With ``timing`` given (requires ``chi``), the per-step pool
+    fractions of all three probe streams are corrected for the protocol
+    stack's delays (see :meth:`~repro.core.timing.TimingSpec.effective_attack`);
+    the derivation is otherwise unchanged.
 
     Memory/compute are O(steps²); keep ``steps`` ≲ 2·10^4.
     """
     _validate(alpha, kappa, n_proxies)
     if steps < 1:
         raise AnalysisError(f"steps must be >= 1, got {steps}")
+    alpha_proxy, indirect_frac, launchpad_frac = _rates(
+        alpha, kappa, chi, timing, period
+    )
 
     t = np.arange(1, steps + 1, dtype=float)  # shape (T,)
-    p_t = np.minimum(1.0, t * alpha)
+    p_t = np.minimum(1.0, t * alpha_proxy)
 
     # --- T1 > t contribution: no proxy key known yet -------------------
-    # survive_server = (1 - kappa*alpha*t)+ ; weight = (1 - p(t))^np.
+    # survive_server = (1 - indirect_frac*t)+ ; weight = (1 - p(t))^np.
     no_proxy_weight = (1.0 - p_t) ** n_proxies
-    server_alive_early = np.maximum(0.0, 1.0 - kappa * alpha * t)
+    server_alive_early = np.maximum(0.0, 1.0 - indirect_frac * t)
     survival = no_proxy_weight * server_alive_early
 
     # --- T1 = t1 <= t contributions -------------------------------------
     # P(T1 = t1, Tall > t) = G(t1-1, t) - G(t1, t) with
     # G(x, t) = (1 - p(x))^np - (p(t) - p(x))^np.
     t1 = np.arange(1, steps + 1, dtype=float)  # shape (T1,)
-    p_t1 = np.minimum(1.0, t1 * alpha)
-    p_t1_prev = np.minimum(1.0, (t1 - 1.0) * alpha)
+    p_t1 = np.minimum(1.0, t1 * alpha_proxy)
+    p_t1_prev = np.minimum(1.0, (t1 - 1.0) * alpha_proxy)
 
     # Grids: rows = t, cols = t1 (only t1 <= t contributes).
     p_t_grid = p_t[:, None]
@@ -88,7 +129,7 @@ def s2_so_survival(
     ) ** n_proxies
     joint = np.maximum(G_hi - G_lo, 0.0)  # P(T1 = t1, Tall > t)
 
-    consumed = kappa * alpha * t[:, None] + alpha * np.maximum(
+    consumed = indirect_frac * t[:, None] + launchpad_frac * np.maximum(
         t[:, None] - t1[None, :], 0.0
     )
     server_alive = np.maximum(0.0, 1.0 - consumed)
@@ -98,7 +139,15 @@ def s2_so_survival(
     return survival
 
 
-def el_s2_so_numeric(alpha: float, kappa: float, n_proxies: int = 3) -> float:
+def el_s2_so_numeric(
+    alpha: float,
+    kappa: float,
+    n_proxies: int = 3,
+    *,
+    chi: Optional[int] = None,
+    timing: Optional[TimingSpec] = None,
+    period: float = 1.0,
+) -> float:
     """Expected lifetime of S2SO by numeric summation of the survival
     curve (Definition 7: ``EL = Σ_{t≥1} S(t)``).
 
@@ -110,14 +159,27 @@ def el_s2_so_numeric(alpha: float, kappa: float, n_proxies: int = 3) -> float:
         does).
     """
     _validate(alpha, kappa, n_proxies)
-    horizon = math.ceil(1.0 / alpha + 1e-12)
-    if horizon > 20_000:
-        raise AnalysisError(
-            f"numeric S2SO evaluation needs O((1/alpha)^2) = O({horizon}^2) work; "
-            "use repro.mc.montecarlo.mc_expected_lifetime for such small alpha"
-        )
+    alpha_proxy, _, launchpad_frac = _rates(alpha, kappa, chi, timing, period)
+    horizon = math.ceil(1.0 / alpha_proxy + 1e-12)
     # All proxy keys are known by `horizon`, and the server key is found
-    # at most one pool-exhaustion later; survival is exactly zero past
-    # 2*horizon even for kappa = 0.
-    curve = s2_so_survival(alpha, kappa, 2 * horizon, n_proxies=n_proxies)
+    # at most one launch-pad pool-exhaustion later; survival is exactly
+    # zero past that even for kappa = 0.
+    tail = math.ceil(1.0 / launchpad_frac + 1e-12) if launchpad_frac > 0 else horizon
+    if horizon + tail > 40_000:
+        # The tail is unbounded too: a slow-respawn TimingSpec can push
+        # the launch-pad rate toward zero, so the guard must cover the
+        # whole O((horizon + tail)^2) grid, not just the proxy horizon.
+        raise AnalysisError(
+            f"numeric S2SO evaluation needs O({horizon + tail}^2) work; "
+            "use repro.mc.montecarlo.mc_expected_lifetime for this spec"
+        )
+    curve = s2_so_survival(
+        alpha,
+        kappa,
+        horizon + tail,
+        n_proxies=n_proxies,
+        chi=chi,
+        timing=timing,
+        period=period,
+    )
     return float(curve.sum())

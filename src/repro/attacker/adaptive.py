@@ -87,7 +87,9 @@ class AdaptiveIndirectProber:
         self.pool = pool
         self.omega = omega
         self.period = period
-        self.rate = initial_rate if initial_rate is not None else max(min_rate, omega / 4)
+        self.rate = (
+            initial_rate if initial_rate is not None else max(min_rate, omega / 4)
+        )
         self.min_rate = min_rate
         self.additive_increase = additive_increase
         self.multiplicative_decrease = multiplicative_decrease
@@ -128,7 +130,10 @@ class AdaptiveIndirectProber:
 
     # ------------------------------------------------------------------
     def _adopt_identity(self) -> bool:
-        if self.max_identities is not None and self.identities_used >= self.max_identities:
+        if (
+            self.max_identities is not None
+            and self.identities_used >= self.max_identities
+        ):
             self._identity = None
             return False
         self.identities_used += 1
@@ -172,7 +177,11 @@ class AdaptiveIndirectProber:
         # Bound the table: entries older than the timeout carry no more
         # information (sporadic losses — e.g. a proxy rebooting mid-flight
         # — are normal and must not look like blacklisting).
-        stale = [r for r, s in self._outstanding.items() if now - s > self.feedback_timeout]
+        stale = [
+            r
+            for r, s in self._outstanding.items()
+            if now - s > self.feedback_timeout
+        ]
         for request_id in stale:
             del self._outstanding[request_id]
         self.attacker.sim.schedule(self.period / self.rate, self._fire)

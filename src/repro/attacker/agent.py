@@ -53,6 +53,10 @@ class AttackerProcess(SimProcess):
     reset_pools_on_epoch:
         ``True`` when attacking a PO system (fresh keys every epoch make
         eliminations worthless); ``False`` against SO systems.
+    probe_pacing:
+        Multiplier on every probe interval
+        (:attr:`repro.core.timing.TimingSpec.probe_pacing`); 1.0 is the
+        paper's pacing, larger values model a slower attacker.
     """
 
     def __init__(
@@ -64,6 +68,7 @@ class AttackerProcess(SimProcess):
         period: float = 1.0,
         name: str = "attacker",
         reset_pools_on_epoch: bool = False,
+        probe_pacing: float = 1.0,
     ) -> None:
         super().__init__(sim, name, respawn_delay=None)
         self.network = network
@@ -71,6 +76,7 @@ class AttackerProcess(SimProcess):
         self.omega = omega
         self.period = period
         self.reset_pools_on_epoch = reset_pools_on_epoch
+        self.probe_pacing = probe_pacing
         self._rng: random.Random = sim.rng.stream(f"{name}:guesses")
         self._pools: dict[str, KeyGuessTracker] = {}
         self._drivers: list[ProbeDriver] = []
@@ -113,7 +119,7 @@ class AttackerProcess(SimProcess):
             attacker=self,
             target=target.name,
             pool=self.pool(pool_id or target.name),
-            interval=self.period / (rate or self.omega),
+            interval=self.probe_pacing * self.period / (rate or self.omega),
         )
         self._watch(target)
         self._drivers.append(driver)
@@ -142,8 +148,9 @@ class AttackerProcess(SimProcess):
             attacker=self,
             proxies=proxies,
             pool=self.pool(pool_id),
-            interval=self.period / rate,
+            interval=self.probe_pacing * self.period / rate,
             identities=identities,
+            pacing_rng=self.sim.rng.stream(f"{self.name}:pacing"),
         )
         self._indirect.append(prober)
         prober.start()
@@ -253,7 +260,7 @@ class AttackerProcess(SimProcess):
             attacker=self,
             target=self._launchpad_servers[0],
             pool=self.pool(self._launchpad_pool_id),
-            interval=self.period / self.omega,
+            interval=self.probe_pacing * self.period / self.omega,
             initiator=host.name,
         )
         self._launchpad_drivers[host.name] = driver

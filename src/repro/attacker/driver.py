@@ -14,6 +14,7 @@ keeps the attacker under the proxies' detection threshold.
 
 from __future__ import annotations
 
+import random
 from typing import TYPE_CHECKING, Optional
 
 from ..errors import ConfigurationError
@@ -132,11 +133,22 @@ class IndirectProber:
     pool:
         Guess tracker of the *server* randomization instance.
     interval:
-        Time between indirect probes (``period / (κ·ω)``).
+        Mean time between indirect probes (``period / (κ·ω)``).
     identities:
         Number of client identities to rotate through (source spoofing;
         1 = honest single source, which per-source frequency analysis
         can eventually pin down).
+    pacing_rng:
+        When given, each gap is jittered uniformly over
+        ``[0.5, 1.5]·interval`` (same long-run rate).  Only the *rate*
+        of the stream matters to the detection threshold; exact
+        periodicity, by contrast, phase-locks the request path to the
+        direct/launch-pad probe grid whenever κ is rational in ω, and
+        the stream then systematically collides with the primary
+        crashes its co-streams cause — a discrete-event artifact the §4
+        model's independent-streams assumption excludes.  The attack
+        orchestrator always passes a stream; ``None`` keeps strict
+        periodicity (unit tests).
     """
 
     def __init__(
@@ -146,6 +158,7 @@ class IndirectProber:
         pool: KeyGuessTracker,
         interval: float,
         identities: int = 1,
+        pacing_rng: Optional[random.Random] = None,
     ) -> None:
         if interval <= 0:
             raise ConfigurationError(f"probe interval must be positive, got {interval}")
@@ -156,16 +169,22 @@ class IndirectProber:
         self.pool = pool
         self.interval = interval
         self.identities = max(1, identities)
+        self.pacing_rng = pacing_rng
         self.active = False
         self.probes_sent = 0
         self._turn = 0
+
+    def _next_delay(self) -> float:
+        if self.pacing_rng is None:
+            return self.interval
+        return self.interval * (0.5 + self.pacing_rng.random())
 
     def start(self) -> None:
         """Begin the indirect probe loop."""
         if self.active:
             return
         self.active = True
-        self.attacker.sim.schedule(self.interval, self._fire)
+        self.attacker.sim.schedule(self._next_delay(), self._fire)
 
     def stop(self) -> None:
         """Stop the loop."""
@@ -190,4 +209,4 @@ class IndirectProber:
             )
         self.probes_sent += 1
         self.attacker.probes_sent_indirect += 1
-        self.attacker.sim.schedule(self.interval, self._fire)
+        self.attacker.sim.schedule(self._next_delay(), self._fire)

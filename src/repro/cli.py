@@ -14,6 +14,8 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 from typing import Optional, Sequence
 
@@ -24,9 +26,10 @@ from .analysis.orderings import (
     lifetimes_at,
     verify_paper_trends,
 )
-from .core.campaign import campaign_grid, run_campaign
+from .core.campaign import campaign_grid, campaign_record, run_campaign
 from .core.experiment import estimate_protocol_lifetime
 from .core.specs import SystemClass, SystemSpec
+from .core.timing import TimingSpec
 from .errors import ReproError
 from .mc.montecarlo import mc_expected_lifetime
 from .mc.sweeps import FIGURE1_ALPHAS, FIGURE2_KAPPAS, figure1_series, figure2_series
@@ -165,6 +168,7 @@ def cmd_protocol(args: argparse.Namespace) -> int:
         seed0=args.seed,
         workers=args.workers,
         precision=args.precision,
+        timing=TimingSpec.named(args.timing),
     )
     note = "" if estimate.converged else " (NOT converged)"
     print(f"{spec.label} protocol-level lifetimes over {estimate.stats.n} seeds "
@@ -189,6 +193,7 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
         kappas=args.kappas,
         entropy_bits=args.entropy_bits,
     )
+    timing = TimingSpec.named(args.timing)
     result = run_campaign(
         specs,
         trials=args.trials,
@@ -196,6 +201,7 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         precision=args.precision,
+        timing=timing,
     )
     if args.precision is not None:
         method = f"precision {args.precision:g} rel. CI"
@@ -205,10 +211,27 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
         result.estimates,
         title=(
             f"Protocol campaign ({method}, budget {args.max_steps} steps, "
-            f"chi=2^{args.entropy_bits}): {len(result)} grid points, "
-            f"{result.total_runs} runs, {result.total_censored} censored"
+            f"chi=2^{args.entropy_bits}, timing={args.timing}): "
+            f"{len(result)} grid points, {result.total_runs} runs, "
+            f"{result.total_censored} censored"
         ),
     ))
+    if args.output is not None:
+        record = campaign_record(
+            result, timing=timing, timing_preset=args.timing
+        )
+        path = pathlib.Path(args.output)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(record, indent=2) + "\n", encoding="utf-8"
+            )
+        except OSError as exc:
+            # The campaign (possibly minutes of work) already ran; keep
+            # the table on stdout and report the write failure cleanly.
+            print(f"error: cannot write campaign record: {exc}", file=sys.stderr)
+            return 2
+        print(f"\ncampaign record written to {path}")
     return 0
 
 
@@ -281,6 +304,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="target relative 95%% CI half-width (early stopping instead "
              "of --trials; refuses heavily censored samples)",
     )
+    p.add_argument(
+        "--timing", choices=TimingSpec.PRESETS, default="paper",
+        help="deployment timing preset: ideal (zero delays), paper "
+             "(realistic defaults) or degraded (slow daemon/WAN/stagger)",
+    )
     p.set_defaults(fn=cmd_protocol)
 
     p = sub.add_parser(
@@ -314,6 +342,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--precision", type=float, default=None,
         help="per-point target relative 95%% CI half-width (early stopping "
              "instead of --trials)",
+    )
+    p.add_argument(
+        "--timing", choices=TimingSpec.PRESETS, default="paper",
+        help="deployment timing preset applied to every grid point",
+    )
+    p.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="persist the campaign as diffable JSON (schema mirrors the "
+             "bench records under benchmarks/results/)",
     )
     p.set_defaults(fn=cmd_protocol_sweep)
 

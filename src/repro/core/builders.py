@@ -9,7 +9,7 @@ top, and ``add_clients`` adds legitimate workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from ..attacker.agent import AttackerProcess
@@ -28,6 +28,7 @@ from ..sim.engine import Simulator
 from .clients import WorkloadClient
 from .compromise import CompromiseMonitor
 from .specs import SystemClass, SystemSpec
+from .timing import DEFAULT_TIMING, TimingSpec
 
 #: Shared key-pool id of an identically randomized server tier.
 SERVER_POOL = "server-tier"
@@ -56,6 +57,7 @@ class DeployedSystem:
     nameserver: NameServer
     obfuscation: ObfuscationManager
     monitor: CompromiseMonitor
+    timing: TimingSpec = DEFAULT_TIMING
     attacker: Optional[AttackerProcess] = None
     clients: list[WorkloadClient] = field(default_factory=list)
 
@@ -80,7 +82,8 @@ def build_system(
     latency: Optional[LatencyModel] = None,
     service_factory: ServiceFactory = _default_service_factory,
     detection_policy: Optional[DetectionPolicy] = None,
-    respawn_delay: float = 0.01,
+    timing: Optional[TimingSpec] = None,
+    respawn_delay: Optional[float] = None,
     reboot_duration: float = 0.0,
     stop_on_compromise: bool = True,
     s2_server_tier: str = "primary-backup",
@@ -95,15 +98,21 @@ def build_system(
     seed:
         Root seed; every stochastic component derives its stream from it.
     latency:
-        Network latency model (default: fixed 1 ms — small relative to
-        the unit time-step, matching the paper's timing abstraction).
+        Network latency model; overrides the fixed
+        ``timing.reconnect_latency`` when given.
     service_factory:
         Builds the service instance hosted by each server (by index).
         Must produce deterministic services for SMR tiers.
     detection_policy:
         Proxy detection parameters (S2 only).
+    timing:
+        The deployment's :class:`~repro.core.timing.TimingSpec` —
+        respawn delay, network latency, probe pacing, refresh stagger
+        and detection lag, threaded into every component below.
+        Defaults to :meth:`TimingSpec.paper` (the stack's historical
+        constants).
     respawn_delay:
-        Forking-daemon respawn delay after a probe crash.
+        Back-compatible override of ``timing.respawn_delay``.
     reboot_duration:
         Node downtime at each epoch refresh (paper default: instant).
     stop_on_compromise:
@@ -115,13 +124,16 @@ def build_system(
         ``n_servers > 3f`` diversely randomized replicas).
     stagger_recovery:
         Refresh SMR replicas in staggered batches of one, spread across
-        the period (Roeder-Schneider style, §2.3), instead of all at the
-        epoch boundary.  With a non-zero ``reboot_duration`` this keeps
-        at least ``n − 1`` replicas up at every instant, so the order
-        protocol never stalls during refreshes.
+        the *whole* period (Roeder-Schneider style, §2.3) regardless of
+        ``timing.epoch_stagger``.  With a non-zero ``reboot_duration``
+        this keeps at least ``n − 1`` replicas up at every instant, so
+        the order protocol never stalls during refreshes.
     """
     if s2_server_tier not in ("primary-backup", "smr"):
         raise ConfigurationError(f"unknown server tier {s2_server_tier!r}")
+    timing = DEFAULT_TIMING if timing is None else timing
+    if respawn_delay is not None:
+        timing = replace(timing, respawn_delay=respawn_delay)
     smr_tier = spec.system is SystemClass.S0 or (
         spec.system is SystemClass.S2 and s2_server_tier == "smr"
     )
@@ -132,7 +144,7 @@ def build_system(
         )
 
     sim = Simulator(seed=seed)
-    network = Network(sim, latency=latency or FixedLatency(0.001))
+    network = Network(sim, latency=latency or FixedLatency(timing.reconnect_latency))
     authority = SignatureAuthority(sim.rng.stream("authority"))
     keyspace = spec.keyspace
 
@@ -160,15 +172,15 @@ def build_system(
                 authority=authority,
                 network=network,
                 f=spec.f,
-                respawn_delay=respawn_delay,
+                respawn_delay=timing.respawn_delay,
             )
             network.register(replica)
             servers.append(replica)
-            # Diverse randomization; optionally staggered in batches of
-            # one across the period (exit, refresh, re-join — §2.3).
-            offset = (
-                i * spec.period / spec.n_servers if stagger_recovery else 0.0
-            )
+            # Diverse randomization; staggered in batches of one across
+            # a configurable slice of the period (exit, refresh, re-join
+            # — §2.3).  ``stagger_recovery`` forces the full spread.
+            stagger = 1.0 if stagger_recovery else timing.epoch_stagger
+            offset = i * stagger * spec.period / spec.n_servers
             obfuscation.add_node(replica, offset=offset)
         names = [s.name for s in servers]
         for replica in servers:
@@ -184,7 +196,7 @@ def build_system(
                 service=service_factory(i),
                 authority=authority,
                 network=network,
-                respawn_delay=respawn_delay,
+                respawn_delay=timing.respawn_delay,
             )
             network.register(server)
             servers.append(server)
@@ -205,14 +217,20 @@ def build_system(
                 authority=authority,
                 network=network,
                 policy=detection_policy,
-                respawn_delay=respawn_delay,
+                request_timeout=timing.detection_lag,
+                respawn_delay=timing.respawn_delay,
                 server_replication="smr" if smr_tier else "primary-backup",
                 fault_threshold=spec.f if smr_tier else 0,
             )
             network.register(proxy)
             proxy.configure([s.name for s in servers])
             proxies.append(proxy)
-            obfuscation.add_node(proxy)  # proxies are diversely randomized
+            # Proxies are diversely randomized; their refreshes spread
+            # over ``epoch_stagger`` of the period like any diverse tier.
+            obfuscation.add_node(
+                proxy,
+                offset=i * timing.epoch_stagger * spec.period / spec.n_proxies,
+            )
         # Fortification: servers accept traffic only from proxies, their
         # peers (state updates) and the name server; and no connections
         # from outside the proxy tier.
@@ -249,6 +267,7 @@ def build_system(
         nameserver=nameserver,
         obfuscation=obfuscation,
         monitor=monitor,
+        timing=timing,
     )
 
 
@@ -297,6 +316,7 @@ def attach_attacker(deployed: DeployedSystem) -> AttackerProcess:
         omega=spec.omega,
         period=spec.period,
         reset_pools_on_epoch=(spec.scheme is Scheme.PO),
+        probe_pacing=deployed.timing.probe_pacing,
     )
     deployed.network.register(attacker)
     deployed.obfuscation.add_epoch_listener(attacker.on_epoch)

@@ -38,6 +38,7 @@ from .experiment import (
     run_protocol_task,
 )
 from .specs import SystemClass, SystemSpec
+from .timing import TimingSpec
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,60 @@ class CampaignResult:
     @property
     def total_censored(self) -> int:
         return sum(e.censored for e in self.estimates)
+
+
+def campaign_record(
+    result: CampaignResult,
+    *,
+    timing: Optional[TimingSpec] = None,
+    timing_preset: Optional[str] = None,
+) -> dict:
+    """Serialize a campaign as a diffable JSON-ready record.
+
+    The schema mirrors the BENCH records under ``benchmarks/results/``
+    (one row per grid point with the protocol mean, 95% CI, censoring
+    and Kaplan-Meier summary), so sweep outputs and bench outputs diff
+    against each other.  ``timing`` / ``timing_preset`` document the
+    :class:`~repro.core.timing.TimingSpec` the campaign ran under.
+    """
+    rows = []
+    for estimate in result.estimates:
+        spec = estimate.spec
+        rows.append(
+            {
+                "label": spec.label,
+                "system": spec.system.value,
+                "scheme": spec.scheme.name,
+                "alpha": spec.alpha,
+                "kappa": spec.kappa,
+                "entropy_bits": spec.entropy_bits,
+                "runs": estimate.stats.n,
+                "protocol_mean": estimate.mean_steps,
+                "protocol_ci": [estimate.stats.ci_low, estimate.stats.ci_high],
+                "std": estimate.stats.std,
+                "min": estimate.stats.minimum,
+                "max": estimate.stats.maximum,
+                "censored": estimate.censored,
+                "censored_fraction": estimate.censored_fraction,
+                "km_mean": estimate.km_mean_steps,
+                "converged": estimate.converged,
+            }
+        )
+    record = {
+        "benchmark": "protocol_campaign",
+        "root_seed": result.root_seed,
+        "trials_per_point": result.trials,
+        "max_steps": result.max_steps,
+        "grid_points": len(result),
+        "total_runs": result.total_runs,
+        "total_censored": result.total_censored,
+        "rows": rows,
+    }
+    if timing_preset is not None:
+        record["timing_preset"] = timing_preset
+    if timing is not None:
+        record["timing"] = timing.as_dict()
+    return record
 
 
 def campaign_grid(

@@ -50,11 +50,13 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from typing import Optional
 
 import numpy as np
 
 from ..analysis.lifetimes import per_step_compromise
 from ..core.specs import SystemClass, SystemSpec
+from ..core.timing import TimingSpec, launchpad_window_scale
 from ..errors import ConfigurationError, UnsampleableSpecError
 from ..randomization.obfuscation import Scheme
 
@@ -65,15 +67,24 @@ DEFAULT_CHUNK = 1 << 20
 
 
 class LifetimeModel(ABC):
-    """Draws i.i.d. lifetimes (whole steps survived) for one spec."""
+    """Draws i.i.d. lifetimes (whole steps survived) for one spec.
+
+    ``timing`` selects the timing-aware correction path: per-step
+    probabilities and probe budgets are adjusted for a protocol stack's
+    respawn/reconnect delays and within-step launch-pad window (see
+    :meth:`repro.core.timing.TimingSpec.effective_attack`).  ``None``
+    (default) is the paper's pure model — bit-identical to the
+    pre-timing implementation.
+    """
 
     #: Per-model override of the vectorized chunk size (step-level
     #: simulation allocates (trials × block) scratch, so it chunks
     #: harder than the O(1)-per-trial samplers).
     batch_chunk: int = DEFAULT_CHUNK
 
-    def __init__(self, spec: SystemSpec) -> None:
+    def __init__(self, spec: SystemSpec, timing: Optional[TimingSpec] = None) -> None:
         self.spec = spec
+        self.timing = timing
 
     @property
     def label(self) -> str:
@@ -137,11 +148,11 @@ class LifetimeModel(ABC):
 class GeometricPOModel(LifetimeModel):
     """Common machinery: lifetimes are geometric(q) minus one."""
 
-    def __init__(self, spec: SystemSpec) -> None:
+    def __init__(self, spec: SystemSpec, timing: Optional[TimingSpec] = None) -> None:
         if spec.scheme is not Scheme.PO:
             raise ConfigurationError(f"{type(self).__name__} requires a PO spec")
-        super().__init__(spec)
-        self.q = per_step_compromise(spec)
+        super().__init__(spec, timing)
+        self.q = per_step_compromise(spec, timing)
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         self._check_n(n)
@@ -183,11 +194,31 @@ class S2POStepModel(LifetimeModel):
     batch_chunk = 8192
     block_steps = 128
 
-    def __init__(self, spec: SystemSpec, max_steps: int = 10_000_000) -> None:
+    def __init__(
+        self,
+        spec: SystemSpec,
+        max_steps: int = 10_000_000,
+        timing: Optional[TimingSpec] = None,
+    ) -> None:
         if spec.scheme is not Scheme.PO or spec.system is not SystemClass.S2:
             raise ConfigurationError("S2POStepModel requires an S2 PO spec")
-        super().__init__(spec)
+        super().__init__(spec, timing)
         self.max_steps = max_steps
+        if timing is None:
+            self._q_indirect = spec.kappa * spec.alpha
+            self._alpha_proxy = spec.alpha
+            self._q_launchpad = spec.launchpad_fraction * spec.alpha
+        else:
+            eff = timing.effective_attack(
+                spec.alpha,
+                spec.chi,
+                kappa=spec.kappa,
+                launchpad_fraction=spec.launchpad_fraction,
+                period=spec.period,
+            )
+            self._q_indirect = eff.kappa * spec.alpha
+            self._alpha_proxy = eff.alpha_direct
+            self._q_launchpad = eff.launchpad_fraction * spec.alpha
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return self.sample_scalar(n, rng)
@@ -195,23 +226,40 @@ class S2POStepModel(LifetimeModel):
     def _sample_one(self, rng: np.random.Generator) -> int:
         spec = self.spec
         steps = 0
+        timed = self.timing is not None
         while True:
             if steps >= self.max_steps:
                 raise UnsampleableSpecError(spec, self.max_steps)
-            if rng.random() < spec.kappa * spec.alpha:
+            if timed:
+                # Timing-aware structure: indirect + launch pad share
+                # one without-replacement pool, so their successes add.
+                fallen = rng.binomial(spec.n_proxies, self._alpha_proxy)
+                if fallen == spec.n_proxies:
+                    break  # all proxies held simultaneously
+                q_server = self._q_indirect
+                if fallen >= 1:
+                    q_server += self._q_launchpad * launchpad_window_scale(
+                        fallen
+                    )
+                if rng.random() < q_server:
+                    break  # server key found (indirect or launch pad)
+                steps += 1
+                continue
+            if rng.random() < self._q_indirect:
                 break  # indirect attack landed
-            fallen = rng.binomial(spec.n_proxies, spec.alpha)
+            fallen = rng.binomial(spec.n_proxies, self._alpha_proxy)
             if fallen == spec.n_proxies:
                 break  # all proxies held simultaneously
-            if fallen >= 1 and rng.random() < spec.launchpad_fraction * spec.alpha:
+            if fallen >= 1 and rng.random() < self._q_launchpad:
                 break  # same-step launch-pad attack landed
             steps += 1
         return steps
 
     def _sample_vectorized(self, n: int, rng: np.random.Generator) -> np.ndarray:
         spec = self.spec
-        q_indirect = spec.kappa * spec.alpha
-        q_launchpad = spec.launchpad_fraction * spec.alpha
+        q_indirect = self._q_indirect
+        q_launchpad = self._q_launchpad
+        timed = self.timing is not None
         out = np.empty(n, dtype=np.int64)
         pending = np.arange(n)
         survived = 0  # steps already survived by every pending trial
@@ -223,10 +271,23 @@ class S2POStepModel(LifetimeModel):
             # may equal or exceed it.
             block = min(self.block_steps, self.max_steps - survived)
             m = pending.size
-            indirect = rng.random((m, block)) < q_indirect
-            fallen = rng.binomial(spec.n_proxies, spec.alpha, size=(m, block))
-            launchpad = (fallen >= 1) & (rng.random((m, block)) < q_launchpad)
-            ended = indirect | (fallen == spec.n_proxies) | launchpad
+            if timed:
+                fallen = rng.binomial(
+                    spec.n_proxies, self._alpha_proxy, size=(m, block)
+                )
+                q_server = np.where(
+                    fallen >= 1,
+                    q_indirect + q_launchpad * launchpad_window_scale(fallen),
+                    q_indirect,
+                )
+                ended = (rng.random((m, block)) < q_server) | (fallen == spec.n_proxies)
+            else:
+                indirect = rng.random((m, block)) < q_indirect
+                fallen = rng.binomial(
+                    spec.n_proxies, self._alpha_proxy, size=(m, block)
+                )
+                launchpad = (fallen >= 1) & (rng.random((m, block)) < q_launchpad)
+                ended = indirect | (fallen == spec.n_proxies) | launchpad
             done = ended.any(axis=1)
             out[pending[done]] = survived + ended.argmax(axis=1)[done]
             pending = pending[~done]
@@ -245,20 +306,21 @@ class S1SOModel(LifetimeModel):
     probes first reach it.
     """
 
-    def __init__(self, spec: SystemSpec) -> None:
+    def __init__(self, spec: SystemSpec, timing: Optional[TimingSpec] = None) -> None:
         if spec.scheme is not Scheme.SO or spec.system is not SystemClass.S1:
             raise ConfigurationError("S1SOModel requires an S1 SO spec")
-        super().__init__(spec)
+        super().__init__(spec, timing)
+        self._omega = _so_omega(spec, timing)
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         self._check_n(n)
         positions = rng.integers(1, self.spec.chi + 1, size=n)
-        found_step = np.ceil(positions / self.spec.omega).astype(np.int64)
+        found_step = np.ceil(positions / self._omega).astype(np.int64)
         return found_step - 1
 
     def _sample_one(self, rng: np.random.Generator) -> int:
         position = int(rng.integers(1, self.spec.chi + 1))
-        return math.ceil(position / self.spec.omega) - 1
+        return math.ceil(position / self._omega) - 1
 
 
 class S0SOModel(LifetimeModel):
@@ -269,16 +331,17 @@ class S0SOModel(LifetimeModel):
     discovery steps.
     """
 
-    def __init__(self, spec: SystemSpec) -> None:
+    def __init__(self, spec: SystemSpec, timing: Optional[TimingSpec] = None) -> None:
         if spec.scheme is not Scheme.SO or spec.system is not SystemClass.S0:
             raise ConfigurationError("S0SOModel requires an S0 SO spec")
-        super().__init__(spec)
+        super().__init__(spec, timing)
+        self._omega = _so_omega(spec, timing)
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         self._check_n(n)
         spec = self.spec
         positions = rng.integers(1, spec.chi + 1, size=(n, spec.n_servers))
-        found_steps = np.ceil(positions / spec.omega).astype(np.int64)
+        found_steps = np.ceil(positions / self._omega).astype(np.int64)
         found_steps.sort(axis=1)
         fatal = found_steps[:, spec.f]  # 0-indexed: the (f+1)-th discovery
         return fatal - 1
@@ -286,7 +349,7 @@ class S0SOModel(LifetimeModel):
     def _sample_one(self, rng: np.random.Generator) -> int:
         spec = self.spec
         found_steps = sorted(
-            math.ceil(int(rng.integers(1, spec.chi + 1)) / spec.omega)
+            math.ceil(int(rng.integers(1, spec.chi + 1)) / self._omega)
             for _ in range(spec.n_servers)
         )
         return found_steps[spec.f] - 1
@@ -295,38 +358,45 @@ class S0SOModel(LifetimeModel):
 class S2SOModel(LifetimeModel):
     """S2 under start-up-only randomization (see module docstring)."""
 
-    def __init__(self, spec: SystemSpec) -> None:
+    def __init__(self, spec: SystemSpec, timing: Optional[TimingSpec] = None) -> None:
         if spec.scheme is not Scheme.SO or spec.system is not SystemClass.S2:
             raise ConfigurationError("S2SOModel requires an S2 SO spec")
-        super().__init__(spec)
+        super().__init__(spec, timing)
+        if timing is None:
+            self._omega_proxy = spec.omega
+            self._rate_indirect = spec.kappa * spec.omega
+            self._rate_combined = (1.0 + spec.kappa) * spec.omega
+        else:
+            eff = timing.effective_attack(
+                spec.alpha, spec.chi, kappa=spec.kappa, period=spec.period
+            )
+            self._omega_proxy = eff.omega_direct
+            self._rate_indirect = eff.indirect_rate
+            self._rate_combined = eff.indirect_rate + eff.launchpad_rate
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         self._check_n(n)
         spec = self.spec
-        omega = spec.omega
-        kappa = spec.kappa
 
         proxy_positions = rng.integers(1, spec.chi + 1, size=(n, spec.n_proxies))
-        proxy_steps = np.ceil(proxy_positions / omega).astype(np.int64)
+        proxy_steps = np.ceil(proxy_positions / self._omega_proxy).astype(np.int64)
         first_proxy = proxy_steps.min(axis=1)
         all_proxies = proxy_steps.max(axis=1)
 
         server_position = rng.integers(1, spec.chi + 1, size=n).astype(np.float64)
 
-        if kappa > 0.0:
+        if self._rate_indirect > 0.0:
             # Server key found by the paced indirect stream alone?
-            early = np.ceil(server_position / (kappa * omega)).astype(np.int64)
+            early = np.ceil(server_position / self._rate_indirect).astype(np.int64)
         else:
             early = np.full(n, np.iinfo(np.int64).max)
         found_early = early <= first_proxy
 
-        # Otherwise the stream accelerates to (1+κ)ω after the first
-        # proxy key is known (full-rate launch pad joins in).
-        consumed_by_t1 = kappa * omega * first_proxy.astype(np.float64)
+        # Otherwise the stream accelerates once the first proxy key is
+        # known (full-rate launch pad joins in).
+        consumed_by_t1 = self._rate_indirect * first_proxy.astype(np.float64)
         remaining = np.maximum(server_position - consumed_by_t1, 0.0)
-        late = first_proxy + np.ceil(remaining / ((1.0 + kappa) * omega)).astype(
-            np.int64
-        )
+        late = first_proxy + np.ceil(remaining / self._rate_combined).astype(np.int64)
         # If the key position falls exactly within step T1's combined
         # budget, ceil() of 0 remaining gives T1 itself, which is right.
         late = np.maximum(late, first_proxy)
@@ -337,42 +407,57 @@ class S2SOModel(LifetimeModel):
 
     def _sample_one(self, rng: np.random.Generator) -> int:
         spec = self.spec
-        omega = spec.omega
-        kappa = spec.kappa
 
         proxy_steps = [
-            math.ceil(int(rng.integers(1, spec.chi + 1)) / omega)
+            math.ceil(int(rng.integers(1, spec.chi + 1)) / self._omega_proxy)
             for _ in range(spec.n_proxies)
         ]
         first_proxy = min(proxy_steps)
         all_proxies = max(proxy_steps)
 
         server_position = float(rng.integers(1, spec.chi + 1))
-        if kappa > 0.0:
-            early = math.ceil(server_position / (kappa * omega))
+        if self._rate_indirect > 0.0:
+            early = math.ceil(server_position / self._rate_indirect)
             if early <= first_proxy:
                 return min(early, all_proxies) - 1
 
-        remaining = max(server_position - kappa * omega * first_proxy, 0.0)
-        late = first_proxy + math.ceil(remaining / ((1.0 + kappa) * omega))
+        remaining = max(server_position - self._rate_indirect * first_proxy, 0.0)
+        late = first_proxy + math.ceil(remaining / self._rate_combined)
         return min(max(late, first_proxy), all_proxies) - 1
 
 
 # ----------------------------------------------------------------------
-def model_for(spec: SystemSpec, step_level: bool = False) -> LifetimeModel:
+def _so_omega(spec: SystemSpec, timing: Optional[TimingSpec]) -> float:
+    """Probes landed per step by one direct stream (ω with no timing)."""
+    if timing is None:
+        return spec.omega
+    return timing.effective_attack(
+        spec.alpha, spec.chi, period=spec.period
+    ).omega_direct
+
+
+def model_for(
+    spec: SystemSpec,
+    step_level: bool = False,
+    timing: Optional[TimingSpec] = None,
+) -> LifetimeModel:
     """Return the sampler for ``spec``.
 
     ``step_level=True`` selects the step-by-step S2PO validator instead
     of the closed-form geometric sampler (only meaningful for S2 PO).
+    ``timing`` selects the timing-aware correction path (see
+    :class:`LifetimeModel`).
     """
     if spec.scheme is Scheme.PO:
         if spec.system is SystemClass.S0:
-            return S0POModel(spec)
+            return S0POModel(spec, timing=timing)
         if spec.system is SystemClass.S1:
-            return S1POModel(spec)
-        return S2POStepModel(spec) if step_level else S2POModel(spec)
+            return S1POModel(spec, timing=timing)
+        if step_level:
+            return S2POStepModel(spec, timing=timing)
+        return S2POModel(spec, timing=timing)
     if spec.system is SystemClass.S0:
-        return S0SOModel(spec)
+        return S0SOModel(spec, timing=timing)
     if spec.system is SystemClass.S1:
-        return S1SOModel(spec)
-    return S2SOModel(spec)
+        return S1SOModel(spec, timing=timing)
+    return S2SOModel(spec, timing=timing)

@@ -22,10 +22,12 @@ out.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from ..core.specs import SystemSpec
+from ..core.timing import TimingSpec
 from ..errors import ConfigurationError
 from ..metrics.stats import SummaryStats, Z_95
 from .models import LifetimeModel, model_for
@@ -119,14 +121,17 @@ def mc_expected_lifetime(
     vectorized: bool = True,
     precision: float | None = None,
     max_trials: int | None = None,
+    timing: Optional[TimingSpec] = None,
 ) -> MCEstimate:
     """Monte-Carlo EL of ``spec`` (see :func:`repro.mc.models.model_for`).
 
     With ``precision`` set, ``trials`` is ignored as a count and
     sampling instead streams batches until the 95% CI half-width drops
     below ``precision × |mean|`` (budget: ``max_trials``, default 10M).
+    ``timing`` selects the timing-aware samplers (same correction the
+    protocol stack exhibits; ``None`` is the paper's pure model).
     """
-    model = model_for(spec, step_level=step_level)
+    model = model_for(spec, step_level=step_level, timing=timing)
     if precision is not None:
         from .executor import estimate_to_precision  # deferred: avoids cycle
 
@@ -147,12 +152,13 @@ def mc_survival_curve(
     seed: int = 0,
     *,
     vectorized: bool = True,
+    timing: Optional[TimingSpec] = None,
 ) -> np.ndarray:
     """Empirical ``S(t)`` for ``t = 1..steps`` from sampled lifetimes."""
     if steps < 1:
         raise ConfigurationError(f"steps must be >= 1, got {steps}")
     rng = np.random.default_rng(seed)
-    model = model_for(spec)
+    model = model_for(spec, timing=timing)
     if vectorized:
         lifetimes = model.sample_batch(trials, rng)
     else:

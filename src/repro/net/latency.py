@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 
+from ..core.timing import DEFAULT_RECONNECT_LATENCY
 from ..errors import ConfigurationError
 
 
@@ -23,9 +24,10 @@ class LatencyModel(ABC):
 
 
 class FixedLatency(LatencyModel):
-    """Every message takes exactly ``delay`` time units."""
+    """Every message takes exactly ``delay`` time units (default: the
+    deployment-wide :data:`~repro.core.timing.DEFAULT_RECONNECT_LATENCY`)."""
 
-    def __init__(self, delay: float = 0.001) -> None:
+    def __init__(self, delay: float = DEFAULT_RECONNECT_LATENCY) -> None:
         if delay < 0:
             raise ConfigurationError(f"latency must be non-negative, got {delay}")
         self.delay = delay

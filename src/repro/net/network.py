@@ -175,12 +175,18 @@ class Network:
         self._connections[responder].add(connection)
         return connection
 
-    def deliver_on_connection(self, connection: Connection, dst: str, payload: Any) -> None:
+    def deliver_on_connection(
+        self, connection: Connection, dst: str, payload: Any
+    ) -> None:
         """Deliver connection data to ``dst`` after one latency."""
         delay = self.latency.sample(self._rng)
-        self.sim.schedule(delay, self._deliver_connection_data, connection, dst, payload)
+        self.sim.schedule(
+            delay, self._deliver_connection_data, connection, dst, payload
+        )
 
-    def _deliver_connection_data(self, connection: Connection, dst: str, payload: Any) -> None:
+    def _deliver_connection_data(
+        self, connection: Connection, dst: str, payload: Any
+    ) -> None:
         if not connection.open:
             return
         process = connection.sink_for(dst) or self._processes.get(dst)

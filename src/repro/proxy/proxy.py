@@ -25,6 +25,7 @@ from __future__ import annotations
 import random
 from typing import Mapping, Optional
 
+from ..core.timing import DEFAULT_DETECTION_LAG, DEFAULT_RESPAWN_DELAY
 from ..crypto.signatures import Signed, SignatureAuthority
 from ..net.message import Message
 from ..net.network import Network
@@ -52,7 +53,8 @@ class ProxyNode(RandomizedProcess):
         Detection policy for invalid-request frequency analysis.
     request_timeout:
         How long the proxy waits for a server response before declaring
-        the request invalid.
+        the request invalid — the deployment's detection lag
+        (:attr:`repro.core.timing.TimingSpec.detection_lag`).
     server_replication:
         ``"primary-backup"`` (accept the first authentic response) or
         ``"smr"`` (wait for ``f + 1`` matching responses).  FORTRESS
@@ -70,10 +72,10 @@ class ProxyNode(RandomizedProcess):
         authority: SignatureAuthority,
         network: Network,
         policy: Optional[DetectionPolicy] = None,
-        request_timeout: float = 0.4,
+        request_timeout: float = DEFAULT_DETECTION_LAG,
         server_replication: str = "primary-backup",
         fault_threshold: int = 0,
-        respawn_delay: Optional[float] = 0.01,
+        respawn_delay: Optional[float] = DEFAULT_RESPAWN_DELAY,
     ) -> None:
         super().__init__(sim, name, keyspace, rng, respawn_delay=respawn_delay)
         self.authority = authority

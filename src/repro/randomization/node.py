@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from typing import Mapping, Optional
 
+from ..core.timing import DEFAULT_RESPAWN_DELAY
 from ..sim.engine import Simulator
 from ..sim.process import SimProcess
 from .keyspace import KeySpace
@@ -46,7 +47,7 @@ class RandomizedProcess(SimProcess):
         keyspace: KeySpace,
         rng: random.Random,
         key: Optional[int] = None,
-        respawn_delay: Optional[float] = 0.01,
+        respawn_delay: Optional[float] = DEFAULT_RESPAWN_DELAY,
     ) -> None:
         super().__init__(sim, name, respawn_delay=respawn_delay)
         self._rng = rng

@@ -31,6 +31,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from ..core.timing import DEFAULT_RESPAWN_DELAY
 from ..crypto.signatures import SignatureAuthority
 from ..net.message import Message
 from ..net.network import Network
@@ -83,7 +84,7 @@ class PBServer(RandomizedProcess):
         network: Network,
         heartbeat_interval: float = 0.05,
         heartbeat_timeout: float = 0.2,
-        respawn_delay: Optional[float] = 0.01,
+        respawn_delay: Optional[float] = DEFAULT_RESPAWN_DELAY,
     ) -> None:
         super().__init__(sim, name, keyspace, rng, respawn_delay=respawn_delay)
         self.index = index
@@ -217,7 +218,9 @@ class PBServer(RandomizedProcess):
                 )
         self._send_response(request_id, response, reply_to)
 
-    def _send_response(self, request_id: str, response: dict, reply_to: list[str]) -> None:
+    def _send_response(
+        self, request_id: str, response: dict, reply_to: list[str]
+    ) -> None:
         """Sign ``(request_id, response, index)`` and send to requesters.
 
         A compromised replica is attacker-controlled: it corrupts the

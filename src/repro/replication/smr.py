@@ -26,6 +26,7 @@ import hashlib
 import random
 from typing import Any, Mapping, Optional
 
+from ..core.timing import DEFAULT_RESPAWN_DELAY
 from ..crypto.signatures import SignatureAuthority, canonical_bytes
 from ..net.message import Message
 from ..net.network import Network
@@ -33,7 +34,13 @@ from ..randomization.keyspace import KeySpace
 from ..randomization.node import RandomizedProcess
 from ..sim.engine import Simulator
 from .order_protocol import OrderingState, SlotPhase
-from .primary_backup import PROBE_OP, REQUEST, SERVER_RESPONSE, SYNC_REQUEST, SYNC_RESPONSE
+from .primary_backup import (
+    PROBE_OP,
+    REQUEST,
+    SERVER_RESPONSE,
+    SYNC_REQUEST,
+    SYNC_RESPONSE,
+)
 
 PRE_PREPARE = "pre_prepare"
 PREPARE = "prepare"
@@ -79,7 +86,7 @@ class SMRReplica(RandomizedProcess):
         network: Network,
         f: int = 1,
         request_timeout: float = 0.25,
-        respawn_delay: Optional[float] = 0.01,
+        respawn_delay: Optional[float] = DEFAULT_RESPAWN_DELAY,
     ) -> None:
         super().__init__(sim, name, keyspace, rng, respawn_delay=respawn_delay)
         self.index = index
@@ -154,7 +161,9 @@ class SMRReplica(RandomizedProcess):
         if request_id in self.executed_ids:
             cached = self.response_cache.get(request_id)
             if cached is not None:
-                self._send_response(request_id, cached, list(payload.get("reply_to", [])))
+                self._send_response(
+                    request_id, cached, list(payload.get("reply_to", []))
+                )
             return
         record = {
             "request_id": request_id,
@@ -263,7 +272,9 @@ class SMRReplica(RandomizedProcess):
         self.response_cache[request_id] = response
         self._send_response(request_id, response, reply_to)
 
-    def _send_response(self, request_id: str, response: dict, reply_to: list[str]) -> None:
+    def _send_response(
+        self, request_id: str, response: dict, reply_to: list[str]
+    ) -> None:
         body = {"request_id": request_id, "response": response, "index": self.index}
         if self.compromised:
             body = {
@@ -357,7 +368,9 @@ class SMRReplica(RandomizedProcess):
         self._sync_reports[message.src] = dict(message.payload)
         by_fingerprint: dict[tuple[int, str], list[dict]] = {}
         for report in self._sync_reports.values():
-            by_fingerprint.setdefault((report["seq"], report["digest"]), []).append(report)
+            by_fingerprint.setdefault(
+                (report["seq"], report["digest"]), []
+            ).append(report)
         for (seq, _), reports in by_fingerprint.items():
             if seq > self.executed_seq and len(reports) >= self.f + 1:
                 chosen = reports[0]

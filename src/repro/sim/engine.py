@@ -22,7 +22,9 @@ class Event:
     """A scheduled callback.
 
     Events order by ``(time, seq)`` so ties resolve in scheduling order.
-    Cancelled events stay in the heap but are skipped on pop.
+    Cancelled events stay in the heap but are skipped on pop; the owning
+    simulator's live-event counter is kept in sync at cancel time, so
+    :attr:`Simulator.pending_events` never has to scan the heap.
     """
 
     time: float
@@ -30,10 +32,22 @@ class Event:
     fn: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: Owning simulator while the event is scheduled and live; cleared
+    #: when the event executes or is cancelled (so a late ``cancel()``
+    #: on an already-fired event cannot corrupt the pending count).
+    _owner: Optional["Simulator"] = field(
+        compare=False, default=None, repr=False
+    )
 
     def cancel(self) -> None:
-        """Prevent the event from firing; safe to call more than once."""
+        """Prevent the event from firing; safe to call more than once
+        (and after the event has already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._pending -= 1
+            self._owner = None
 
 
 class Simulator:
@@ -62,6 +76,7 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_executed = 0
+        self._pending = 0  # live (scheduled, non-cancelled) events
         self._running = False
         self._stopped = False
 
@@ -81,6 +96,8 @@ class Simulator:
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
         event = Event(time=time, seq=next(self._seq), fn=fn, args=args)
+        event._owner = self
+        self._pending += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -99,9 +116,11 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
-                continue
+                continue  # its cancel() already adjusted the counter
             if event.time < self.now:  # pragma: no cover - defensive
                 raise SimulationError("event heap yielded an event from the past")
+            self._pending -= 1
+            event._owner = None
             self.now = event.time
             event.fn(*event.args)
             self._events_executed += 1
@@ -152,8 +171,13 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of scheduled, non-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of scheduled, non-cancelled events.
+
+        O(1): a live counter maintained on schedule / cancel / pop
+        instead of a heap scan (protocol deployments keep thousands of
+        events in flight, and hot paths poll this property).
+        """
+        return self._pending
 
     @property
     def events_executed(self) -> int:

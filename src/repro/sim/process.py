@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Callable, Optional
 
+from ..core.timing import DEFAULT_RESPAWN_DELAY
 from ..errors import SimulationError
 from .engine import Simulator
 
@@ -46,14 +47,17 @@ class SimProcess:
     respawn_delay:
         Delay after a crash before the forking daemon restores the
         process, or ``None`` if the process has no forking daemon (it
-        then stays crashed until rebooted externally).
+        then stays crashed until rebooted externally).  Deployments
+        thread this from a :class:`~repro.core.timing.TimingSpec`; the
+        default is the paper-realistic
+        :data:`~repro.core.timing.DEFAULT_RESPAWN_DELAY`.
     """
 
     def __init__(
         self,
         sim: Simulator,
         name: str,
-        respawn_delay: Optional[float] = 0.01,
+        respawn_delay: Optional[float] = DEFAULT_RESPAWN_DELAY,
     ) -> None:
         self.sim = sim
         self.name = name

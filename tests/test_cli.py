@@ -126,3 +126,41 @@ def test_advise_high_kappa_prefers_plain_pb(capsys):
     )
     assert code == 0
     assert "plain PB" in out
+
+
+def test_protocol_sweep_timing_and_output(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "sweep.json"
+    code, out, err = run_cli(
+        capsys, "protocol-sweep",
+        "--systems", "s1", "--schemes", "so", "--alphas", "0.2",
+        "--entropy-bits", "6", "--trials", "4", "--max-steps", "80",
+        "--timing", "ideal", "--output", str(out_path),
+    )
+    assert code == 0
+    assert "timing=ideal" in out
+    assert str(out_path) in out
+    record = json.loads(out_path.read_text())
+    assert record["timing_preset"] == "ideal"
+    assert record["timing"]["respawn_delay"] == 0.0
+    assert record["rows"][0]["label"] == "S1SO"
+
+
+def test_protocol_sweep_rejects_unknown_timing(capsys):
+    import pytest as _pytest
+
+    with _pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["protocol-sweep", "--timing", "warp-speed"]
+        )
+
+
+def test_protocol_command_accepts_timing(capsys):
+    code, out, err = run_cli(
+        capsys, "protocol", "--system", "s1", "--scheme", "so",
+        "--alpha", "0.2", "--entropy-bits", "6", "--trials", "4",
+        "--max-steps", "80", "--timing", "degraded",
+    )
+    assert code == 0
+    assert "protocol-level lifetimes" in out

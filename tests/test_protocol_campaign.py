@@ -384,3 +384,51 @@ def test_render_campaign_table_with_model_column():
     assert "model EL" in text and "2.5" in text
     with pytest.raises(ConfigurationError):
         render_campaign_table([])
+
+
+# ----------------------------------------------------------------------
+# Diffable campaign records
+# ----------------------------------------------------------------------
+def test_campaign_record_schema_and_json_round_trip():
+    import json
+
+    from repro.core.campaign import campaign_record
+    from repro.core.timing import TimingSpec
+
+    specs = campaign_grid(
+        systems=(SystemClass.S1,),
+        schemes=(Scheme.SO,),
+        alphas=(0.2,),
+        entropy_bits=6,
+    )
+    timing = TimingSpec.ideal()
+    result = run_campaign(specs, trials=4, max_steps=100, seed=3, timing=timing)
+    record = campaign_record(result, timing=timing, timing_preset="ideal")
+    assert record["benchmark"] == "protocol_campaign"
+    assert record["timing_preset"] == "ideal"
+    assert record["timing"]["respawn_delay"] == 0.0
+    assert record["grid_points"] == 1 and record["total_runs"] == 4
+    (row,) = record["rows"]
+    assert row["label"] == "S1SO" and row["scheme"] == "SO"
+    assert row["runs"] == 4 and row["converged"] is True
+    assert row["protocol_ci"][0] <= row["protocol_mean"] <= row["protocol_ci"][1]
+    # must survive a JSON round trip unchanged
+    assert json.loads(json.dumps(record)) == record
+
+
+def test_campaign_record_mirrors_estimates():
+    from repro.core.campaign import campaign_record
+
+    specs = campaign_grid(
+        systems=(SystemClass.S0,),
+        schemes=(Scheme.SO,),
+        alphas=(0.25,),
+        entropy_bits=6,
+    )
+    result = run_campaign(specs, trials=3, max_steps=80, seed=1)
+    record = campaign_record(result)
+    assert "timing" not in record and "timing_preset" not in record
+    for row, estimate in zip(record["rows"], result.estimates):
+        assert row["protocol_mean"] == estimate.mean_steps
+        assert row["censored"] == estimate.censored
+        assert row["km_mean"] == estimate.km_mean_steps

@@ -155,3 +155,69 @@ def test_run_is_not_reentrant():
     sim.schedule(1.0, reenter)
     sim.run()
     assert len(errors) == 1
+
+
+# ----------------------------------------------------------------------
+# pending_events live counter (O(1), maintained on schedule/cancel/pop)
+# ----------------------------------------------------------------------
+def test_pending_events_counts_schedule_cancel_and_pop():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending_events == 5
+    events[0].cancel()
+    events[3].cancel()
+    assert sim.pending_events == 3
+    sim.step()  # executes the event at t=2.0
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_double_cancel_decrements_once():
+    sim = Simulator()
+    e = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    e.cancel()
+    e.cancel()
+    sim.cancel(e)
+    assert sim.pending_events == 1
+
+
+def test_cancel_after_fire_does_not_corrupt_counter():
+    sim = Simulator()
+    e = sim.schedule(1.0, lambda: None)
+    later = sim.schedule(2.0, lambda: None)
+    sim.step()
+    e.cancel()  # already fired: must be a no-op for the counter
+    assert sim.pending_events == 1
+    later.cancel()
+    assert sim.pending_events == 0
+
+
+def test_cancel_from_within_a_callback_keeps_counter_consistent():
+    sim = Simulator()
+    victim = sim.schedule(2.0, lambda: None)
+    sim.schedule(1.0, victim.cancel)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.events_executed == 1
+
+
+def test_pending_counter_matches_heap_scan_under_churn():
+    import random as pyrandom
+
+    sim = Simulator()
+    rng = pyrandom.Random(9)
+    live = []
+    for _ in range(500):
+        action = rng.random()
+        if action < 0.5 or not live:
+            live.append(sim.schedule(rng.uniform(0.0, 10.0), lambda: None))
+        elif action < 0.8:
+            live.pop(rng.randrange(len(live))).cancel()
+        else:
+            sim.run(until=sim.now + rng.uniform(0.0, 0.5))
+            live = [e for e in live if not e.cancelled and e.time > sim.now]
+    scan = sum(1 for e in sim._heap if not e.cancelled)
+    assert sim.pending_events == scan

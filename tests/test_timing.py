@@ -1,0 +1,350 @@
+"""Tests for the unified timing layer (core/timing.py) and its
+threading through the protocol builders, the Monte-Carlo samplers and
+the analytic models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.lifetimes import expected_lifetime, per_step_compromise
+from repro.analysis.s2so import el_s2_so_numeric
+from repro.core.builders import attach_attacker, build_system
+from repro.core.experiment import estimate_protocol_lifetime
+from repro.core.specs import s0, s1, s2
+from repro.core.timing import (
+    DEFAULT_DETECTION_LAG,
+    DEFAULT_RECONNECT_LATENCY,
+    DEFAULT_RESPAWN_DELAY,
+    DEFAULT_TIMING,
+    TimingSpec,
+)
+from repro.errors import ConfigurationError
+from repro.mc.montecarlo import mc_expected_lifetime
+from repro.mc.models import model_for
+from repro.randomization.obfuscation import Scheme
+
+
+# ----------------------------------------------------------------------
+# TimingSpec itself
+# ----------------------------------------------------------------------
+def test_paper_preset_matches_historical_constants():
+    t = TimingSpec.paper()
+    assert t.respawn_delay == DEFAULT_RESPAWN_DELAY == 0.01
+    assert t.reconnect_latency == DEFAULT_RECONNECT_LATENCY == 0.001
+    assert t.detection_lag == DEFAULT_DETECTION_LAG == 0.4
+    assert t.probe_pacing == 1.0
+    assert t.epoch_stagger == 0.0
+    assert DEFAULT_TIMING == t
+
+
+def test_ideal_preset_has_zero_delays():
+    t = TimingSpec.ideal()
+    assert t.respawn_delay == 0.0
+    assert t.reconnect_latency == 0.0
+    assert t.epoch_stagger == 0.0
+
+
+def test_named_presets_round_trip():
+    for name in TimingSpec.PRESETS:
+        spec = TimingSpec.named(name)
+        assert isinstance(spec, TimingSpec)
+    with pytest.raises(ConfigurationError):
+        TimingSpec.named("warp-speed")
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"respawn_delay": -0.1},
+        {"reconnect_latency": -1e-9},
+        {"probe_pacing": 0.0},
+        {"epoch_stagger": 1.5},
+        {"epoch_stagger": -0.1},
+        {"detection_lag": 0.0},
+    ],
+)
+def test_validation_rejects_bad_fields(kwargs):
+    with pytest.raises(ConfigurationError):
+        TimingSpec(**kwargs)
+
+
+def test_as_dict_lists_every_field():
+    d = TimingSpec.degraded().as_dict()
+    assert set(d) == {
+        "respawn_delay",
+        "reconnect_latency",
+        "probe_pacing",
+        "epoch_stagger",
+        "detection_lag",
+    }
+    assert d["respawn_delay"] == 0.05
+
+
+def test_timing_spec_is_hashable_and_picklable():
+    import pickle
+
+    t = TimingSpec.degraded()
+    assert pickle.loads(pickle.dumps(t)) == t
+    assert len({t, TimingSpec.degraded(), TimingSpec.paper()}) == 2
+
+
+# ----------------------------------------------------------------------
+# Model-side correction math
+# ----------------------------------------------------------------------
+def test_slowdown_is_one_when_downtime_fits_in_an_interval():
+    # omega = 25.6 -> interval ~0.039 > respawn+latency = 0.011.
+    assert TimingSpec.paper().direct_slowdown(25.6) == 1
+    assert TimingSpec.ideal().direct_slowdown(1e9) == 1
+
+
+def test_slowdown_counts_lost_grid_points():
+    # interval = 0.01; dead time 0.025 -> the 3rd fire after a crash is
+    # the first to land.
+    t = TimingSpec(respawn_delay=0.02, reconnect_latency=0.005)
+    assert t.direct_slowdown(100.0) == 3
+    assert t.effective_direct_rate(100.0) == pytest.approx(100.0 / 3)
+
+
+def test_slowdown_exact_interval_boundary():
+    # dead time exactly one interval: the very next fire lands.
+    t = TimingSpec(respawn_delay=0.01, reconnect_latency=0.0)
+    assert t.direct_slowdown(100.0) == 1
+
+
+def test_probe_pacing_scales_rates():
+    t = TimingSpec(respawn_delay=0.0, reconnect_latency=0.0, probe_pacing=2.0)
+    assert t.effective_direct_rate(50.0) == pytest.approx(25.0)
+
+
+def test_ideal_effective_attack_keeps_alpha_and_kappa():
+    eff = TimingSpec.ideal().effective_attack(
+        0.15, 256, kappa=0.5, launchpad_fraction=1.0
+    )
+    assert eff.alpha_direct == pytest.approx(0.15)
+    assert eff.omega_direct == pytest.approx(38.4)
+    assert eff.kappa == pytest.approx(0.5)
+    # Only the within-step launch-pad window survives zero delays.
+    omega = 38.4
+    assert eff.launchpad_fraction == pytest.approx((omega - 1) / (2 * omega))
+
+
+def test_paper_effective_attack_shrinks_indirect_and_launchpad():
+    eff = TimingSpec.paper().effective_attack(
+        0.15, 256, kappa=0.5, launchpad_fraction=1.0
+    )
+    # Proxies respawn for ~33% of each step, so the indirect stream
+    # loses probes on top of the primary's own downtime.
+    assert eff.kappa < 0.5 * 0.75
+    assert eff.kappa > 0.2
+    assert eff.launchpad_fraction < 0.5
+    assert eff.alpha_direct == pytest.approx(0.15)  # slowdown is 1 here
+
+
+def test_effective_attack_validates_inputs():
+    t = TimingSpec.paper()
+    with pytest.raises(ConfigurationError):
+        t.effective_attack(0.0, 256)
+    with pytest.raises(ConfigurationError):
+        t.effective_attack(0.5, 0)
+    with pytest.raises(ConfigurationError):
+        t.direct_slowdown(0.0)
+
+
+# ----------------------------------------------------------------------
+# Analytic layer
+# ----------------------------------------------------------------------
+def test_per_step_compromise_timed_reduces_q_for_s2po():
+    spec = s2(Scheme.PO, alpha=0.15, kappa=0.5, entropy_bits=8)
+    q_pure = per_step_compromise(spec)
+    q_ideal = per_step_compromise(spec, TimingSpec.ideal())
+    q_paper = per_step_compromise(spec, TimingSpec.paper())
+    # The launch-pad window alone lowers q; realistic delays lower it
+    # further (longer lifetimes, matching the protocol stack).
+    assert q_paper < q_ideal < q_pure
+
+
+def test_per_step_compromise_unchanged_for_s0_s1_at_laptop_scale():
+    # No proxies, no launch pad; with respawn+latency inside one probe
+    # interval the direct streams lose nothing.
+    for spec in (
+        s0(Scheme.PO, alpha=0.15, entropy_bits=8),
+        s1(Scheme.PO, alpha=0.15, entropy_bits=8),
+    ):
+        assert per_step_compromise(spec, TimingSpec.paper()) == pytest.approx(
+            per_step_compromise(spec)
+        )
+
+
+def test_expected_lifetime_timed_ordering():
+    spec = s2(Scheme.PO, alpha=0.15, kappa=0.5, entropy_bits=8)
+    el_pure = expected_lifetime(spec)
+    el_ideal = expected_lifetime(spec, TimingSpec.ideal())
+    el_paper = expected_lifetime(spec, TimingSpec.paper())
+    assert el_pure < el_ideal < el_paper
+
+
+def test_expected_lifetime_so_slowdown_extends_life():
+    # A respawn delay longer than the probe interval halves the
+    # attacker's landed rate, roughly doubling SO lifetimes.
+    spec = s1(Scheme.SO, alpha=0.1, entropy_bits=8)  # interval 1/25.6
+    slow = TimingSpec(respawn_delay=0.05, reconnect_latency=0.0)
+    assert slow.direct_slowdown(spec.omega) == 2
+    el_slow = expected_lifetime(spec, slow)
+    el_pure = expected_lifetime(spec)
+    assert el_slow == pytest.approx(expected_lifetime(spec.with_alpha(0.05)), rel=1e-9)
+    assert el_slow > 1.8 * el_pure
+
+
+def test_s2so_numeric_timed_matches_timed_sampler():
+    spec = s2(Scheme.SO, alpha=0.15, kappa=0.5, entropy_bits=8)
+    timing = TimingSpec.paper()
+    numeric = el_s2_so_numeric(
+        spec.alpha, spec.kappa, n_proxies=spec.n_proxies,
+        chi=spec.chi, timing=timing,
+    )
+    mc = mc_expected_lifetime(spec, trials=120_000, seed=7, timing=timing)
+    # quadrature and sampler make slightly different sub-step
+    # discretization choices (~0.5%, same as the untimed pair)
+    assert numeric == pytest.approx(mc.mean, rel=0.015)
+    # and the correction moves the model (proxy downtime drops probes)
+    assert numeric > el_s2_so_numeric(spec.alpha, spec.kappa) + 0.2
+
+
+def test_s2so_numeric_timed_requires_chi():
+    from repro.errors import AnalysisError
+
+    with pytest.raises(AnalysisError):
+        el_s2_so_numeric(0.15, 0.5, timing=TimingSpec.paper())
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo layer
+# ----------------------------------------------------------------------
+def test_models_default_timing_is_bit_identical_to_untimed():
+    for spec in (
+        s2(Scheme.PO, alpha=0.1, kappa=0.5, entropy_bits=8),
+        s2(Scheme.SO, alpha=0.1, kappa=0.5, entropy_bits=8),
+        s0(Scheme.SO, alpha=0.1, entropy_bits=8),
+        s1(Scheme.SO, alpha=0.1, entropy_bits=8),
+    ):
+        a = model_for(spec).sample(500, np.random.default_rng(3))
+        b = model_for(spec, timing=None).sample(500, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+def test_timed_geometric_model_matches_timed_analytic():
+    spec = s2(Scheme.PO, alpha=0.15, kappa=0.5, entropy_bits=8)
+    timing = TimingSpec.paper()
+    mc = mc_expected_lifetime(spec, trials=200_000, seed=5, timing=timing)
+    assert mc.within_ci(expected_lifetime(spec, timing))
+
+
+def test_timed_step_level_model_matches_timed_closed_form():
+    spec = s2(Scheme.PO, alpha=0.2, kappa=0.5, entropy_bits=8)
+    timing = TimingSpec.paper()
+    step = mc_expected_lifetime(
+        spec, trials=60_000, seed=9, step_level=True, timing=timing
+    )
+    assert step.within_ci(expected_lifetime(spec, timing))
+
+
+def test_timed_sampler_batch_and_scalar_agree():
+    spec = s2(Scheme.SO, alpha=0.15, kappa=0.5, entropy_bits=8)
+    model = model_for(spec, timing=TimingSpec.degraded())
+    batch = model.sample_batch(400, np.random.default_rng(11))
+    scalar = model.sample_scalar(400, np.random.default_rng(12))
+    # same distribution: compare means loosely
+    assert abs(batch.mean() - scalar.mean()) < 0.6
+
+
+# ----------------------------------------------------------------------
+# Protocol layer threading
+# ----------------------------------------------------------------------
+def test_build_system_threads_timing_into_every_component():
+    timing = TimingSpec(
+        respawn_delay=0.07,
+        reconnect_latency=0.003,
+        probe_pacing=2.0,
+        epoch_stagger=0.5,
+        detection_lag=1.25,
+    )
+    spec = s2(Scheme.PO, alpha=0.1, kappa=0.5, entropy_bits=8)
+    deployed = build_system(spec, seed=1, timing=timing)
+    assert deployed.timing == timing
+    for server in deployed.servers:
+        assert server.respawn_delay == 0.07
+    for proxy in deployed.proxies:
+        assert proxy.respawn_delay == 0.07
+        assert proxy.request_timeout == 1.25
+    assert deployed.network.latency.delay == 0.003
+    attacker = attach_attacker(deployed)
+    assert attacker.probe_pacing == 2.0
+    # direct streams at the proxies pace at pacing * period / omega
+    assert attacker._drivers[0].interval == pytest.approx(
+        2.0 * spec.period / spec.omega
+    )
+    # indirect stream paces at pacing * period / (kappa * omega)
+    assert attacker._indirect[0].interval == pytest.approx(
+        2.0 * spec.period / (spec.kappa * spec.omega)
+    )
+
+
+def test_build_system_defaults_to_paper_timing():
+    spec = s1(Scheme.PO, alpha=0.1, entropy_bits=8)
+    deployed = build_system(spec, seed=2)
+    assert deployed.timing == TimingSpec.paper()
+    assert deployed.servers[0].respawn_delay == DEFAULT_RESPAWN_DELAY
+
+
+def test_build_system_respawn_delay_override_wins():
+    spec = s1(Scheme.PO, alpha=0.1, entropy_bits=8)
+    deployed = build_system(spec, seed=2, timing=TimingSpec.ideal(), respawn_delay=0.5)
+    assert deployed.servers[0].respawn_delay == 0.5
+    assert deployed.timing.reconnect_latency == 0.0  # rest of ideal kept
+
+
+def test_epoch_stagger_spreads_diverse_refreshes():
+    timing = TimingSpec(epoch_stagger=0.5)
+    spec = s2(Scheme.PO, alpha=0.1, kappa=0.5, entropy_bits=8)
+    deployed = build_system(spec, seed=3, timing=timing)
+    offsets = sorted(g.offset for g in deployed.obfuscation._groups)
+    # 3 proxies spread over half a period; the PB server group at 0.
+    assert offsets == pytest.approx([0.0, 0.0, 1 / 6, 2 / 6])
+
+
+def test_stagger_recovery_still_forces_full_spread():
+    spec = s0(Scheme.SO, alpha=0.1, entropy_bits=8)
+    deployed = build_system(
+        spec, seed=4, timing=TimingSpec(epoch_stagger=0.0),
+        stagger_recovery=True, reboot_duration=0.1,
+    )
+    offsets = sorted(g.offset for g in deployed.obfuscation._groups)
+    assert offsets == pytest.approx([0.0, 0.25, 0.5, 0.75])
+
+
+def test_protocol_matches_timed_model_under_ideal_timing():
+    # The tentpole contract at unit-test scale: an ideal-timing S2PO
+    # deployment agrees with the timing-aware model (which differs from
+    # the paper model by the launch-pad window).
+    spec = s2(Scheme.PO, alpha=0.2, kappa=0.5, entropy_bits=6)
+    timing = TimingSpec.ideal()
+    estimate = estimate_protocol_lifetime(
+        spec, trials=60, max_steps=300, seed0=100, timing=timing
+    )
+    model = expected_lifetime(spec, timing)
+    assert estimate.censored == 0
+    assert estimate.stats.ci_low <= model <= estimate.stats.ci_high
+
+
+def test_estimate_protocol_lifetime_accepts_timing_kwarg():
+    spec = s1(Scheme.SO, alpha=0.2, entropy_bits=6)
+    fast = estimate_protocol_lifetime(
+        spec, trials=8, max_steps=200, timing=TimingSpec.ideal()
+    )
+    slow = estimate_protocol_lifetime(
+        spec, trials=8, max_steps=200,
+        timing=TimingSpec(respawn_delay=0.2, reconnect_latency=0.01),
+    )
+    # a respawn delay spanning several probe intervals slows discovery
+    assert slow.mean_steps > fast.mean_steps

@@ -1,0 +1,166 @@
+"""Fault injection and proxy detection under non-default TimingSpecs.
+
+The timing layer makes the forking daemon's respawn delay and the
+proxies' detection lag deployment knobs; these tests earn the claims
+that (a) fault plans interact correctly with a slow daemon and (b) the
+detection pipeline observes invalid requests only after the configured
+lag.
+"""
+
+from __future__ import annotations
+
+from repro.core.builders import build_system
+from repro.core.specs import s1, s2
+from repro.core.timing import TimingSpec
+from repro.faults.injector import CrashFault, FaultInjector
+from repro.net.message import Message
+from repro.proxy.detection import DetectionPolicy
+from repro.proxy.proxy import CLIENT_REQUEST
+from repro.randomization.obfuscation import Scheme
+from repro.sim.process import ProcessState, SimProcess
+
+
+SLOW_RESPAWN = TimingSpec(respawn_delay=0.5, reconnect_latency=0.001)
+
+
+def _probe_request(client: str, request_id: str) -> dict:
+    return {
+        "request_id": request_id,
+        "client": client,
+        "body": {"op": "__probe__", "guess": -2},
+    }
+
+
+def _build_s2(detection_lag: float, policy: DetectionPolicy | None = None):
+    """A fortress deployment with a client registered; the epoch
+    schedule stays unstarted so refreshes cannot wipe pending tables
+    mid-observation."""
+    timing = TimingSpec(detection_lag=detection_lag)
+    spec = s2(Scheme.PO, alpha=0.1, kappa=0.5, entropy_bits=8)
+    deployed = build_system(spec, seed=7, timing=timing, detection_policy=policy)
+    client = SimProcess(deployed.sim, "client-x", respawn_delay=None)
+    deployed.network.register(client)
+    return deployed
+
+
+# ----------------------------------------------------------------------
+# Fault injection with a slow forking daemon
+# ----------------------------------------------------------------------
+def test_crash_fault_respects_slow_respawn_delay():
+    spec = s1(Scheme.PO, alpha=0.1, entropy_bits=8)
+    deployed = build_system(spec, seed=3, timing=SLOW_RESPAWN)
+    backup = deployed.servers[1]
+    assert backup.respawn_delay == 0.5
+    injector = FaultInjector(deployed.sim, deployed.network)
+    injector.schedule(CrashFault(time=0.3, target=backup.name))
+    deployed.sim.run(until=0.29)
+    assert backup.state is ProcessState.RUNNING
+    deployed.sim.run(until=0.6)
+    assert backup.state is ProcessState.CRASHED  # daemon still sleeping
+    deployed.sim.run(until=0.85)
+    assert backup.state is ProcessState.RUNNING
+    assert backup.respawn_count == 1
+
+
+def test_outage_restores_slow_daemon_configuration():
+    spec = s1(Scheme.PO, alpha=0.1, entropy_bits=8)
+    deployed = build_system(spec, seed=4, timing=SLOW_RESPAWN)
+    backup = deployed.servers[2]
+    injector = FaultInjector(deployed.sim, deployed.network)
+    injector.schedule(CrashFault(time=0.2, target=backup.name, down_for=1.0))
+    deployed.sim.run(until=0.9)
+    # inside the outage the daemon is suppressed entirely
+    assert backup.state is ProcessState.CRASHED
+    assert backup.respawn_delay is None
+    deployed.sim.run(until=1.3)
+    assert backup.state is ProcessState.RUNNING
+    # the TimingSpec's delay is restored for later crashes
+    assert backup.respawn_delay == 0.5
+
+
+def test_crash_fault_on_proxy_with_slow_daemon_drops_client_requests():
+    timing = TimingSpec(respawn_delay=0.4)
+    spec = s2(Scheme.PO, alpha=0.1, kappa=0.5, entropy_bits=8)
+    deployed = build_system(spec, seed=5, timing=timing)
+    client = SimProcess(deployed.sim, "client-x", respawn_delay=None)
+    deployed.network.register(client)
+    proxy = deployed.proxies[0]
+    injector = FaultInjector(deployed.sim, deployed.network)
+    injector.schedule(CrashFault(time=0.1, target=proxy.name))
+    deployed.sim.run(until=0.2)  # proxy mid-respawn until 0.5
+    deployed.network.send(
+        Message(
+            "client-x",
+            proxy.name,
+            CLIENT_REQUEST,
+            _probe_request("client-x", "r-lost"),
+        )
+    )
+    deployed.sim.run(until=0.45)
+    # the request died at the crashed proxy: nothing pending, no log
+    assert proxy.requests_forwarded == 0
+    assert proxy.detection.invalid_count("client-x") == 0
+
+
+# ----------------------------------------------------------------------
+# Detection with a delayed observation pipeline
+# ----------------------------------------------------------------------
+def test_invalid_requests_are_recorded_only_after_detection_lag():
+    deployed = _build_s2(detection_lag=1.5)
+    proxy = deployed.proxies[0]
+    assert proxy.request_timeout == 1.5
+    deployed.network.send(
+        Message(
+            "client-x", proxy.name, CLIENT_REQUEST, _probe_request("client-x", "r1")
+        )
+    )
+    deployed.sim.run(until=1.4)
+    # the probe crashed the primary long ago, but the proxy has not yet
+    # classified the request as invalid
+    assert proxy.detection.invalid_count("client-x") == 0
+    deployed.sim.run(until=1.6)
+    assert proxy.detection.invalid_count("client-x") == 1
+    assert proxy.errors_returned == 1
+
+
+def test_delayed_detection_defers_blacklisting_but_still_bites():
+    policy = DetectionPolicy(window=10.0, threshold=1)
+    deployed = _build_s2(detection_lag=1.5, policy=policy)
+    proxy = deployed.proxies[0]
+    for i, t in enumerate((0.0, 0.1)):
+        deployed.sim.schedule_at(
+            t,
+            deployed.network.send,
+            Message(
+                "client-x",
+                proxy.name,
+                CLIENT_REQUEST,
+                _probe_request("client-x", f"r{i}"),
+            ),
+        )
+    deployed.sim.run(until=1.55)
+    # first invalid observed (t ~1.50); threshold=1 not yet exceeded
+    assert not proxy.detection.is_blacklisted("client-x")
+    deployed.sim.run(until=1.7)
+    # second invalid (t ~1.60) crosses the threshold despite the lag
+    assert proxy.detection.is_blacklisted("client-x")
+    before = proxy.dropped_blacklisted
+    deployed.network.send(
+        Message(
+            "client-x", proxy.name, CLIENT_REQUEST, _probe_request("client-x", "r9")
+        )
+    )
+    deployed.sim.run(until=1.8)
+    assert proxy.dropped_blacklisted == before + 1
+
+
+def test_shorter_detection_lag_observes_sooner():
+    fast = _build_s2(detection_lag=0.2)
+    proxy = fast.proxies[0]
+    fast.network.send(
+        Message(
+            "client-x", proxy.name, CLIENT_REQUEST, _probe_request("client-x", "r1")
+        )
+    )
+    fast.sim.run(until=0.3)
+    assert proxy.detection.invalid_count("client-x") == 1
