@@ -1,0 +1,17 @@
+"""Frozen pre-refactor (PR 3) protocol stack — benchmark baseline ONLY.
+
+This is a verbatim snapshot of ``src/repro`` at commit PR 3 (the last
+commit before the event-kernel / messaging / fast-forward rewrite),
+trimmed to the protocol-simulation closure (the analytic, Monte-Carlo,
+fault-injection, workload, reporting and CLI layers are dropped; this
+``__init__`` replaces the original package root, which re-exported
+them).  ``benchmarks/bench_sim_kernel.py`` imports it to measure the
+old engine's single-run throughput in the SAME process and machine
+state as the new engine, so the asserted speedup is an honest
+same-session A/B rather than a comparison against a recorded number
+from a differently-loaded machine.
+
+Do not fix, lint, format or otherwise improve this code: its value is
+that it never changes.  All intra-package imports are relative, so the
+snapshot works unchanged under this package name.
+"""

@@ -1,0 +1,18 @@
+"""Attack substrate: key tracking, probe streams, campaign orchestration."""
+
+from .adaptive import AdaptiveIndirectProber
+from .agent import AttackerProcess
+from .driver import IndirectProber, ProbeDriver
+from .keytracker import KeyGuessTracker
+from .probe import connection_probe, is_intrusion_ack, request_probe
+
+__all__ = [
+    "AdaptiveIndirectProber",
+    "AttackerProcess",
+    "IndirectProber",
+    "ProbeDriver",
+    "KeyGuessTracker",
+    "connection_probe",
+    "is_intrusion_ack",
+    "request_probe",
+]

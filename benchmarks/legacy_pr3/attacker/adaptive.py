@@ -1,0 +1,214 @@
+"""Adaptive indirect attack strategies.
+
+The paper's κ abstracts an equilibrium: the attacker paces indirect
+probes just below what the proxies' frequency analysis tolerates.  This
+module implements the *process* that finds that equilibrium, plus the
+evasion the paper mentions in §2.2 (distributing probes so no single
+observation point sees enough):
+
+* **AIMD pacing** — the attacker ramps his indirect rate additively
+  while feedback keeps flowing, and on losing feedback (a sign his
+  current identity was blacklisted) rotates to a fresh spoofed identity
+  and cuts the rate multiplicatively.  The sustained rate divided by ω
+  is the κ he achieves against the deployed policy.
+* **Identity rotation** — fresh source identities defeat *per-source*
+  blacklisting entirely; the proxy-side counter is the aggregate
+  ("siege") detection of :class:`repro.proxy.detection.DetectionPolicy`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import ConfigurationError
+from ..net.message import Message
+from ..proxy.proxy import CLIENT_ERROR, CLIENT_REQUEST, CLIENT_RESPONSE
+from .keytracker import KeyGuessTracker
+from .probe import request_probe
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .agent import AttackerProcess
+
+
+class AdaptiveIndirectProber:
+    """AIMD-paced, identity-rotating indirect probing.
+
+    Parameters
+    ----------
+    attacker:
+        The orchestrating attacker process (receives proxy feedback).
+    proxies:
+        Proxy addresses to rotate probes across.
+    pool:
+        Guess tracker of the server randomization instance.
+    omega:
+        The attacker's full direct-rate strength (rate ceiling).
+    period:
+        Unit time-step length.
+    initial_rate:
+        Starting probes-per-step (defaults to ω/4).
+    min_rate:
+        Floor below which the rate never decays.
+    additive_increase:
+        Probes-per-step added after every ``adjust_every`` acknowledged
+        probes.
+    multiplicative_decrease:
+        Rate factor applied on suspected blacklisting.
+    patience:
+        Consecutive unanswered probes that signal blacklisting.
+    feedback_timeout:
+        How long a probe may stay unanswered before it counts as silent.
+    max_identities:
+        Budget of spoofed identities (None = unlimited).
+    """
+
+    def __init__(
+        self,
+        attacker: "AttackerProcess",
+        proxies: list[str],
+        pool: KeyGuessTracker,
+        omega: float,
+        period: float = 1.0,
+        initial_rate: Optional[float] = None,
+        min_rate: float = 0.25,
+        additive_increase: float = 0.5,
+        multiplicative_decrease: float = 0.5,
+        patience: int = 4,
+        feedback_timeout: float = 1.0,
+        adjust_every: int = 8,
+        max_identities: Optional[int] = None,
+    ) -> None:
+        if not proxies:
+            raise ConfigurationError("adaptive probing needs at least one proxy")
+        if omega <= 0:
+            raise ConfigurationError(f"omega must be positive, got {omega}")
+        self.attacker = attacker
+        self.proxies = list(proxies)
+        self.pool = pool
+        self.omega = omega
+        self.period = period
+        self.rate = (
+            initial_rate if initial_rate is not None else max(min_rate, omega / 4)
+        )
+        self.min_rate = min_rate
+        self.additive_increase = additive_increase
+        self.multiplicative_decrease = multiplicative_decrease
+        self.patience = patience
+        self.feedback_timeout = feedback_timeout
+        self.adjust_every = adjust_every
+        self.max_identities = max_identities
+        self.active = False
+        self.probes_sent = 0
+        self.identities_used = 0
+        self.rotations = 0
+        self.rate_history: list[tuple[float, float]] = []
+        self._identity: Optional[str] = None
+        self._turn = 0
+        self._outstanding: dict[str, float] = {}  # request_id -> sent time
+        self._answered_streak = 0
+        self._last_feedback = 0.0
+        self._sent_since_feedback = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the adaptive probe loop."""
+        if self.active:
+            return
+        self.active = True
+        self._adopt_identity()
+        self.attacker.register_feedback_handler(self._on_feedback)
+        self.attacker.sim.schedule(self.period / self.rate, self._fire)
+
+    def stop(self) -> None:
+        """Stop the loop."""
+        self.active = False
+
+    @property
+    def effective_kappa(self) -> float:
+        """The κ this strategy currently sustains (rate / ω)."""
+        return min(1.0, self.rate / self.omega)
+
+    # ------------------------------------------------------------------
+    def _adopt_identity(self) -> bool:
+        if (
+            self.max_identities is not None
+            and self.identities_used >= self.max_identities
+        ):
+            self._identity = None
+            return False
+        self.identities_used += 1
+        identity = f"{self.attacker.name}~id{self.identities_used}"
+        self.attacker.network.register_alias(identity, self.attacker.name)
+        self._identity = identity
+        self._outstanding.clear()
+        self._answered_streak = 0
+        self._sent_since_feedback = 0
+        self._last_feedback = self.attacker.sim.now
+        return True
+
+    def _fire(self) -> None:
+        if not self.active:
+            return
+        if self.pool.known_key is None and self.pool.exhausted:
+            self.active = False
+            return
+        now = self.attacker.sim.now
+        self._check_for_blacklisting(now)
+        if self._identity is None:
+            self.active = False  # identity budget exhausted
+            return
+        guess = (
+            self.pool.known_key
+            if self.pool.known_key is not None
+            else self.pool.next_guess()
+        )
+        payload = request_probe(guess, self._identity)
+        proxy = self.proxies[self._turn % len(self.proxies)]
+        self._turn += 1
+        if self.attacker.network.knows(proxy):
+            self.attacker.network.send(
+                Message(self._identity, proxy, CLIENT_REQUEST, payload)
+            )
+        self._outstanding[payload["request_id"]] = now
+        self._sent_since_feedback += 1
+        self.probes_sent += 1
+        self.attacker.probes_sent_indirect += 1
+        self.rate_history.append((now, self.rate))
+        # Bound the table: entries older than the timeout carry no more
+        # information (sporadic losses — e.g. a proxy rebooting mid-flight
+        # — are normal and must not look like blacklisting).
+        stale = [
+            r
+            for r, s in self._outstanding.items()
+            if now - s > self.feedback_timeout
+        ]
+        for request_id in stale:
+            del self._outstanding[request_id]
+        self.attacker.sim.schedule(self.period / self.rate, self._fire)
+
+    def _check_for_blacklisting(self, now: float) -> None:
+        """Blacklisting (or siege-dropping) silences *every* probe of an
+        identity; sporadic losses do not.  Rotate only on consecutive
+        silence: ≥ patience probes sent with no feedback at all for
+        longer than the feedback timeout."""
+        if (
+            self._sent_since_feedback >= self.patience
+            and now - self._last_feedback > self.feedback_timeout
+        ):
+            self.rotations += 1
+            self.rate = max(self.min_rate, self.rate * self.multiplicative_decrease)
+            self._adopt_identity()
+
+    def _on_feedback(self, message: Message) -> None:
+        if message.mtype not in (CLIENT_ERROR, CLIENT_RESPONSE):
+            return
+        request_id = message.payload.get("request_id")
+        if request_id not in self._outstanding:
+            return
+        del self._outstanding[request_id]
+        self._last_feedback = self.attacker.sim.now
+        self._sent_since_feedback = 0
+        self._answered_streak += 1
+        if self._answered_streak >= self.adjust_every:
+            self._answered_streak = 0
+            self.rate = min(self.omega, self.rate + self.additive_increase)

@@ -1,0 +1,273 @@
+"""The attack orchestrator.
+
+:class:`AttackerProcess` runs the full campaign of the paper's §4 attack
+model against a deployed system:
+
+* **direct attacks** at every node it can reach (1-tier servers; the
+  proxies of a 2-tier system), each a paced
+  :class:`~repro.attacker.driver.ProbeDriver` at ω probes per step;
+* **indirect attacks** at fortified servers, crafted as client requests
+  and paced at κ·ω to stay under the proxies' detection threshold;
+* **launch-pad attacks**: the moment a proxy is compromised, the
+  attacker opens direct connections *from that proxy* to the servers
+  and probes at full rate until re-randomization cleanses the proxy.
+
+Key knowledge is organized in pools (see
+:class:`~repro.attacker.keytracker.KeyGuessTracker`): identically
+randomized servers share one pool; each diversely randomized node is its
+own pool.  Against PO systems the attacker resets pools at every epoch —
+his eliminations are worthless once keys are resampled.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..net.message import Message
+from ..net.network import Network
+from ..net.transport import Connection
+from ..randomization.keyspace import KeySpace
+from ..randomization.node import RandomizedProcess
+from ..sim.engine import Simulator
+from ..sim.process import SimProcess
+from .driver import IndirectProber, ProbeDriver
+from .keytracker import KeyGuessTracker
+
+
+class AttackerProcess(SimProcess):
+    """An external adversary machine running de-randomization campaigns.
+
+    Parameters
+    ----------
+    sim, network:
+        Simulation substrates (the attacker is itself a network process —
+        it must be reachable for connection events and error responses).
+    keyspace:
+        Key space of the defending randomization scheme.
+    omega:
+        Attacker strength: probes completed per unit time-step when
+        attacking directly.
+    period:
+        Length of the unit time-step.
+    reset_pools_on_epoch:
+        ``True`` when attacking a PO system (fresh keys every epoch make
+        eliminations worthless); ``False`` against SO systems.
+    probe_pacing:
+        Multiplier on every probe interval
+        (:attr:`repro.core.timing.TimingSpec.probe_pacing`); 1.0 is the
+        paper's pacing, larger values model a slower attacker.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        keyspace: KeySpace,
+        omega: float,
+        period: float = 1.0,
+        name: str = "attacker",
+        reset_pools_on_epoch: bool = False,
+        probe_pacing: float = 1.0,
+    ) -> None:
+        super().__init__(sim, name, respawn_delay=None)
+        self.network = network
+        self.keyspace = keyspace
+        self.omega = omega
+        self.period = period
+        self.reset_pools_on_epoch = reset_pools_on_epoch
+        self.probe_pacing = probe_pacing
+        self._rng: random.Random = sim.rng.stream(f"{name}:guesses")
+        self._pools: dict[str, KeyGuessTracker] = {}
+        self._drivers: list[ProbeDriver] = []
+        self._indirect: list[IndirectProber] = []
+        self._by_connection: dict[int, ProbeDriver] = {}
+        self._launchpad_servers: list[str] = []
+        self._launchpad_pool_id: Optional[str] = None
+        self._launchpad_drivers: dict[str, ProbeDriver] = {}  # proxy -> driver
+        self._launchpad_hosts: set = set()  # currently compromised proxies
+        self._feedback_handlers: list = []
+        self.probes_sent_direct = 0
+        self.probes_sent_indirect = 0
+        self.compromises_observed: list[tuple[float, str]] = []
+
+    # ------------------------------------------------------------------
+    # Pools
+    # ------------------------------------------------------------------
+    def pool(self, pool_id: str) -> KeyGuessTracker:
+        """Return (creating on first use) the tracker for ``pool_id``."""
+        if pool_id not in self._pools:
+            self._pools[pool_id] = KeyGuessTracker(self.keyspace, self._rng)
+        return self._pools[pool_id]
+
+    # ------------------------------------------------------------------
+    # Campaign configuration
+    # ------------------------------------------------------------------
+    def attack_direct(
+        self,
+        target: RandomizedProcess,
+        pool_id: Optional[str] = None,
+        rate: Optional[float] = None,
+    ) -> ProbeDriver:
+        """Start a direct probe stream at ``target``.
+
+        ``pool_id`` defaults to the target's own name (diverse
+        randomization); pass a shared id for identically randomized
+        groups.  ``rate`` defaults to ω.
+        """
+        driver = ProbeDriver(
+            attacker=self,
+            target=target.name,
+            pool=self.pool(pool_id or target.name),
+            interval=self.probe_pacing * self.period / (rate or self.omega),
+        )
+        self._watch(target)
+        self._drivers.append(driver)
+        driver.start()
+        return driver
+
+    def attack_indirect(
+        self,
+        proxies: list[str],
+        servers: list[RandomizedProcess],
+        pool_id: str,
+        rate: float,
+        identities: int = 1,
+    ) -> Optional[IndirectProber]:
+        """Start request-path probing of the fortified servers.
+
+        ``rate`` is the paced budget κ·ω (probes per step); a rate of
+        zero means the proxies' detection fully suppresses indirect
+        probing (κ = 0) and no prober is started.
+        """
+        for server in servers:
+            self._watch(server)
+        if rate <= 0:
+            return None
+        prober = IndirectProber(
+            attacker=self,
+            proxies=proxies,
+            pool=self.pool(pool_id),
+            interval=self.probe_pacing * self.period / rate,
+            identities=identities,
+            pacing_rng=self.sim.rng.stream(f"{self.name}:pacing"),
+        )
+        self._indirect.append(prober)
+        prober.start()
+        return prober
+
+    def enable_launchpad(
+        self,
+        proxies: list[RandomizedProcess],
+        servers: list[str],
+        pool_id: str,
+    ) -> None:
+        """Arm the launch-pad strategy.
+
+        Whenever one of ``proxies`` is compromised, a direct probe stream
+        at the server tier starts *from that proxy* at full rate ω; it is
+        torn down when the proxy is refreshed.
+        """
+        self._launchpad_servers = list(servers)
+        self._launchpad_pool_id = pool_id
+        for proxy in proxies:
+            proxy.add_compromise_listener(self._on_proxy_compromised)
+            proxy.add_state_listener(self._on_proxy_state_change)
+
+    # ------------------------------------------------------------------
+    # Epoch alignment (PO awareness)
+    # ------------------------------------------------------------------
+    def on_epoch(self, epoch: int) -> None:
+        """Hook for the obfuscation manager's epoch listener."""
+        if self.reset_pools_on_epoch:
+            for tracker in self._pools.values():
+                tracker.reset()
+
+    # ------------------------------------------------------------------
+    # Event routing
+    # ------------------------------------------------------------------
+    def register_connection(self, connection: Connection, driver: ProbeDriver) -> None:
+        """Bind a connection's events to the driver that opened it.
+
+        Launch-pad connections are initiated under the proxy's address;
+        the attacker attaches himself as the event sink (his shell on the
+        proxy receives the traffic).
+        """
+        self._by_connection[connection.conn_id] = driver
+        if driver.initiator != self.name:
+            connection.attach_sink(driver.initiator, self)
+
+    def handle_connection_data(self, connection: Connection, payload) -> None:
+        driver = self._by_connection.get(connection.conn_id)
+        if driver is not None:
+            driver.on_data(connection, payload)
+
+    def on_connection_closed(self, connection: Connection) -> None:
+        driver = self._by_connection.pop(connection.conn_id, None)
+        if driver is not None:
+            driver.on_closed(connection)
+
+    def register_feedback_handler(self, handler) -> None:
+        """Route client-path feedback (errors/responses) to ``handler``
+        — used by adaptive strategies that react to proxy behaviour."""
+        self._feedback_handlers.append(handler)
+
+    def handle_message(self, message: Message) -> None:
+        """Client-path feedback.  Plain pacing needs no action (a guess
+        is eliminated the moment it is issued); adaptive strategies
+        subscribe via :meth:`register_feedback_handler`."""
+        for handler in list(self._feedback_handlers):
+            handler(message)
+
+    # ------------------------------------------------------------------
+    # Compromise observation and launch-pad lifecycle
+    # ------------------------------------------------------------------
+    def _watch(self, node: RandomizedProcess) -> None:
+        node.add_compromise_listener(self._on_node_compromised)
+
+    def _on_node_compromised(self, node) -> None:
+        self.compromises_observed.append((self.sim.now, node.name))
+
+    def _on_proxy_compromised(self, proxy) -> None:
+        self._on_node_compromised(proxy)
+        self._launchpad_hosts.add(proxy)
+        self._ensure_launchpad()
+
+    def _on_proxy_state_change(self, proxy) -> None:
+        if proxy.compromised:
+            return
+        self._launchpad_hosts.discard(proxy)
+        driver = self._launchpad_drivers.pop(proxy.name, None)
+        if driver is not None:
+            driver.stop()
+            self._ensure_launchpad()
+
+    def _ensure_launchpad(self) -> None:
+        """Keep exactly one launch-pad stream alive while any compromised
+        proxy is available.
+
+        The servers share a single key pool, so additional streams from
+        further proxies would only duplicate guesses; the analytic model
+        (one launch-pad attack per step, success λ·α) matches this.
+        """
+        if not self._launchpad_servers or self._launchpad_drivers:
+            return
+        host = next(iter(self._launchpad_hosts), None)
+        if host is None or not host.compromised:
+            return
+        assert self._launchpad_pool_id is not None
+        driver = ProbeDriver(
+            attacker=self,
+            target=self._launchpad_servers[0],
+            pool=self.pool(self._launchpad_pool_id),
+            interval=self.probe_pacing * self.period / self.omega,
+            initiator=host.name,
+        )
+        self._launchpad_drivers[host.name] = driver
+        driver.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def probes_sent_total(self) -> int:
+        """All probes fired so far, on any path."""
+        return self.probes_sent_direct + self.probes_sent_indirect

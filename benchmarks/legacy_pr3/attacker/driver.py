@@ -1,0 +1,212 @@
+"""Paced probe streams.
+
+:class:`ProbeDriver` fires connection probes at one target at a fixed
+rate (ω probes per unit time-step, i.e. one probe every ``period/ω``).
+It reconnects when the target's crash closes the connection — relying on
+the forking daemon to resurrect the victim — and reports intrusion on an
+``intrusion_ack``.
+
+:class:`IndirectProber` is the 2-tier counterpart: it crafts probes as
+client requests and submits them through the proxies (rotating across
+them, the load-balancing evasion of §2.2), at the *paced* rate κ·ω that
+keeps the attacker under the proxies' detection threshold.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import ConfigurationError
+from ..net.message import Message
+from ..net.transport import Connection
+from ..proxy.proxy import CLIENT_REQUEST
+from .keytracker import KeyGuessTracker
+from .probe import connection_probe, is_intrusion_ack, request_probe
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .agent import AttackerProcess
+
+
+class ProbeDriver:
+    """One paced stream of direct connection probes at one target.
+
+    Parameters
+    ----------
+    attacker:
+        The orchestrating attacker process (receives connection events).
+    target:
+        Name of the node under attack.
+    pool:
+        Guess tracker of the target's randomization instance.
+    interval:
+        Simulated time between probes (``period / ω``).
+    initiator:
+        Connection source address; defaults to the attacker itself.
+        Launch-pad streams pass a compromised proxy's name here.
+    """
+
+    def __init__(
+        self,
+        attacker: "AttackerProcess",
+        target: str,
+        pool: KeyGuessTracker,
+        interval: float,
+        initiator: Optional[str] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigurationError(f"probe interval must be positive, got {interval}")
+        self.attacker = attacker
+        self.target = target
+        self.pool = pool
+        self.interval = interval
+        self.initiator = initiator or attacker.name
+        self.connection: Optional[Connection] = None
+        self.active = False
+        self.probes_sent = 0
+        self.reconnects = 0
+        self._last_guess: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the probe loop."""
+        if self.active:
+            return
+        self.active = True
+        self.attacker.sim.schedule(self.interval, self._fire)
+
+    def stop(self) -> None:
+        """Stop probing and drop the connection."""
+        self.active = False
+        if self.connection is not None and self.connection.open:
+            self.connection.close(closed_by=self.initiator)
+        self.connection = None
+
+    # ------------------------------------------------------------------
+    def _fire(self) -> None:
+        if not self.active:
+            return
+        if self.pool.known_key is None and self.pool.exhausted:
+            # Defensive: in SO mode against an unlucky space the pool can
+            # drain; the attack has then provably failed for this instance.
+            self.active = False
+            return
+        if self.connection is None or not self.connection.open:
+            self.connection = self.attacker.network.connect(self.initiator, self.target)
+            if self.connection is not None:
+                self.reconnects += 1
+                self.attacker.register_connection(self.connection, self)
+        if self.connection is not None:
+            if self.pool.known_key is not None:
+                # Re-exploitation: recovery did not change the key, so
+                # the discovered key works instantly (SO semantics).
+                guess = self.pool.known_key
+            else:
+                guess = self.pool.next_guess()
+            self._last_guess = guess
+            self.connection.send(self.initiator, connection_probe(guess))
+            self.probes_sent += 1
+            self.attacker.probes_sent_direct += 1
+        self.attacker.sim.schedule(self.interval, self._fire)
+
+    # -- events routed back by the attacker ------------------------------
+    def on_closed(self, connection: Connection) -> None:
+        """The target crashed (wrong guess) or was refreshed."""
+        if connection is self.connection:
+            self.connection = None
+
+    def on_data(self, connection: Connection, payload) -> None:
+        """Intrusion acks confirm the in-flight guess was the key."""
+        if is_intrusion_ack(payload) and self._last_guess is not None:
+            self.pool.record_success(self._last_guess)
+
+
+class IndirectProber:
+    """Paced request-path probing through the proxy tier.
+
+    Parameters
+    ----------
+    attacker:
+        Orchestrating attacker process.
+    proxies:
+        Proxy addresses to rotate across.
+    pool:
+        Guess tracker of the *server* randomization instance.
+    interval:
+        Mean time between indirect probes (``period / (κ·ω)``).
+    identities:
+        Number of client identities to rotate through (source spoofing;
+        1 = honest single source, which per-source frequency analysis
+        can eventually pin down).
+    pacing_rng:
+        When given, each gap is jittered uniformly over
+        ``[0.5, 1.5]·interval`` (same long-run rate).  Only the *rate*
+        of the stream matters to the detection threshold; exact
+        periodicity, by contrast, phase-locks the request path to the
+        direct/launch-pad probe grid whenever κ is rational in ω, and
+        the stream then systematically collides with the primary
+        crashes its co-streams cause — a discrete-event artifact the §4
+        model's independent-streams assumption excludes.  The attack
+        orchestrator always passes a stream; ``None`` keeps strict
+        periodicity (unit tests).
+    """
+
+    def __init__(
+        self,
+        attacker: "AttackerProcess",
+        proxies: list[str],
+        pool: KeyGuessTracker,
+        interval: float,
+        identities: int = 1,
+        pacing_rng: Optional[random.Random] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigurationError(f"probe interval must be positive, got {interval}")
+        if not proxies:
+            raise ConfigurationError("indirect probing needs at least one proxy")
+        self.attacker = attacker
+        self.proxies = list(proxies)
+        self.pool = pool
+        self.interval = interval
+        self.identities = max(1, identities)
+        self.pacing_rng = pacing_rng
+        self.active = False
+        self.probes_sent = 0
+        self._turn = 0
+
+    def _next_delay(self) -> float:
+        if self.pacing_rng is None:
+            return self.interval
+        return self.interval * (0.5 + self.pacing_rng.random())
+
+    def start(self) -> None:
+        """Begin the indirect probe loop."""
+        if self.active:
+            return
+        self.active = True
+        self.attacker.sim.schedule(self._next_delay(), self._fire)
+
+    def stop(self) -> None:
+        """Stop the loop."""
+        self.active = False
+
+    def _fire(self) -> None:
+        if not self.active:
+            return
+        if self.pool.exhausted:
+            self.active = False
+            return
+        guess = self.pool.next_guess()
+        identity = self.attacker.name
+        if self.identities > 1:
+            identity = f"{self.attacker.name}~{self._turn % self.identities}"
+        payload = request_probe(guess, identity)
+        proxy = self.proxies[self._turn % len(self.proxies)]
+        self._turn += 1
+        if self.attacker.network.knows(proxy):
+            self.attacker.network.send(
+                Message(self.attacker.name, proxy, CLIENT_REQUEST, payload)
+            )
+        self.probes_sent += 1
+        self.attacker.probes_sent_indirect += 1
+        self.attacker.sim.schedule(self._next_delay(), self._fire)

@@ -1,0 +1,118 @@
+"""Attacker-side bookkeeping of key guesses.
+
+Phase 1 of a de-randomization attack enumerates candidate keys, never
+repeating a guess against the same randomization instance (sampling
+*without* replacement).  A :class:`KeyGuessTracker` holds that state for
+one key **pool** — one randomization instance, possibly shared by several
+nodes (the identically randomized PB servers of S1/S2 form a single
+pool; each diversely randomized node is its own pool).
+
+When the defender re-randomizes (PO), the attacker's eliminations become
+worthless and the pool is :meth:`reset` — that is what turns the attack
+into sampling *with* replacement across time-steps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigurationError
+from ..randomization.keyspace import KeySpace
+
+
+class KeyGuessTracker:
+    """Enumerates untried keys of one key pool in random order.
+
+    Parameters
+    ----------
+    keyspace:
+        The key space being searched.
+    rng:
+        Attacker's RNG stream for guess ordering.
+    """
+
+    # Below this fill ratio, rejection sampling is cheap; above it we
+    # materialize the remaining keys once and shuffle them.
+    _REJECTION_LIMIT = 0.5
+
+    def __init__(self, keyspace: KeySpace, rng: random.Random) -> None:
+        self.keyspace = keyspace
+        self._rng = rng
+        self._tried: set[int] = set()
+        self._remaining: list[int] | None = None
+        #: The key, once a probe confirmed it.  Against SO systems the
+        #: defender's recovery does not change keys, so a discovered key
+        #: stays valid and re-exploitation is instant.
+        self.known_key: int | None = None
+        self.resets = 0
+        self.total_guesses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def tried_count(self) -> int:
+        """Keys eliminated against the current randomization instance."""
+        return len(self._tried)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every key of the space has been tried."""
+        return self.tried_count >= self.keyspace.size
+
+    def next_guess(self) -> int:
+        """Return a fresh, never-tried key guess.
+
+        Raises
+        ------
+        ConfigurationError
+            If the pool is exhausted (the attacker should have won long
+            before; callers normally reset on re-randomization).
+        """
+        if self.exhausted:
+            raise ConfigurationError("key pool exhausted; reset the tracker")
+        self.total_guesses += 1
+        if self._remaining is not None:
+            guess = self._remaining.pop()
+            self._tried.add(guess)
+            return guess
+        if self.tried_count >= self.keyspace.size * self._REJECTION_LIMIT:
+            self._materialize()
+            return self.next_guess_after_materialize()
+        while True:
+            guess = self._rng.randrange(self.keyspace.size)
+            if guess not in self._tried:
+                self._tried.add(guess)
+                return guess
+
+    def next_guess_after_materialize(self) -> int:
+        """Pop from the materialized remainder (internal fast path)."""
+        assert self._remaining is not None
+        guess = self._remaining.pop()
+        self._tried.add(guess)
+        return guess
+
+    def _materialize(self) -> None:
+        remaining = [k for k in range(self.keyspace.size) if k not in self._tried]
+        self._rng.shuffle(remaining)
+        self._remaining = remaining
+
+    def record_success(self, guess: int) -> None:
+        """Remember the confirmed key of this pool's instance."""
+        self.known_key = guess
+
+    def eliminate(self, guess: int) -> None:
+        """Record an externally observed wrong guess (e.g. learned from a
+        colluding probe stream against the same pool)."""
+        self._tried.add(guess)
+        if self._remaining is not None and guess in self._remaining:
+            self._remaining.remove(guess)
+
+    def reset(self) -> None:
+        """Forget all eliminations — the defender re-randomized.
+
+        The known key (if any) is forgotten too: a fresh key was drawn.
+        """
+        self._tried.clear()
+        self._remaining = None
+        self.known_key = None
+        self.total_guesses = 0
+        self.resets += 1

@@ -1,0 +1,44 @@
+"""Probe construction.
+
+Two delivery vehicles exist for the same exploit payload:
+
+* **connection probes** — fired over a direct TCP-like connection at a
+  node the attacker can reach (1-tier servers; proxies; servers reached
+  from a compromised proxy acting as launch pad);
+* **request probes** — crafted as service requests and submitted through
+  the client interface, so that the processing primary exercises the
+  vulnerable code path (the paper's indirect attacks).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from ..replication.primary_backup import PROBE_OP
+
+_PROBE_IDS = itertools.count(1)
+
+
+def connection_probe(guess: int) -> dict[str, Any]:
+    """Payload for a probe sent over a direct connection."""
+    return {"kind": "probe", "guess": int(guess)}
+
+
+def request_probe(guess: int, client: str) -> dict[str, Any]:
+    """A ``client_request`` payload whose body carries the exploit.
+
+    Returns the full payload expected by proxies (and by 1-tier servers'
+    request interface): unique request id, claimed client identity, and
+    the probe body.
+    """
+    return {
+        "request_id": f"probe-{client}-{next(_PROBE_IDS)}",
+        "client": client,
+        "body": {"op": PROBE_OP, "guess": int(guess)},
+    }
+
+
+def is_intrusion_ack(payload: Any) -> bool:
+    """True if a connection payload signals a successful exploit."""
+    return isinstance(payload, dict) and payload.get("kind") == "intrusion_ack"

@@ -1,0 +1,60 @@
+"""FORTRESS core: system specs, timing, builders, compromise monitoring,
+experiments.
+
+This package init is *lazy* (PEP 562): the low-level substrates
+(:mod:`repro.sim`, :mod:`repro.net`, …) import defaults from
+:mod:`repro.core.timing`, so an eager ``from .builders import …`` here
+would close an import cycle through the whole protocol stack.  Symbols
+resolve on first attribute access instead; ``from repro.core import
+build_system`` works exactly as before.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "SERVER_POOL": "builders",
+    "DeployedSystem": "builders",
+    "add_clients": "builders",
+    "attach_attacker": "builders",
+    "build_system": "builders",
+    "CampaignResult": "campaign",
+    "campaign_grid": "campaign",
+    "campaign_record": "campaign",
+    "run_campaign": "campaign",
+    "WorkloadClient": "clients",
+    "default_body_factory": "clients",
+    "CompromiseMonitor": "compromise",
+    "CensoredPrecisionError": "experiment",
+    "LifetimeEstimate": "experiment",
+    "LifetimeOutcome": "experiment",
+    "ProtocolTask": "experiment",
+    "estimate_protocol_lifetime": "experiment",
+    "run_protocol_lifetime": "experiment",
+    "run_protocol_task": "experiment",
+    "SystemClass": "specs",
+    "SystemSpec": "specs",
+    "paper_systems": "specs",
+    "s0": "specs",
+    "s1": "specs",
+    "s2": "specs",
+    "DEFAULT_TIMING": "timing",
+    "EffectiveAttack": "timing",
+    "TimingSpec": "timing",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{module_name}", __name__), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

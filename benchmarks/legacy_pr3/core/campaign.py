@@ -1,0 +1,265 @@
+"""Protocol-level campaigns: grids of full-deployment lifetime runs.
+
+The protocol analogue of :mod:`repro.mc.sweeps`: a campaign evaluates
+(system × scheme × α × κ) grids of protocol-level lifetimes, fanning
+*every* seed of *every* grid point across worker processes through the
+generic :class:`repro.mc.executor.TaskExecutor` — parallelism spans the
+whole campaign, not one grid point at a time.
+
+Determinism contract: every seed is derived before dispatch with
+:func:`repro.mc.executor.derive_point_seed` from the root seed, the grid
+point's index and the trial index, so campaign results are bit-identical
+for any worker count or batch size (including the serial fallback, and
+including mid-campaign pool breakage).
+
+``precision=`` switches each grid point from a fixed seed count to
+CI-width-targeted early stopping (see
+:func:`repro.core.experiment.estimate_protocol_lifetime` for the
+censoring rules that guard it).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..randomization.obfuscation import Scheme
+from .experiment import (
+    DEFAULT_MAX_CENSORED,
+    DEFAULT_SEED_BATCH,
+    CensoredPrecisionError,
+    LifetimeEstimate,
+    ProtocolTask,
+    _aggregate,
+    _batched,
+    estimate_protocol_lifetime,
+    run_protocol_task,
+)
+from .specs import SystemClass, SystemSpec
+from .timing import TimingSpec
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All grid points of one protocol campaign, in grid order."""
+
+    estimates: tuple[LifetimeEstimate, ...]
+    root_seed: int
+    trials: int
+    max_steps: int
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    def __iter__(self):
+        return iter(self.estimates)
+
+    @property
+    def specs(self) -> list[SystemSpec]:
+        return [e.spec for e in self.estimates]
+
+    @property
+    def total_runs(self) -> int:
+        """Protocol runs executed across the whole campaign."""
+        return sum(e.stats.n for e in self.estimates)
+
+    @property
+    def total_censored(self) -> int:
+        return sum(e.censored for e in self.estimates)
+
+
+def campaign_record(
+    result: CampaignResult,
+    *,
+    timing: Optional[TimingSpec] = None,
+    timing_preset: Optional[str] = None,
+) -> dict:
+    """Serialize a campaign as a diffable JSON-ready record.
+
+    The schema mirrors the BENCH records under ``benchmarks/results/``
+    (one row per grid point with the protocol mean, 95% CI, censoring
+    and Kaplan-Meier summary), so sweep outputs and bench outputs diff
+    against each other.  ``timing`` / ``timing_preset`` document the
+    :class:`~repro.core.timing.TimingSpec` the campaign ran under.
+    """
+    rows = []
+    for estimate in result.estimates:
+        spec = estimate.spec
+        rows.append(
+            {
+                "label": spec.label,
+                "system": spec.system.value,
+                "scheme": spec.scheme.name,
+                "alpha": spec.alpha,
+                "kappa": spec.kappa,
+                "entropy_bits": spec.entropy_bits,
+                "runs": estimate.stats.n,
+                "protocol_mean": estimate.mean_steps,
+                "protocol_ci": [estimate.stats.ci_low, estimate.stats.ci_high],
+                "std": estimate.stats.std,
+                "min": estimate.stats.minimum,
+                "max": estimate.stats.maximum,
+                "censored": estimate.censored,
+                "censored_fraction": estimate.censored_fraction,
+                "km_mean": estimate.km_mean_steps,
+                "converged": estimate.converged,
+            }
+        )
+    record = {
+        "benchmark": "protocol_campaign",
+        "root_seed": result.root_seed,
+        "trials_per_point": result.trials,
+        "max_steps": result.max_steps,
+        "grid_points": len(result),
+        "total_runs": result.total_runs,
+        "total_censored": result.total_censored,
+        "rows": rows,
+    }
+    if timing_preset is not None:
+        record["timing_preset"] = timing_preset
+    if timing is not None:
+        record["timing"] = timing.as_dict()
+    return record
+
+
+def campaign_grid(
+    systems: Sequence[SystemClass] = tuple(SystemClass),
+    schemes: Sequence[Scheme] = (Scheme.PO, Scheme.SO),
+    alphas: Sequence[float] = (0.1,),
+    kappas: Sequence[float] = (0.5,),
+    entropy_bits: int = 8,
+    **spec_kwargs,
+) -> list[SystemSpec]:
+    """Build the (system × scheme × α × κ) spec grid of a campaign.
+
+    κ only parameterizes S2 (Definition 5), so S0/S1 points are emitted
+    once per (scheme, α) instead of once per κ — the grid never contains
+    duplicate specs.
+    """
+    if not systems or not schemes or not alphas:
+        raise ConfigurationError("campaign grid axes must be non-empty")
+    if not kappas and SystemClass.S2 in systems:
+        raise ConfigurationError("S2 campaigns need a non-empty kappa grid")
+    specs: list[SystemSpec] = []
+    for system in systems:
+        for scheme in schemes:
+            for alpha in alphas:
+                effective_kappas = kappas if system is SystemClass.S2 else (0.5,)
+                for kappa in effective_kappas:
+                    specs.append(
+                        SystemSpec(
+                            system=system,
+                            scheme=scheme,
+                            alpha=alpha,
+                            kappa=kappa,
+                            entropy_bits=entropy_bits,
+                            **spec_kwargs,
+                        )
+                    )
+    return specs
+
+
+def run_campaign(
+    specs: Sequence[SystemSpec],
+    trials: int = 20,
+    max_steps: int = 300,
+    seed: int = 0,
+    *,
+    workers: int | None = None,
+    batch_size: int = DEFAULT_SEED_BATCH,
+    precision: Optional[float] = None,
+    min_trials: int = 20,
+    max_trials: int = 2_000,
+    max_censored_fraction: float = DEFAULT_MAX_CENSORED,
+    **build_kwargs,
+) -> CampaignResult:
+    """Protocol-level lifetimes for every spec of a campaign grid.
+
+    Fixed-count campaigns flatten all (spec, seed-batch) tasks into one
+    executor pass, so workers stay busy across grid-point boundaries;
+    ``precision=`` campaigns stream each grid point through
+    :func:`~repro.core.experiment.estimate_protocol_lifetime` (early
+    stopping needs the accumulating CI between rounds).
+    """
+    from ..mc.executor import TaskExecutor, derive_point_seed  # avoids cycle
+
+    specs = list(specs)
+    if not specs:
+        raise ConfigurationError("campaign needs at least one spec")
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if precision is not None:
+        estimates = []
+        # One pool serves every grid point — paying pool startup per
+        # point would swamp the parallel speedup on larger grids.
+        with TaskExecutor(workers) as shared_executor:
+            for i, spec in enumerate(specs):
+                try:
+                    estimate = estimate_protocol_lifetime(
+                        spec,
+                        max_steps=max_steps,
+                        batch_size=batch_size,
+                        precision=precision,
+                        min_trials=min_trials,
+                        max_trials=max_trials,
+                        max_censored_fraction=max_censored_fraction,
+                        seed_for=lambda j, i=i: derive_point_seed(seed, i, j),
+                        executor=shared_executor,
+                        **build_kwargs,
+                    )
+                except CensoredPrecisionError as exc:
+                    # One heavily censored grid point must not discard
+                    # the rest of the campaign: keep the outcomes it
+                    # already simulated as an unconverged lower-bound
+                    # estimate (censored runs burn the whole step
+                    # budget — the last thing to do is simulate them
+                    # twice) and move on.
+                    warnings.warn(
+                        f"campaign point {i} refused its precision target "
+                        f"({exc}); reporting the {len(exc.outcomes)} runs "
+                        "already simulated as a lower-bound estimate instead",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    estimate = _aggregate(
+                        spec, list(exc.outcomes), converged=False
+                    )
+                estimates.append(estimate)
+        return CampaignResult(
+            estimates=tuple(estimates),
+            root_seed=seed,
+            trials=0,
+            max_steps=max_steps,
+        )
+
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    frozen_kwargs = tuple(sorted(build_kwargs.items()))
+    tasks: list[ProtocolTask] = []
+    owners: list[int] = []
+    for i, spec in enumerate(specs):
+        point_seeds = [derive_point_seed(seed, i, j) for j in range(trials)]
+        for batch in _batched(point_seeds, batch_size):
+            tasks.append(
+                ProtocolTask(
+                    spec=spec,
+                    seeds=batch,
+                    max_steps=max_steps,
+                    build_kwargs=frozen_kwargs,
+                )
+            )
+            owners.append(i)
+    per_spec: list[list] = [[] for _ in specs]
+    for owner, batch_outcomes in zip(
+        owners, TaskExecutor(workers).map(run_protocol_task, tasks)
+    ):
+        per_spec[owner].extend(batch_outcomes)
+    estimates = [_aggregate(spec, per_spec[i]) for i, spec in enumerate(specs)]
+    return CampaignResult(
+        estimates=tuple(estimates),
+        root_seed=seed,
+        trials=trials,
+        max_steps=max_steps,
+    )

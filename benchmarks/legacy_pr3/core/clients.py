@@ -1,0 +1,243 @@
+"""Workload clients.
+
+A :class:`WorkloadClient` issues a closed loop of legitimate service
+requests against whichever deployment it is pointed at and *validates*
+the responses exactly the way the paper prescribes for each system:
+
+* **fortress** (S2) — requests go to all proxies; a response is accepted
+  if it carries two authentic signatures, one from the forwarding proxy
+  and one from a server (over-signing, §3);
+* **pb** (S1) — requests go to all servers; one authentic server
+  signature suffices;
+* **smr** (S0) — requests go to all replicas; the client waits for
+  ``f + 1`` matching authentic responses.
+
+Clients retry on timeout and keep enough statistics for the examples and
+integration tests to assert end-to-end behaviour (including detecting
+corrupted responses from compromised replicas).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Mapping, Optional
+
+from ..crypto.signatures import Signed, SignatureAuthority
+from ..net.message import Message
+from ..net.network import Network
+from ..proxy.proxy import CLIENT_ERROR, CLIENT_REQUEST, CLIENT_RESPONSE
+from ..replication.primary_backup import REQUEST, SERVER_RESPONSE
+from ..sim.engine import Simulator
+from ..sim.process import SimProcess
+
+_CLIENT_SEQ = itertools.count(1)
+
+#: request-body generator signature: (op_index, rng) -> body dict
+BodyFactory = Callable[[int, random.Random], dict]
+
+
+def default_body_factory(i: int, rng: random.Random) -> dict:
+    """A mixed read/write KV workload."""
+    key = f"k{rng.randrange(16)}"
+    choice = i % 3
+    if choice == 0:
+        return {"op": "put", "key": key, "value": i}
+    if choice == 1:
+        return {"op": "get", "key": key}
+    return {"op": "incr", "key": f"ctr{rng.randrange(4)}"}
+
+
+class WorkloadClient(SimProcess):
+    """Closed-loop client with per-system response validation.
+
+    Parameters
+    ----------
+    sim, network, authority:
+        Simulation substrates.
+    mode:
+        ``"fortress"``, ``"pb"`` or ``"smr"`` (see module docstring).
+    targets:
+        Proxy addresses (fortress) or server addresses (pb / smr).
+    f:
+        Fault threshold for SMR response voting.
+    think_time:
+        Delay between receiving a response and issuing the next request.
+    request_timeout:
+        Patience before a retry.
+    max_retries:
+        Retries per request before recording a failure.
+    body_factory:
+        Generates request bodies (defaults to a mixed KV workload).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        authority: SignatureAuthority,
+        mode: str,
+        targets: list[str],
+        name: Optional[str] = None,
+        f: int = 1,
+        think_time: float = 0.05,
+        request_timeout: float = 0.6,
+        max_retries: int = 3,
+        body_factory: BodyFactory = default_body_factory,
+    ) -> None:
+        if mode not in ("fortress", "pb", "smr"):
+            raise ValueError(f"unknown client mode {mode!r}")
+        super().__init__(sim, name or f"client-{next(_CLIENT_SEQ)}", respawn_delay=None)
+        self.network = network
+        self.authority = authority
+        self.mode = mode
+        self.targets = list(targets)
+        self.f = f
+        self.think_time = think_time
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.body_factory = body_factory
+        self._rng = sim.rng.stream(f"{self.name}:workload")
+        self._op_index = 0
+        self._current: Optional[dict] = None
+        self.responses_ok = 0
+        self.responses_corrupted = 0
+        self.failures = 0
+        self.requests_sent = 0
+        self.latencies: list[float] = []
+        self._running_workload = False
+
+    # ------------------------------------------------------------------
+    # Workload loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin issuing requests."""
+        if not self._running_workload:
+            self._running_workload = True
+            self.sim.schedule(self.think_time, self._issue_next)
+
+    def stop_workload(self) -> None:
+        """Stop after the in-flight request (if any) resolves."""
+        self._running_workload = False
+
+    def _issue_next(self) -> None:
+        if not self._running_workload or self._current is not None:
+            return
+        self._op_index += 1
+        body = self.body_factory(self._op_index, self._rng)
+        request_id = f"{self.name}-r{self._op_index}"
+        self._current = {
+            "request_id": request_id,
+            "body": body,
+            "retries": 0,
+            "sent_at": self.sim.now,
+            "votes": {},
+        }
+        self._transmit()
+
+    def _transmit(self) -> None:
+        assert self._current is not None
+        request_id = self._current["request_id"]
+        body = self._current["body"]
+        self.requests_sent += 1
+        if self.mode == "fortress":
+            payload = {"request_id": request_id, "client": self.name, "body": body}
+            for proxy in self.targets:
+                if self.network.knows(proxy):
+                    self.network.send(
+                        Message(self.name, proxy, CLIENT_REQUEST, payload)
+                    )
+        else:
+            payload = {
+                "request_id": request_id,
+                "client": self.name,
+                "reply_to": [self.name],
+                "body": body,
+            }
+            for server in self.targets:
+                if self.network.knows(server):
+                    self.network.send(Message(self.name, server, REQUEST, payload))
+        self._current["deadline"] = self.sim.schedule(
+            self.request_timeout, self._on_timeout, request_id
+        )
+
+    def _on_timeout(self, request_id: str) -> None:
+        current = self._current
+        if current is None or current["request_id"] != request_id:
+            return
+        current["retries"] += 1
+        if current["retries"] > self.max_retries:
+            self.failures += 1
+            self._current = None
+            self._after_response()
+            return
+        current["votes"] = {}
+        self._transmit()
+
+    def _after_response(self) -> None:
+        if self._running_workload:
+            self.sim.schedule(self.think_time, self._issue_next)
+
+    # ------------------------------------------------------------------
+    # Response handling
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        if message.mtype == CLIENT_RESPONSE and self.mode == "fortress":
+            self._on_fortress_response(message)
+        elif message.mtype == SERVER_RESPONSE and self.mode in ("pb", "smr"):
+            self._on_server_response(message)
+        elif message.mtype == CLIENT_ERROR:
+            pass  # proxies report timeouts; our own timer drives retries
+
+    def _on_fortress_response(self, message: Message) -> None:
+        current = self._current
+        envelope = message.payload.get("envelope")
+        if current is None or not isinstance(envelope, Signed):
+            return
+        if message.payload.get("request_id") != current["request_id"]:
+            return
+        if not self.authority.verify_oversigned(envelope):
+            return  # forged or tampered; keep waiting for an honest proxy
+        inner = envelope.payload
+        self._complete(inner.payload["response"])
+
+    def _on_server_response(self, message: Message) -> None:
+        current = self._current
+        signed = message.payload.get("signed")
+        if current is None or not isinstance(signed, Signed):
+            return
+        if not self.authority.verify(signed):
+            return
+        body = signed.payload
+        if body.get("request_id") != current["request_id"]:
+            return
+        if self.mode == "pb":
+            self._complete(body["response"])
+            return
+        # SMR: collect f+1 matching responses.
+        fingerprint = repr(
+            sorted((str(k), repr(v)) for k, v in body["response"].items())
+        )
+        current["votes"][body["index"]] = (fingerprint, body["response"])
+        counts: dict[str, int] = {}
+        for fp, _ in current["votes"].values():
+            counts[fp] = counts.get(fp, 0) + 1
+        for fp, count in counts.items():
+            if count >= self.f + 1:
+                response = next(
+                    resp for f2, resp in current["votes"].values() if f2 == fp
+                )
+                self._complete(response)
+                return
+
+    def _complete(self, response: Mapping) -> None:
+        current = self._current
+        assert current is not None
+        current["deadline"].cancel()
+        self.latencies.append(self.sim.now - current["sent_at"])
+        if response.get("error") == "__corrupted__":
+            self.responses_corrupted += 1
+        else:
+            self.responses_ok += 1
+        self._current = None
+        self._after_response()

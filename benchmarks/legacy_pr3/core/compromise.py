@@ -1,0 +1,125 @@
+"""System-compromise detection (the paper's Definitions 1-3 and 7).
+
+The :class:`CompromiseMonitor` watches every node of a deployed system
+and decides, at each intrusion event, whether the *system* is now
+compromised:
+
+* **S0** — more than ``f`` replicas compromised simultaneously;
+* **S1** — any server compromised (≡ the primary: servers are
+  identically randomized);
+* **S2** — any server compromised, or **all** proxies compromised
+  simultaneously.
+
+When that happens it records the lifetime — the number of *whole* unit
+time-steps elapsed (Definition 7) — and stops the simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..sim.engine import Simulator
+from ..sim.process import SimProcess
+from .specs import SystemClass
+
+
+class CompromiseMonitor:
+    """Watches node compromise flags and declares system compromise.
+
+    Parameters
+    ----------
+    sim:
+        The driving simulator (stopped upon system compromise).
+    system:
+        Which compromise predicate applies.
+    servers, proxies:
+        The monitored tiers.
+    f:
+        Fault threshold for the S0 predicate.
+    period:
+        Unit time-step length, for converting time to whole steps.
+    stop_on_compromise:
+        Whether to halt the simulation when the predicate first holds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system: SystemClass,
+        servers: Sequence[SimProcess],
+        proxies: Sequence[SimProcess] = (),
+        f: int = 1,
+        period: float = 1.0,
+        stop_on_compromise: bool = True,
+        server_tier_f: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.system = system
+        self.servers = list(servers)
+        self.proxies = list(proxies)
+        self.f = f
+        self.period = period
+        #: Intrusions the fortified server tier itself tolerates: 0 for
+        #: a PB tier (Definition 3), f for a fortified SMR tier (§3
+        #: allows any replication behind the proxies).
+        self.server_tier_f = server_tier_f
+        self.stop_on_compromise = stop_on_compromise
+        self.compromised_at: Optional[float] = None
+        self.cause: Optional[str] = None
+        self.node_compromise_events: list[tuple[float, str]] = []
+        for node in self.servers + self.proxies:
+            node.add_compromise_listener(self._on_node_compromised)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_compromised(self) -> bool:
+        """Whether the system-level predicate has held at least once."""
+        return self.compromised_at is not None
+
+    @property
+    def steps_survived(self) -> Optional[int]:
+        """Whole unit time-steps elapsed before compromise (Definition 7);
+        ``None`` while the system survives."""
+        if self.compromised_at is None:
+            return None
+        return int(math.floor(self.compromised_at / self.period))
+
+    # ------------------------------------------------------------------
+    def _on_node_compromised(self, node: SimProcess) -> None:
+        self.node_compromise_events.append((self.sim.now, node.name))
+        if self.compromised_at is not None:
+            return
+        cause = self._evaluate()
+        if cause is not None:
+            self.compromised_at = self.sim.now
+            self.cause = cause
+            if self.stop_on_compromise:
+                self.sim.stop()
+
+    def _evaluate(self) -> Optional[str]:
+        """Return a human-readable cause if the system is now compromised."""
+        servers_down = sum(1 for s in self.servers if s.compromised)
+        if self.system is SystemClass.S0:
+            if servers_down > self.f:
+                return (
+                    f"{servers_down} of {len(self.servers)} SMR replicas "
+                    f"compromised (> f={self.f})"
+                )
+            return None
+        if self.system is SystemClass.S1:
+            if servers_down >= 1:
+                return "a PB server (hence the primary) compromised"
+            return None
+        # S2
+        if servers_down > self.server_tier_f:
+            if self.server_tier_f == 0:
+                return "a fortified PB server compromised"
+            return (
+                f"{servers_down} fortified SMR replicas compromised "
+                f"(> f={self.server_tier_f})"
+            )
+        proxies_down = sum(1 for p in self.proxies if p.compromised)
+        if self.proxies and proxies_down == len(self.proxies):
+            return f"all {len(self.proxies)} proxies compromised"
+        return None

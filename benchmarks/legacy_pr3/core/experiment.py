@@ -1,0 +1,395 @@
+"""Protocol-level lifetime experiments.
+
+This is the highest-fidelity (and most expensive) of the three
+evaluation methods: a full deployment is built, the attacker campaign
+mounted, and the simulation run until the compromise monitor fires or a
+step budget is exhausted.  Used to validate the fast Monte-Carlo models
+and the analytic lifetimes against an implementation that actually
+exchanges protocol messages, crashes processes and reboots nodes.
+
+The estimator runs on the generic task fan-out of
+:class:`repro.mc.executor.TaskExecutor`: seeds are derived *before*
+dispatch and grouped into :class:`ProtocolTask` batches, so estimates
+are bit-identical for any worker count or batch size — including the
+serial fallback.  ``precision=`` switches from a fixed seed count to
+streaming accumulation with CI-width-based early stopping, mirroring
+the Monte-Carlo path.  Censored runs (those that survive the whole step
+budget) are never folded into the mean silently: the estimate carries a
+:class:`~repro.metrics.stats.CensoredSummary` and early stopping refuses
+to run on samples whose censored fraction makes the CI meaningless.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+from ..errors import AnalysisError, ConfigurationError
+from ..metrics.stats import CensoredSummary, SummaryStats, summarize_censored
+from .builders import add_clients, attach_attacker, build_system
+from .specs import SystemSpec
+
+if TYPE_CHECKING:  # deferred at runtime: mc.executor imports core.specs
+    from ..mc.executor import TaskExecutor
+
+#: Seeds dispatched per :class:`ProtocolTask` (amortizes process-pool
+#: dispatch without starving workers on small campaigns).
+DEFAULT_SEED_BATCH = 8
+
+#: Seeds per streaming round in precision mode.  Deliberately a
+#: constant — deriving it from the worker count or batch size would
+#: make the convergence checkpoints (and therefore the sample size and
+#: final estimate) depend on the fan-out configuration, breaking the
+#: bit-identical-for-any-worker-count/batch-size contract for
+#: precision runs.
+PRECISION_ROUND_SEEDS = 32
+
+#: Censored fraction above which a precision-targeted estimate refuses
+#: to report a CI (the interval would describe the budget, not the
+#: lifetime).
+DEFAULT_MAX_CENSORED = 0.5
+
+
+@dataclass(frozen=True)
+class LifetimeOutcome:
+    """Result of one protocol-level lifetime run.
+
+    Attributes
+    ----------
+    spec, seed:
+        What was run.
+    compromised:
+        Whether the system fell within the step budget.
+    steps:
+        Whole unit time-steps survived (Definition 7).  Equal to the
+        budget when censored (``compromised`` is False).
+    time:
+        Simulated time of compromise (or the horizon).
+    cause:
+        Human-readable compromise cause, if any.
+    probes_direct, probes_indirect:
+        Attacker effort expended.
+    """
+
+    spec: SystemSpec
+    seed: int
+    compromised: bool
+    steps: int
+    time: float
+    cause: Optional[str]
+    probes_direct: int
+    probes_indirect: int
+
+
+def run_protocol_lifetime(
+    spec: SystemSpec,
+    seed: int = 0,
+    max_steps: int = 500,
+    with_workload: bool = False,
+    **build_kwargs,
+) -> LifetimeOutcome:
+    """Run one deployment until compromise or ``max_steps`` whole steps.
+
+    ``build_kwargs`` pass through to :func:`~repro.core.builders.build_system`.
+    """
+    deployed = build_system(spec, seed=seed, **build_kwargs)
+    attacker = attach_attacker(deployed)
+    if with_workload:
+        add_clients(deployed, count=1)
+    deployed.start()
+    horizon = max_steps * spec.period
+    deployed.sim.run(until=horizon)
+    monitor = deployed.monitor
+    if monitor.is_compromised:
+        steps = monitor.steps_survived
+        assert steps is not None
+        return LifetimeOutcome(
+            spec=spec,
+            seed=seed,
+            compromised=True,
+            steps=min(steps, max_steps),
+            time=monitor.compromised_at or deployed.sim.now,
+            cause=monitor.cause,
+            probes_direct=attacker.probes_sent_direct,
+            probes_indirect=attacker.probes_sent_indirect,
+        )
+    return LifetimeOutcome(
+        spec=spec,
+        seed=seed,
+        compromised=False,
+        steps=max_steps,
+        time=horizon,
+        cause=None,
+        probes_direct=attacker.probes_sent_direct,
+        probes_indirect=attacker.probes_sent_indirect,
+    )
+
+
+class CensoredPrecisionError(AnalysisError):
+    """A precision-targeted estimate refused a heavily censored sample.
+
+    Carries the outcomes already simulated so callers (e.g. campaign
+    runners) can still report a fixed-count lower-bound estimate
+    without re-running the slowest (budget-exhausting) simulations.
+    """
+
+    def __init__(self, message: str, outcomes: tuple["LifetimeOutcome", ...]):
+        super().__init__(message)
+        self.outcomes = outcomes
+
+
+@dataclass(frozen=True)
+class ProtocolTask:
+    """A batch of protocol-lifetime seeds for one spec (picklable).
+
+    Seeds are fixed by the caller *before* dispatch, which is what makes
+    campaign results independent of the worker count and of how seeds
+    are grouped into batches.
+    """
+
+    spec: SystemSpec
+    seeds: tuple[int, ...]
+    max_steps: int = 500
+    build_kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def run(self) -> tuple[LifetimeOutcome, ...]:
+        """Evaluate every seed of this batch in the current process."""
+        kwargs = dict(self.build_kwargs)
+        return tuple(
+            run_protocol_lifetime(
+                self.spec, seed=seed, max_steps=self.max_steps, **kwargs
+            )
+            for seed in self.seeds
+        )
+
+
+def run_protocol_task(task: ProtocolTask) -> tuple[LifetimeOutcome, ...]:
+    """Module-level task runner (picklable for process pools)."""
+    return task.run()
+
+
+@dataclass(frozen=True)
+class LifetimeEstimate:
+    """Aggregated protocol-level lifetime over several seeds.
+
+    Attributes
+    ----------
+    spec:
+        The spec run.
+    stats:
+        Naive summary of whole steps survived.  Censored runs contribute
+        the step budget, so mean and CI are *lower bounds* whenever
+        ``censored > 0`` (see :attr:`censoring` for the honest view).
+    censored:
+        Number of runs that survived the whole budget.
+    outcomes:
+        Every per-seed :class:`LifetimeOutcome`, in seed order.
+    censoring:
+        Censoring-aware summary (censored fraction, Kaplan-Meier
+        restricted mean).
+    converged:
+        ``False`` only for precision-targeted estimates that exhausted
+        their seed budget before reaching the requested CI half-width.
+    """
+
+    spec: SystemSpec
+    stats: SummaryStats
+    censored: int
+    outcomes: tuple[LifetimeOutcome, ...]
+    censoring: CensoredSummary = field(repr=False, default=None)  # type: ignore
+    converged: bool = True
+
+    def __post_init__(self) -> None:
+        # Derive the censoring summary for callers constructing the
+        # pre-campaign 4-field form, so km_mean_steps always works.
+        if self.censoring is None and self.outcomes:
+            object.__setattr__(
+                self,
+                "censoring",
+                summarize_censored(
+                    [float(o.steps) for o in self.outcomes],
+                    [not o.compromised for o in self.outcomes],
+                ),
+            )
+
+    @property
+    def mean_steps(self) -> float:
+        """Mean whole steps survived (censored runs count the budget,
+        so this is a lower bound when ``censored > 0``)."""
+        return self.stats.mean
+
+    @property
+    def censored_fraction(self) -> float:
+        """Fraction of runs that outlived the step budget."""
+        return self.censored / self.stats.n
+
+    @property
+    def km_mean_steps(self) -> float:
+        """Kaplan-Meier restricted mean steps survived."""
+        return self.censoring.km_mean
+
+
+def _aggregate(
+    spec: SystemSpec,
+    outcomes: list[LifetimeOutcome],
+    converged: bool = True,
+) -> LifetimeEstimate:
+    """Fold per-seed outcomes into a censoring-aware estimate."""
+    censoring = summarize_censored(
+        [float(o.steps) for o in outcomes],
+        [not o.compromised for o in outcomes],
+    )
+    return LifetimeEstimate(
+        spec=spec,
+        stats=censoring.stats,
+        censored=censoring.n_censored,
+        outcomes=tuple(outcomes),
+        censoring=censoring,
+        converged=converged,
+    )
+
+
+def _batched(seeds: list[int], batch_size: int) -> Iterator[tuple[int, ...]]:
+    for start in range(0, len(seeds), batch_size):
+        yield tuple(seeds[start : start + batch_size])
+
+
+def _dispatch(
+    executor: TaskExecutor,
+    spec: SystemSpec,
+    seeds: list[int],
+    max_steps: int,
+    batch_size: int,
+    build_kwargs: dict,
+) -> list[LifetimeOutcome]:
+    """Run ``seeds`` through the executor as :class:`ProtocolTask` batches."""
+    frozen_kwargs = tuple(sorted(build_kwargs.items()))
+    tasks = [
+        ProtocolTask(
+            spec=spec,
+            seeds=batch,
+            max_steps=max_steps,
+            build_kwargs=frozen_kwargs,
+        )
+        for batch in _batched(seeds, batch_size)
+    ]
+    outcomes: list[LifetimeOutcome] = []
+    for batch_outcomes in executor.map(run_protocol_task, tasks):
+        outcomes.extend(batch_outcomes)
+    return outcomes
+
+
+def estimate_protocol_lifetime(
+    spec: SystemSpec,
+    trials: int = 20,
+    max_steps: int = 500,
+    seed0: int = 0,
+    *,
+    workers: int | None = None,
+    batch_size: int = DEFAULT_SEED_BATCH,
+    precision: float | None = None,
+    min_trials: int = 20,
+    max_trials: int = 2_000,
+    max_censored_fraction: float = DEFAULT_MAX_CENSORED,
+    seed_for: Callable[[int], int] | None = None,
+    executor: "TaskExecutor | None" = None,
+    **build_kwargs,
+) -> LifetimeEstimate:
+    """Estimate the expected lifetime from independent protocol runs.
+
+    Seeds are ``seed0 + i`` (or ``seed_for(i)`` when given), fixed before
+    dispatch, and the runs fan out across ``workers`` processes in
+    batches of ``batch_size`` seeds — results are bit-identical for any
+    worker count or batch size (in precision mode too: streaming rounds
+    are sized by the constant :data:`PRECISION_ROUND_SEEDS`, never by
+    the fan-out configuration).  Campaign runners can pass a shared
+    ``executor`` to reuse one process pool across many estimates; its
+    lifetime stays theirs.
+
+    With ``precision=`` set, ``trials`` is ignored as a count: rounds of
+    seeds stream in until the 95% CI half-width drops below
+    ``precision × |mean|`` (bounded by ``min_trials``/``max_trials``).
+    Censored runs make that CI a lower-bound statement, so a precision
+    run warns as soon as any run is censored and raises
+    :class:`CensoredPrecisionError` once the censored fraction exceeds
+    ``max_censored_fraction`` — at that point the interval describes
+    the step budget, not the lifetime.
+    """
+    from ..mc.executor import TaskExecutor  # deferred: avoids cycle
+
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if seed_for is None:
+
+        def seed_for(i: int) -> int:
+            return seed0 + i
+
+    owns_executor = executor is None
+    if executor is None:
+        executor = TaskExecutor(workers)
+    if precision is None:
+        if trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {trials}")
+        seeds = [seed_for(i) for i in range(trials)]
+        outcomes = _dispatch(
+            executor, spec, seeds, max_steps, batch_size, build_kwargs
+        )
+        return _aggregate(spec, outcomes)
+
+    if precision <= 0:
+        raise ConfigurationError(f"precision must be positive, got {precision}")
+    if not 2 <= min_trials <= max_trials:
+        raise ConfigurationError(
+            f"need 2 <= min_trials <= max_trials, got {min_trials}, {max_trials}"
+        )
+    if not 0.0 < max_censored_fraction <= 1.0:
+        raise ConfigurationError(
+            "max_censored_fraction must be in (0, 1], got "
+            f"{max_censored_fraction}"
+        )
+    round_size = PRECISION_ROUND_SEEDS
+    outcomes: list[LifetimeOutcome] = []
+    warned_censored = False
+    converged = False
+    # Hold one pool open across the streaming rounds: early stopping
+    # dispatches many small rounds, and paying pool startup per round
+    # would swamp the parallel speedup.  (A caller-supplied executor is
+    # left open — its owner manages the pool's lifetime.)
+    with ExitStack() as stack:
+        if owns_executor:
+            stack.enter_context(executor)
+        while len(outcomes) < max_trials:
+            take = min(round_size, max_trials - len(outcomes))
+            seeds = [seed_for(len(outcomes) + i) for i in range(take)]
+            outcomes.extend(
+                _dispatch(executor, spec, seeds, max_steps, batch_size, build_kwargs)
+            )
+            if len(outcomes) < min_trials:
+                continue
+            estimate = _aggregate(spec, outcomes, converged=False)
+            if estimate.censored_fraction > max_censored_fraction:
+                raise CensoredPrecisionError(
+                    f"{spec.label}: {estimate.censored} of {estimate.stats.n} "
+                    f"protocol runs were censored at the {max_steps}-step "
+                    f"budget (fraction {estimate.censored_fraction:.2f} > "
+                    f"{max_censored_fraction:.2f}); the requested precision "
+                    "target is meaningless — raise max_steps or drop "
+                    "precision=",
+                    outcomes=tuple(outcomes),
+                )
+            if estimate.censored and not warned_censored:
+                warnings.warn(
+                    f"{spec.label}: {estimate.censored} of {estimate.stats.n} "
+                    "protocol runs censored at the step budget; the mean and "
+                    "CI are lower bounds on the true lifetime",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                warned_censored = True
+            scale = max(abs(estimate.stats.mean), 1e-300)
+            if estimate.stats.ci_halfwidth <= precision * scale:
+                converged = True
+                break
+    return _aggregate(spec, outcomes, converged=converged)

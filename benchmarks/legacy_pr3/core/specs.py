@@ -1,0 +1,162 @@
+"""System specifications: the paper's candidate systems as data.
+
+A :class:`SystemSpec` fully determines one system under evaluation —
+system class (S0/S1/S2), randomization scheme (PO/SO), key entropy,
+attacker strength, and the FORTRESS-specific parameters κ (indirect
+attack coefficient) and λ (launch-pad fraction).  The same spec drives
+all three evaluation methods: analytic models
+(:mod:`repro.analysis.lifetimes`), Monte-Carlo samplers
+(:mod:`repro.mc.models`) and the protocol-level simulation
+(:mod:`repro.core.experiment`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from ..randomization.keyspace import PAX_32BIT_ENTROPY, KeySpace
+from ..randomization.obfuscation import Scheme
+
+
+class SystemClass(enum.Enum):
+    """The three system classes of the paper (Definitions 1-3)."""
+
+    S0 = "S0"  # 1-tier, state machine replication, 4 diverse replicas
+    S1 = "S1"  # 1-tier, primary-backup, 3 identically randomized servers
+    S2 = "S2"  # 2-tier FORTRESS: 3 proxies + 3 PB servers
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Everything needed to instantiate (or model) one candidate system.
+
+    Attributes
+    ----------
+    system:
+        Which of the paper's system classes this is.
+    scheme:
+        :attr:`~repro.randomization.obfuscation.Scheme.PO` (fresh keys
+        each step) or :attr:`~repro.randomization.obfuscation.Scheme.SO`
+        (start-up-only randomization + proactive recovery).
+    entropy_bits:
+        Randomization key entropy; χ = 2**entropy_bits (paper: 16).
+    alpha:
+        Per-step success probability of a direct attack on a freshly
+        randomized node (Definition 6).  The attacker's probe budget is
+        derived as ω = α·χ.
+    kappa:
+        Indirect attack coefficient (Definition 5); only meaningful for
+        S2.
+    launchpad_fraction:
+        λ — success scale of a same-step launch-pad attack fired from a
+        proxy compromised earlier in that step (the paper leaves the
+        within-step timing unspecified; λ = 1 is the strongest attacker).
+    n_servers, n_proxies:
+        Tier sizes; defaults follow the paper (4 SMR replicas; 3 PB
+        servers; 3 proxies).
+    f:
+        SMR fault threshold (S0 is 1-tolerant).
+    period:
+        Length of the unit time-step in simulated time.
+    """
+
+    system: SystemClass
+    scheme: Scheme
+    entropy_bits: int = PAX_32BIT_ENTROPY
+    alpha: float = 0.001
+    kappa: float = 0.5
+    launchpad_fraction: float = 1.0
+    n_servers: int = 0  # 0 -> class default
+    n_proxies: int = 0  # 0 -> class default
+    f: int = 1
+    period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {self.alpha}")
+        if not 0.0 <= self.kappa <= 1.0:
+            raise ConfigurationError(f"kappa must be in [0, 1], got {self.kappa}")
+        if not 0.0 <= self.launchpad_fraction <= 1.0:
+            raise ConfigurationError(
+                f"launchpad_fraction must be in [0, 1], got {self.launchpad_fraction}"
+            )
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be positive, got {self.period}")
+        defaults = {SystemClass.S0: 4, SystemClass.S1: 3, SystemClass.S2: 3}
+        servers = self.n_servers or defaults[self.system]
+        if self.system is SystemClass.S0 and servers <= 3 * self.f:
+            raise ConfigurationError(
+                f"S0 needs n > 3f replicas (n={servers}, f={self.f})"
+            )
+        if servers < 1:
+            raise ConfigurationError("need at least one server")
+        object.__setattr__(self, "n_servers", servers)
+        proxies = self.n_proxies or (3 if self.system is SystemClass.S2 else 0)
+        if self.system is SystemClass.S2 and proxies < 1:
+            raise ConfigurationError("S2 needs at least one proxy")
+        object.__setattr__(self, "n_proxies", proxies)
+
+    # ------------------------------------------------------------------
+    @property
+    def keyspace(self) -> KeySpace:
+        """The key space implied by ``entropy_bits``."""
+        return KeySpace(self.entropy_bits)
+
+    @property
+    def chi(self) -> int:
+        """χ — number of possible randomization keys."""
+        return self.keyspace.size
+
+    @property
+    def omega(self) -> float:
+        """ω — attacker probes per unit time-step (= α·χ)."""
+        return self.alpha * self.chi
+
+    @property
+    def label(self) -> str:
+        """Short name used in the paper, e.g. ``"S2PO"``."""
+        scheme = "PO" if self.scheme is Scheme.PO else "SO"
+        return f"{self.system.value}{scheme}"
+
+    def with_alpha(self, alpha: float) -> "SystemSpec":
+        """Copy of this spec at a different attacker strength."""
+        return replace(self, alpha=alpha)
+
+    def with_kappa(self, kappa: float) -> "SystemSpec":
+        """Copy of this spec at a different indirect attack coefficient."""
+        return replace(self, kappa=kappa)
+
+
+# ----------------------------------------------------------------------
+# Paper configurations
+# ----------------------------------------------------------------------
+def s0(scheme: Scheme, alpha: float = 0.001, **kwargs) -> SystemSpec:
+    """S0: 4-replica SMR (Definition 1)."""
+    return SystemSpec(system=SystemClass.S0, scheme=scheme, alpha=alpha, **kwargs)
+
+
+def s1(scheme: Scheme, alpha: float = 0.001, **kwargs) -> SystemSpec:
+    """S1: 3-server primary-backup (Definition 2)."""
+    return SystemSpec(system=SystemClass.S1, scheme=scheme, alpha=alpha, **kwargs)
+
+
+def s2(
+    scheme: Scheme, alpha: float = 0.001, kappa: float = 0.5, **kwargs
+) -> SystemSpec:
+    """S2: FORTRESS with n_s = n_p = 3 (Definition 3)."""
+    return SystemSpec(
+        system=SystemClass.S2, scheme=scheme, alpha=alpha, kappa=kappa, **kwargs
+    )
+
+
+def paper_systems(alpha: float = 0.001, kappa: float = 0.5) -> list[SystemSpec]:
+    """The five systems plotted in Figure 1, in the paper's order."""
+    return [
+        s0(Scheme.PO, alpha),
+        s2(Scheme.PO, alpha, kappa),
+        s1(Scheme.PO, alpha),
+        s1(Scheme.SO, alpha),
+        s0(Scheme.SO, alpha),
+    ]

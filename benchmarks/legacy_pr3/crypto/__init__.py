@@ -1,0 +1,12 @@
+"""Simulated crypto: key pairs, signatures, over-signing envelopes."""
+
+from .keys import KeyPair, generate_keypair
+from .signatures import Signed, SignatureAuthority, canonical_bytes
+
+__all__ = [
+    "KeyPair",
+    "generate_keypair",
+    "Signed",
+    "SignatureAuthority",
+    "canonical_bytes",
+]

@@ -1,0 +1,35 @@
+"""Key material for the simulated public-key infrastructure.
+
+The reproduction does not implement real asymmetric cryptography — the
+paper's resilience analysis never depends on cryptanalysis, only on *who
+holds which signing key*.  A :class:`KeyPair` is therefore a pair of
+random identifiers, and verification (in :mod:`repro.crypto.signatures`)
+works by looking the private half up from the public half in a registry
+held by the :class:`~repro.crypto.signatures.SignatureAuthority`.
+What is preserved faithfully: a signature can only be produced by a party
+holding the private key, and compromising a node leaks its private key.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A (public, private) key pair bound to an owner name."""
+
+    owner: str
+    public: str
+    private: str
+
+    def __repr__(self) -> str:  # pragma: no cover - avoid leaking private key
+        return f"KeyPair(owner={self.owner!r}, public={self.public[:12]}...)"
+
+
+def generate_keypair(owner: str, rng: random.Random) -> KeyPair:
+    """Generate a fresh key pair for ``owner`` from the given RNG stream."""
+    public = f"pub:{owner}:{rng.getrandbits(128):032x}"
+    private = f"prv:{owner}:{rng.getrandbits(128):032x}"
+    return KeyPair(owner=owner, public=public, private=private)

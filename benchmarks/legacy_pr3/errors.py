@@ -1,0 +1,69 @@
+"""Exception hierarchy shared by all ``repro`` subpackages.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel was used incorrectly."""
+
+
+class NetworkError(ReproError):
+    """A message could not be routed or a connection operation failed."""
+
+
+class CryptoError(ReproError):
+    """Signature creation or verification failed structurally.
+
+    Note that a signature that simply does not verify is *not* an error
+    (verification returns ``False``); this exception signals misuse, e.g.
+    an unknown public key.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A system specification or model parameter is invalid."""
+
+
+class ProtocolError(ReproError):
+    """A replication or proxy protocol invariant was violated."""
+
+
+class AnalysisError(ReproError):
+    """An analytic model could not be constructed or solved."""
+
+
+class UnsampleableSpecError(ConfigurationError, AnalysisError):
+    """A step-level sampler ran past its step budget for one spec.
+
+    Raised instead of a bare message so callers can recover
+    programmatically: the exception carries the offending ``spec`` and
+    the exhausted ``max_steps`` budget, and the usual remedy (switch to
+    the closed-form geometric sampler, whose cost is independent of the
+    per-step compromise probability q) is stated in the message.  Also
+    derives from :class:`AnalysisError` — the type this guard raised
+    before it was typed — so pre-existing handlers keep catching it.
+    """
+
+    def __init__(self, spec, max_steps: int) -> None:
+        self.spec = spec
+        self.max_steps = max_steps
+        label = getattr(spec, "label", None) or repr(spec)
+        super().__init__(
+            f"step-level sampling of {label} exceeded {max_steps} steps "
+            f"(spec: {spec!r}); q is too small for step simulation — "
+            "use the geometric sampler instead"
+        )
+
+    def __reduce__(self):
+        # Rebuild from the constructor arguments: the default reduction
+        # replays args=(message,) into the two-argument __init__, which
+        # breaks unpickling across process-pool boundaries.
+        return (type(self), (self.spec, self.max_steps))

@@ -1,0 +1,25 @@
+"""Statistics helpers for simulation output."""
+
+from .stats import (
+    CensoredSummary,
+    SummaryStats,
+    Z_95,
+    bootstrap_ci,
+    geometric_mean,
+    kaplan_meier,
+    km_restricted_mean,
+    summarize,
+    summarize_censored,
+)
+
+__all__ = [
+    "CensoredSummary",
+    "SummaryStats",
+    "Z_95",
+    "bootstrap_ci",
+    "geometric_mean",
+    "kaplan_meier",
+    "km_restricted_mean",
+    "summarize",
+    "summarize_censored",
+]

@@ -1,0 +1,271 @@
+"""Summary statistics and confidence intervals for simulation output.
+
+Monte-Carlo lifetime estimates are means of highly skewed (roughly
+geometric) samples, so both normal-approximation and bootstrap intervals
+are provided; benches report the normal CI, property tests cross-check
+with the bootstrap.
+
+Protocol-level lifetime runs are additionally *right-censored*: a run
+that survives the whole step budget reveals only that its lifetime is at
+least the budget.  :func:`summarize_censored` keeps the censored runs
+visible instead of silently folding them into the mean — the naive
+summary is flagged as a lower bound whenever any run was censored, the
+censored fraction is reported outright, and a Kaplan-Meier restricted
+mean (:func:`kaplan_meier` / :func:`km_restricted_mean`) gives the
+standard survival-analysis estimate of the same quantity.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import AnalysisError
+
+#: Two-sided z value for a 95% normal interval.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean, spread and a 95% confidence interval of a sample.
+
+    Attributes
+    ----------
+    n:
+        Sample size.
+    mean, std:
+        Sample mean and (n-1) standard deviation.
+    ci_low, ci_high:
+        95% normal-approximation interval for the mean.
+    minimum, maximum:
+        Sample range.
+    """
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci_halfwidth(self) -> float:
+        """Half-width of the 95% interval."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def overlaps(self, other: "SummaryStats") -> bool:
+        """Whether the two 95% intervals intersect."""
+        return self.ci_low <= other.ci_high and other.ci_low <= self.ci_high
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` over a non-empty sample."""
+    if not values:
+        raise AnalysisError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        var = 0.0
+    std = math.sqrt(var)
+    half = Z_95 * std / math.sqrt(n) if n > 1 else 0.0
+    return SummaryStats(
+        n=n,
+        mean=mean,
+        std=std,
+        ci_low=mean - half,
+        ci_high=mean + half,
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+@dataclass(frozen=True)
+class CensoredSummary:
+    """Summary of a right-censored sample of lifetimes.
+
+    Attributes
+    ----------
+    stats:
+        Naive :class:`SummaryStats` over the *observed* values (censored
+        runs contribute their censoring time).  When ``n_censored > 0``
+        the mean is a lower bound on the true expected lifetime and the
+        CI covers the censored mean, not the true one.
+    n_censored:
+        How many observations were censored (survived their budget).
+    km_mean:
+        Kaplan-Meier restricted mean survival time over the observed
+        horizon.  With all censoring at a common budget this equals the
+        naive mean; with mixed censoring times it corrects for the
+        information censored runs still carry.
+    """
+
+    stats: SummaryStats
+    n_censored: int
+    km_mean: float
+
+    @property
+    def n(self) -> int:
+        """Total number of observations (censored included)."""
+        return self.stats.n
+
+    @property
+    def censored_fraction(self) -> float:
+        """Fraction of observations censored, in [0, 1]."""
+        return self.n_censored / self.stats.n
+
+    @property
+    def is_lower_bound(self) -> bool:
+        """Whether the mean understates the true expected lifetime."""
+        return self.n_censored > 0
+
+
+def kaplan_meier(
+    times: Sequence[float], events: Sequence[bool]
+) -> list[tuple[float, float]]:
+    """Kaplan-Meier survival curve of a right-censored sample.
+
+    Parameters
+    ----------
+    times:
+        Observed values: the lifetime for uncensored observations, the
+        censoring time for censored ones.
+    events:
+        ``True`` where the observation is an actual failure,
+        ``False`` where it was censored at ``times[i]``.
+
+    Returns
+    -------
+    ``[(t, S(t))]`` pairs at each distinct *event* time, in increasing
+    order, where ``S(t)`` is the estimated probability of surviving
+    strictly beyond ``t``.  Ties between failures and censorings at the
+    same time follow the standard convention: failures happen first.
+    """
+    if len(times) != len(events):
+        raise AnalysisError(
+            f"times and events lengths differ: {len(times)} vs {len(events)}"
+        )
+    if not times:
+        raise AnalysisError("cannot estimate a survival curve from an empty sample")
+    if any(t < 0 for t in times):
+        raise AnalysisError("lifetimes must be non-negative")
+    observations = sorted(zip(times, events))
+    n_at_risk = len(observations)
+    survival = 1.0
+    curve: list[tuple[float, float]] = []
+    index = 0
+    while index < len(observations):
+        t = observations[index][0]
+        deaths = 0
+        removed = 0
+        while index < len(observations) and observations[index][0] == t:
+            if observations[index][1]:
+                deaths += 1
+            removed += 1
+            index += 1
+        if deaths:
+            survival *= 1.0 - deaths / n_at_risk
+            curve.append((t, survival))
+        n_at_risk -= removed
+    return curve
+
+
+def km_restricted_mean(
+    times: Sequence[float],
+    events: Sequence[bool],
+    horizon: float | None = None,
+) -> float:
+    """Kaplan-Meier restricted mean survival time ``∫₀ᵗ S(u) du``.
+
+    ``horizon`` defaults to the largest observed value.  For discrete
+    whole-step lifetimes this is the KM estimate of ``E[min(T, horizon)]``;
+    when every censoring happens at the common budget it reduces to the
+    naive mean of the observed values.
+    """
+    curve = kaplan_meier(times, events)
+    if horizon is None:
+        horizon = max(times)
+    if horizon < 0:
+        raise AnalysisError(f"horizon must be non-negative, got {horizon}")
+    area = 0.0
+    previous_t = 0.0
+    survival = 1.0
+    for t, s in curve:
+        if t >= horizon:
+            break
+        area += survival * (min(t, horizon) - previous_t)
+        previous_t = t
+        survival = s
+    area += survival * (horizon - previous_t)
+    return area
+
+
+def summarize_censored(
+    times: Sequence[float], censored: Sequence[bool]
+) -> CensoredSummary:
+    """Summarize a right-censored sample without hiding the censoring.
+
+    ``censored[i]`` marks observation ``i`` as a survival past
+    ``times[i]`` rather than an observed failure.
+    """
+    if len(times) != len(censored):
+        raise AnalysisError(
+            f"times and censored lengths differ: {len(times)} vs {len(censored)}"
+        )
+    stats = summarize(times)
+    events = [not c for c in censored]
+    return CensoredSummary(
+        stats=stats,
+        n_censored=sum(1 for c in censored if c),
+        km_mean=km_restricted_mean(times, events),
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap interval for the mean.
+
+    Parameters
+    ----------
+    values:
+        The sample.
+    confidence:
+        Two-sided coverage (0 < confidence < 1).
+    resamples:
+        Bootstrap iterations.
+    seed:
+        RNG seed for reproducibility.
+    """
+    if not values:
+        raise AnalysisError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    rng = random.Random(seed)
+    n = len(values)
+    means = sorted(
+        sum(rng.choice(values) for _ in range(n)) / n for _ in range(resamples)
+    )
+    tail = (1.0 - confidence) / 2.0
+    low_index = min(resamples - 1, max(0, int(math.floor(tail * resamples))))
+    high_index = min(
+        resamples - 1, max(0, int(math.ceil((1.0 - tail) * resamples)) - 1)
+    )
+    return means[low_index], means[high_index]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for factor comparisons)."""
+    if not values:
+        raise AnalysisError("cannot take the geometric mean of an empty sample")
+    if any(v <= 0 for v in values):
+        raise AnalysisError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,16 @@
+"""Network substrate: datagrams, latency models, crash-observable connections."""
+
+from .latency import ExponentialLatency, FixedLatency, LatencyModel, UniformLatency
+from .message import Message
+from .network import Network
+from .transport import Connection
+
+__all__ = [
+    "ExponentialLatency",
+    "FixedLatency",
+    "LatencyModel",
+    "UniformLatency",
+    "Message",
+    "Network",
+    "Connection",
+]

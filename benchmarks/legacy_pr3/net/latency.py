@@ -1,0 +1,80 @@
+"""Latency models for the simulated network.
+
+A latency model samples the one-way delivery delay of each message.  The
+resilience analysis in the paper abstracts time into unit time-steps, so
+protocol-level experiments use latencies that are small relative to the
+re-randomization period (default: fixed 1 ms against a period of 1.0).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..core.timing import DEFAULT_RECONNECT_LATENCY
+from ..errors import ConfigurationError
+
+
+class LatencyModel(ABC):
+    """Samples per-message one-way delays."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Return a delay in simulated time units (must be >= 0)."""
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units (default: the
+    deployment-wide :data:`~repro.core.timing.DEFAULT_RECONNECT_LATENCY`)."""
+
+    def __init__(self, delay: float = DEFAULT_RECONNECT_LATENCY) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"latency must be non-negative, got {delay}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Delays drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ConfigurationError(f"invalid uniform latency range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponentially distributed delays with the given ``mean``.
+
+    A ``cap`` bounds the tail so that a single unlucky draw cannot stall
+    a protocol round past a re-randomization epoch.
+    """
+
+    def __init__(self, mean: float, cap: float | None = None) -> None:
+        if mean <= 0:
+            raise ConfigurationError(f"mean latency must be positive, got {mean}")
+        if cap is not None and cap < mean:
+            raise ConfigurationError(f"cap {cap} must be >= mean {mean}")
+        self.mean = mean
+        self.cap = cap
+
+    def sample(self, rng: random.Random) -> float:
+        delay = rng.expovariate(1.0 / self.mean)
+        if self.cap is not None:
+            delay = min(delay, self.cap)
+        return delay
+
+    def __repr__(self) -> str:
+        return f"ExponentialLatency(mean={self.mean}, cap={self.cap})"

@@ -1,0 +1,52 @@
+"""Message representation for the simulated network.
+
+Messages are small tagged records.  ``mtype`` identifies the protocol
+message (e.g. ``"client_request"``, ``"state_update"``, ``"pre_prepare"``)
+and ``payload`` carries protocol-specific fields in a plain dict so that
+messages stay printable and hashable-by-content for signing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+_MSG_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A datagram travelling between two named processes.
+
+    Attributes
+    ----------
+    src, dst:
+        Process names (network addresses).
+    mtype:
+        Protocol message type tag.
+    payload:
+        Message body; by convention a mapping of plain values.
+    msg_id:
+        Unique id assigned at construction (monotonically increasing).
+    """
+
+    src: str
+    dst: str
+    mtype: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_MSG_IDS))
+
+    def reply(self, mtype: str, payload: Mapping[str, Any] | None = None) -> "Message":
+        """Build a response message addressed back to our sender."""
+        return Message(src=self.dst, dst=self.src, mtype=mtype, payload=payload or {})
+
+    def forwarded(self, src: str, dst: str) -> "Message":
+        """Build a copy of this message re-addressed ``src`` → ``dst``.
+
+        Used by proxies, which relay client requests to servers verbatim.
+        """
+        return Message(src=src, dst=dst, mtype=self.mtype, payload=self.payload)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.mtype} #{self.msg_id} {self.src}->{self.dst}]"

@@ -1,0 +1,218 @@
+"""The simulated network connecting all processes.
+
+Two communication styles are provided:
+
+* **Datagrams** (:meth:`Network.send`) — used by the replication and proxy
+  protocols.  Fire-and-forget with sampled latency, optional loss, and
+  optional partitions.
+* **Connections** (:meth:`Network.connect`) — TCP-like streams used by
+  attackers, whose *close-on-crash* behaviour is the crash-observation
+  channel that de-randomization attacks need (see
+  :mod:`repro.net.transport`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import NetworkError
+from ..sim.engine import Simulator
+from ..sim.process import ProcessState, SimProcess
+from .latency import FixedLatency, LatencyModel
+from .message import Message
+from .transport import Connection
+
+
+class Network:
+    """Routes datagrams and manages connections between processes.
+
+    Parameters
+    ----------
+    sim:
+        The driving simulator.
+    latency:
+        Model sampling one-way delivery delays (default: fixed 1 ms).
+    drop_rate:
+        Probability that any datagram is silently lost.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        drop_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= drop_rate < 1.0:
+            raise NetworkError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        self.sim = sim
+        self.latency = latency or FixedLatency()
+        self.drop_rate = drop_rate
+        self._rng = sim.rng.stream("network")
+        self._processes: dict[str, SimProcess] = {}
+        self._aliases: dict[str, str] = {}
+        self._connections: dict[str, set[Connection]] = {}
+        self._partitioned: set[frozenset[str]] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, process: SimProcess) -> None:
+        """Attach a process to the network under its name."""
+        if process.name in self._processes:
+            raise NetworkError(f"duplicate process name {process.name!r}")
+        self._processes[process.name] = process
+        self._connections.setdefault(process.name, set())
+        process.add_crash_listener(self._on_endpoint_down)
+
+    def register_alias(self, alias: str, owner: str) -> None:
+        """Bind an extra network identity to an existing process.
+
+        Datagrams addressed to ``alias`` are delivered to ``owner``.
+        This is how spoofed client identities are modelled: the attacker
+        machine answers for many source addresses.
+        """
+        if alias in self._processes or alias in self._aliases:
+            raise NetworkError(f"name {alias!r} already in use")
+        if owner not in self._processes:
+            raise NetworkError(f"unknown alias owner {owner!r}")
+        self._aliases[alias] = owner
+
+    def _resolve(self, name: str) -> Optional[SimProcess]:
+        process = self._processes.get(name)
+        if process is None:
+            owner = self._aliases.get(name)
+            if owner is not None:
+                process = self._processes.get(owner)
+        return process
+
+    def process(self, name: str) -> SimProcess:
+        """Look up a registered process by name (aliases resolve)."""
+        process = self._resolve(name)
+        if process is None:
+            raise NetworkError(f"unknown process {name!r}")
+        return process
+
+    def knows(self, name: str) -> bool:
+        """True if ``name`` is registered (directly or as an alias)."""
+        return name in self._processes or name in self._aliases
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Block traffic (both directions) between ``a`` and ``b``."""
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Remove a partition between ``a`` and ``b`` if present."""
+        self._partitioned.discard(frozenset((a, b)))
+
+    def is_blocked(self, a: str, b: str) -> bool:
+        """True if traffic between ``a`` and ``b`` is partitioned away."""
+        return frozenset((a, b)) in self._partitioned
+
+    # ------------------------------------------------------------------
+    # Datagrams
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Send a datagram; it arrives after one sampled latency.
+
+        Messages to unknown destinations raise; messages across a
+        partition or unlucky under ``drop_rate`` are silently dropped,
+        like UDP.
+        """
+        if not self.knows(message.dst):
+            raise NetworkError(f"message to unknown destination {message.dst!r}")
+        self.messages_sent += 1
+        if self.is_blocked(message.src, message.dst):
+            self.messages_dropped += 1
+            return
+        if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
+            self.messages_dropped += 1
+            return
+        delay = self.latency.sample(self._rng)
+        self.sim.schedule(delay, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        process = self._resolve(message.dst)
+        if process is None or process.state is not ProcessState.RUNNING:
+            self.messages_dropped += 1
+            return
+        if not process.accepts_message_from(message.src):
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        process.handle_message(message)
+
+    def broadcast(self, src: str, dsts: list[str], mtype: str, payload: dict) -> None:
+        """Send one datagram with identical content to every name in ``dsts``."""
+        for dst in dsts:
+            self.send(Message(src=src, dst=dst, mtype=mtype, payload=payload))
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    def connect(self, initiator: str, responder: str) -> Optional[Connection]:
+        """Open a connection; returns ``None`` if refused.
+
+        A connection is refused when the responder is unknown, not
+        currently running, or partitioned away from the initiator.
+        """
+        if initiator not in self._processes:
+            raise NetworkError(f"unknown initiator {initiator!r}")
+        target = self._processes.get(responder)
+        if target is None or target.state is not ProcessState.RUNNING:
+            return None
+        if self.is_blocked(initiator, responder):
+            return None
+        if not target.accepts_connection_from(initiator):
+            return None
+        connection = Connection(self, initiator, responder)
+        self._connections[initiator].add(connection)
+        self._connections[responder].add(connection)
+        return connection
+
+    def deliver_on_connection(
+        self, connection: Connection, dst: str, payload: Any
+    ) -> None:
+        """Deliver connection data to ``dst`` after one latency."""
+        delay = self.latency.sample(self._rng)
+        self.sim.schedule(
+            delay, self._deliver_connection_data, connection, dst, payload
+        )
+
+    def _deliver_connection_data(
+        self, connection: Connection, dst: str, payload: Any
+    ) -> None:
+        if not connection.open:
+            return
+        process = connection.sink_for(dst) or self._processes.get(dst)
+        if process is None or process.state is not ProcessState.RUNNING:
+            return
+        process.handle_connection_data(connection, payload)
+
+    def connection_closed(self, connection: Connection, closed_by: str | None) -> None:
+        """Propagate a close: notify the peer (or both ends) after latency."""
+        for name in (connection.initiator, connection.responder):
+            self._connections.get(name, set()).discard(connection)
+            if name != closed_by:
+                delay = self.latency.sample(self._rng)
+                self.sim.schedule(delay, self._notify_closed, name, connection)
+
+    def _notify_closed(self, name: str, connection: Connection) -> None:
+        process = connection.sink_for(name) or self._processes.get(name)
+        if process is not None and process.state is ProcessState.RUNNING:
+            process.on_connection_closed(connection)
+
+    def connections_of(self, name: str) -> set[Connection]:
+        """Snapshot of the open connections of ``name``."""
+        return set(self._connections.get(name, set()))
+
+    # ------------------------------------------------------------------
+    def _on_endpoint_down(self, process: SimProcess) -> None:
+        """Crash/reboot/stop listener: tear down the endpoint's connections."""
+        for connection in list(self._connections.get(process.name, ())):
+            connection.close(closed_by=None)

@@ -1,0 +1,17 @@
+"""Proxy tier: forwarding, over-signing, probe detection, name server."""
+
+from .detection import DetectionLog, DetectionPolicy, kappa_for_policy
+from .nameserver import Directory, NameServer
+from .proxy import CLIENT_ERROR, CLIENT_REQUEST, CLIENT_RESPONSE, ProxyNode
+
+__all__ = [
+    "DetectionLog",
+    "DetectionPolicy",
+    "kappa_for_policy",
+    "Directory",
+    "NameServer",
+    "CLIENT_ERROR",
+    "CLIENT_REQUEST",
+    "CLIENT_RESPONSE",
+    "ProxyNode",
+]

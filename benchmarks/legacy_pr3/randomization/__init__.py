@@ -1,0 +1,17 @@
+"""Randomization substrate: key spaces, address spaces, PO/SO scheduling."""
+
+from .keyspace import PAX_32BIT_ENTROPY, KeySpace
+from .layout import AddressSpace, ProbeOutcome
+from .node import RandomizedProcess
+from .obfuscation import KeyGroup, ObfuscationManager, Scheme
+
+__all__ = [
+    "PAX_32BIT_ENTROPY",
+    "KeySpace",
+    "AddressSpace",
+    "ProbeOutcome",
+    "RandomizedProcess",
+    "KeyGroup",
+    "ObfuscationManager",
+    "Scheme",
+]

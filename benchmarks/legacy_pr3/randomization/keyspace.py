@@ -1,0 +1,74 @@
+"""Randomization key spaces.
+
+A randomization scheme (ASLR, ISR, ...) is characterized for resilience
+purposes by its key entropy alone: with ``b`` bits of entropy there are
+``χ = 2^b`` equally likely keys (paper §2.1: PaX on 32-bit machines gives
+16 bits, so χ = 65536).  The key space also provides the α ↔ ω
+conversions used throughout the models:
+
+* a single probe against a fresh key succeeds with probability ``1/χ``;
+* an attacker completing ``ω`` distinct probes in a unit time-step
+  succeeds with probability ``α = ω/χ`` (sampling without replacement
+  within the step).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: Entropy of PaX ASLR on 32-bit machines, the case evaluated in the paper.
+PAX_32BIT_ENTROPY = 16
+
+
+@dataclass(frozen=True)
+class KeySpace:
+    """The set of possible randomization keys.
+
+    Attributes
+    ----------
+    entropy_bits:
+        Key entropy; the space holds ``2 ** entropy_bits`` keys.
+    """
+
+    entropy_bits: int
+
+    def __post_init__(self) -> None:
+        if self.entropy_bits < 1:
+            raise ConfigurationError(
+                f"entropy_bits must be >= 1, got {self.entropy_bits}"
+            )
+
+    @property
+    def size(self) -> int:
+        """χ — the number of possible keys."""
+        return 1 << self.entropy_bits
+
+    def sample_key(self, rng: random.Random) -> int:
+        """Draw a uniformly random key."""
+        return rng.randrange(self.size)
+
+    def contains(self, key: int) -> bool:
+        """True if ``key`` is a valid key of this space."""
+        return 0 <= key < self.size
+
+    # ------------------------------------------------------------------
+    # α ↔ ω conversions
+    # ------------------------------------------------------------------
+    def alpha_for_probe_rate(self, omega: float) -> float:
+        """Per-step success probability of ``omega`` distinct probes
+        against a freshly randomized node: ``α = min(ω/χ, 1)``."""
+        if omega < 0:
+            raise ConfigurationError(f"omega must be non-negative, got {omega}")
+        return min(omega / self.size, 1.0)
+
+    def probe_rate_for_alpha(self, alpha: float) -> float:
+        """Probes per step needed for per-step success probability ``α``."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+        return alpha * self.size
+
+    def __str__(self) -> str:
+        return f"KeySpace(2^{self.entropy_bits} = {self.size} keys)"

@@ -1,0 +1,83 @@
+"""Randomized address-space model and probe semantics.
+
+The attack surface of a randomized executable reduces to one question per
+probe: did the attacker guess the current randomization key?  A wrong
+guess corrupts control state with a bad address and **crashes the
+process**; the right guess lands the exploit and yields an **intrusion**
+(paper §2.1).  :class:`AddressSpace` models exactly this, and keeps the
+counters that proxies and detectors use to observe attack activity.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from ..errors import ConfigurationError
+from .keyspace import KeySpace
+
+
+class ProbeOutcome(enum.Enum):
+    """Result of firing one probe at a randomized process."""
+
+    CRASH = "crash"
+    INTRUSION = "intrusion"
+
+
+class AddressSpace:
+    """The randomized memory layout of one process image.
+
+    Parameters
+    ----------
+    keyspace:
+        The key space the layout is randomized over.
+    key:
+        The current randomization key (the secret offset).
+    """
+
+    def __init__(self, keyspace: KeySpace, key: int) -> None:
+        self.keyspace = keyspace
+        self._validate(key)
+        self.key = key
+        self.probes_received = 0
+        self.crashes_caused = 0
+        self.intrusions = 0
+        self.randomizations = 1
+
+    def _validate(self, key: int) -> None:
+        if not self.keyspace.contains(key):
+            raise ConfigurationError(
+                f"key {key} outside key space of size {self.keyspace.size}"
+            )
+
+    # ------------------------------------------------------------------
+    def check_probe(self, guess: int) -> ProbeOutcome:
+        """Fire one probe with the guessed key; crash unless it matches.
+
+        Guesses outside the key space are treated as crashes (a wildly
+        wrong address is still a wrong address).
+        """
+        self.probes_received += 1
+        if guess == self.key:
+            self.intrusions += 1
+            return ProbeOutcome.INTRUSION
+        self.crashes_caused += 1
+        return ProbeOutcome.CRASH
+
+    def set_key(self, key: int) -> None:
+        """Install a specific key (used to randomize a group identically,
+        as FORTRESS prescribes for the PB servers)."""
+        self._validate(key)
+        self.key = key
+        self.randomizations += 1
+
+    def rerandomize(self, rng: random.Random) -> int:
+        """Draw and install a fresh key; returns the new key."""
+        self.set_key(self.keyspace.sample_key(rng))
+        return self.key
+
+    def __repr__(self) -> str:  # pragma: no cover - avoid leaking the key
+        return (
+            f"<AddressSpace {self.keyspace} probes={self.probes_received} "
+            f"crashes={self.crashes_caused}>"
+        )

@@ -1,0 +1,175 @@
+"""Proactive obfuscation (PO) and start-up-only obfuscation (SO) scheduling.
+
+The paper models both schemes on a common clock of **unit time-steps**
+(§4.1): at the end of every step each node is refreshed —
+
+* under **PO** it is rebooted with a *fresh* randomization key
+  (re-randomization: sampling with replacement from the attacker's view);
+* under **SO** it is merely *recovered* — rebooted with the same key
+  (proactive recovery à la Castro-Liskov: the attacker's eliminated
+  guesses stay eliminated).
+
+Either way, a refresh cleanses compromise: the attacker controls a node
+only "until re-randomization is applied".
+
+:class:`ObfuscationManager` drives this schedule.  Nodes are organized in
+**key groups**: all nodes of a group are randomized identically (one key
+per group per epoch), which is how FORTRESS randomizes its PB servers,
+while singleton groups give the diverse randomization of proxies and SMR
+replicas.  Per-group offsets support staggered, batched recovery of SMR
+replicas (Roeder-Schneider style, ≤ f at a time).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..sim.engine import Simulator
+from ..sim.process import ProcessState
+from .node import RandomizedProcess
+
+
+class Scheme(enum.Enum):
+    """Which refresh the manager applies at each epoch."""
+
+    PO = "proactive-obfuscation"
+    SO = "startup-only"
+
+
+@dataclass
+class KeyGroup:
+    """A set of nodes sharing one randomization key.
+
+    Attributes
+    ----------
+    nodes:
+        Members of the group; they always hold identical keys.
+    offset:
+        Delay after each epoch boundary before this group refreshes
+        (must be smaller than the manager's period).
+    """
+
+    nodes: list[RandomizedProcess]
+    offset: float = 0.0
+    refreshes: int = field(default=0, init=False)
+
+
+class ObfuscationManager:
+    """Periodically refreshes the randomization of registered nodes.
+
+    Parameters
+    ----------
+    sim:
+        Driving simulator.
+    scheme:
+        :attr:`Scheme.PO` (fresh keys) or :attr:`Scheme.SO` (recovery).
+    period:
+        Length of the unit time-step.  The paper takes the
+        re-randomization period P to be one unit time-step.
+    reboot_duration:
+        Downtime of a refreshing node.  The paper assumes refreshes are
+        instantaneous (§4.1); the default honours that.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheme: Scheme,
+        period: float = 1.0,
+        reboot_duration: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if reboot_duration < 0 or reboot_duration >= period:
+            raise ConfigurationError(
+                f"reboot_duration must lie in [0, period), got {reboot_duration}"
+            )
+        self.sim = sim
+        self.scheme = scheme
+        self.period = period
+        self.reboot_duration = reboot_duration
+        self.epoch = 0
+        self._groups: list[KeyGroup] = []
+        self._epoch_listeners: list[Callable[[int], None]] = []
+        self._rng = sim.rng.stream("obfuscation")
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_node(self, node: RandomizedProcess, offset: float = 0.0) -> KeyGroup:
+        """Register one independently randomized node."""
+        return self.add_group([node], offset=offset)
+
+    def add_group(self, nodes: list[RandomizedProcess], offset: float = 0.0) -> KeyGroup:
+        """Register a group of nodes randomized with one shared key.
+
+        The group's key is aligned immediately so that members are
+        identical from the start (FORTRESS randomizes its PB servers
+        identically even at set-up).
+        """
+        if not nodes:
+            raise ConfigurationError("key group must contain at least one node")
+        if offset < 0 or offset >= self.period:
+            raise ConfigurationError(
+                f"group offset must lie in [0, period), got {offset}"
+            )
+        spaces = {node.address_space.keyspace.size for node in nodes}
+        if len(spaces) != 1:
+            raise ConfigurationError("all nodes of a key group must share a key space")
+        group = KeyGroup(nodes=list(nodes), offset=offset)
+        if len(nodes) > 1:
+            shared = nodes[0].address_space.key
+            for node in nodes[1:]:
+                node.address_space.set_key(shared)
+        self._groups.append(group)
+        return group
+
+    def add_epoch_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback fired at each epoch boundary, after the
+        refreshes scheduled at offset zero.
+
+        Listeners receive the index of the epoch that just *completed*
+        (1 for the boundary at ``t = period``).
+        """
+        self._epoch_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the epoch schedule (first boundary one period from now)."""
+        if self._started:
+            raise ConfigurationError("ObfuscationManager already started")
+        self._started = True
+        self.sim.schedule(self.period, self._epoch_boundary)
+
+    def _epoch_boundary(self) -> None:
+        self.epoch += 1
+        for group in self._groups:
+            if group.offset == 0.0:
+                self._refresh_group(group)
+            else:
+                self.sim.schedule(group.offset, self._refresh_group, group)
+        for listener in list(self._epoch_listeners):
+            listener(self.epoch)
+        self.sim.schedule(self.period, self._epoch_boundary)
+
+    def _refresh_group(self, group: KeyGroup) -> None:
+        group.refreshes += 1
+        live = [node for node in group.nodes if node.state is not ProcessState.STOPPED]
+        if self.scheme is Scheme.PO:
+            key = group.nodes[0].keyspace.sample_key(self._rng)
+            for node in live:
+                node.rerandomize(self.reboot_duration, key=key)
+        else:
+            for node in live:
+                node.recover(self.reboot_duration)
+
+    # ------------------------------------------------------------------
+    def time_step_index(self) -> int:
+        """Index of the unit time-step currently in progress (1-based)."""
+        return int(self.sim.now / self.period) + 1

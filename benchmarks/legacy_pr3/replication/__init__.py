@@ -1,0 +1,26 @@
+"""Replication substrates: primary-backup, SMR ordering, services."""
+
+from .order_protocol import OrderingState, Slot, SlotPhase, quorum_size
+from .primary_backup import PROBE_OP, PBServer
+from .smr import SMRReplica, request_digest
+from .state_machine import (
+    CounterService,
+    KVStoreService,
+    Service,
+    SessionTokenService,
+)
+
+__all__ = [
+    "OrderingState",
+    "Slot",
+    "SlotPhase",
+    "quorum_size",
+    "PROBE_OP",
+    "PBServer",
+    "SMRReplica",
+    "request_digest",
+    "CounterService",
+    "KVStoreService",
+    "Service",
+    "SessionTokenService",
+]

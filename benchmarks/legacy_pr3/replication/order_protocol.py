@@ -1,0 +1,153 @@
+"""Ordering state for the SMR request-ordering protocol.
+
+:class:`OrderingState` is the pure bookkeeping core of our PBFT-style
+three-phase ordering (pre-prepare → prepare → commit): it tracks, per
+``(view, seq)`` slot, which replicas voted in each phase and reports the
+phase transitions (*prepared*, *committed*) when quorums fill.  Keeping
+it free of any network or process dependency makes the quorum logic
+directly unit- and property-testable.
+
+Quorums for ``n = 3f + 1`` replicas:
+
+* **prepared**  — a pre-prepare from the leader plus matching ``prepare``
+  votes from ``2f + 1`` distinct replicas (the voter's own vote counts);
+* **committed** — ``commit`` votes from ``2f + 1`` distinct replicas.
+
+With ``f = 1, n = 4`` (the paper's S0) both quorums are 3-of-4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ProtocolError
+
+
+def quorum_size(n: int, f: int) -> int:
+    """The ``2f + 1`` vote quorum; validates the ``n > 3f`` requirement."""
+    if n <= 3 * f:
+        raise ProtocolError(f"SMR needs n > 3f replicas (n={n}, f={f})")
+    return 2 * f + 1
+
+
+class SlotPhase(enum.Enum):
+    """Progress of one ``(view, seq)`` ordering slot."""
+
+    EMPTY = "empty"
+    PRE_PREPARED = "pre-prepared"
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+
+
+@dataclass
+class Slot:
+    """Vote bookkeeping for one ``(view, seq)`` pair."""
+
+    view: int
+    seq: int
+    digest: Optional[str] = None
+    request: Optional[dict] = None
+    prepare_voters: set[str] = field(default_factory=set)
+    commit_voters: set[str] = field(default_factory=set)
+    phase: SlotPhase = SlotPhase.EMPTY
+
+
+class OrderingState:
+    """Tracks ordering progress across slots for one replica.
+
+    Parameters
+    ----------
+    n, f:
+        Replica count and fault threshold (``n > 3f``).
+    """
+
+    def __init__(self, n: int, f: int) -> None:
+        self.n = n
+        self.f = f
+        self.quorum = quorum_size(n, f)
+        self._slots: dict[tuple[int, int], Slot] = {}
+
+    def slot(self, view: int, seq: int) -> Slot:
+        """Return (creating if needed) the slot for ``(view, seq)``."""
+        return self._slots.setdefault((view, seq), Slot(view=view, seq=seq))
+
+    # ------------------------------------------------------------------
+    # Phase recording.  Each method returns True when its call caused
+    # the slot to *newly* reach the corresponding phase.
+    # ------------------------------------------------------------------
+    def record_preprepare(
+        self, view: int, seq: int, digest: str, request: dict
+    ) -> bool:
+        """Record the leader's pre-prepare.  Conflicting digests for the
+        same slot are rejected (a Byzantine leader equivocating)."""
+        slot = self.slot(view, seq)
+        if slot.digest is not None:
+            return False  # first pre-prepare wins; ignore conflicts/duplicates
+        slot.digest = digest
+        slot.request = request
+        if slot.phase is SlotPhase.EMPTY:
+            slot.phase = SlotPhase.PRE_PREPARED
+        self._maybe_advance(slot)
+        return True
+
+    def record_prepare(self, view: int, seq: int, digest: str, voter: str) -> bool:
+        """Record one replica's prepare vote; returns True on newly
+        reaching PREPARED."""
+        slot = self.slot(view, seq)
+        if slot.digest is not None and slot.digest != digest:
+            return False
+        slot.prepare_voters.add(voter)
+        return self._maybe_advance(slot) is SlotPhase.PREPARED
+
+    def record_commit(self, view: int, seq: int, digest: str, voter: str) -> bool:
+        """Record one replica's commit vote; returns True on newly
+        reaching COMMITTED."""
+        slot = self.slot(view, seq)
+        if slot.digest is not None and slot.digest != digest:
+            return False
+        slot.commit_voters.add(voter)
+        return self._maybe_advance(slot) is SlotPhase.COMMITTED
+
+    def _maybe_advance(self, slot: Slot) -> Optional[SlotPhase]:
+        """Advance the slot's phase if its quorums are now full.
+
+        Returns the phase *newly* reached on this call, if any.
+        """
+        newly: Optional[SlotPhase] = None
+        if (
+            slot.phase is SlotPhase.PRE_PREPARED
+            and slot.digest is not None
+            and len(slot.prepare_voters) >= self.quorum
+        ):
+            slot.phase = SlotPhase.PREPARED
+            newly = SlotPhase.PREPARED
+        if (
+            slot.phase is SlotPhase.PREPARED
+            and len(slot.commit_voters) >= self.quorum
+        ):
+            slot.phase = SlotPhase.COMMITTED
+            # Committing supersedes the prepare transition in the same call.
+            newly = SlotPhase.COMMITTED
+        return newly
+
+    # ------------------------------------------------------------------
+    def committed_slots(self, view: int) -> list[Slot]:
+        """All committed slots of ``view`` in seq order."""
+        return sorted(
+            (s for (v, _), s in self._slots.items()
+             if v == view and s.phase is SlotPhase.COMMITTED),
+            key=lambda s: s.seq,
+        )
+
+    def drop_view(self, view: int) -> int:
+        """Discard all in-flight slots of ``view`` (on view change);
+        returns how many were dropped."""
+        keys = [key for key in self._slots if key[0] == view]
+        for key in keys:
+            del self._slots[key]
+        return len(keys)
+
+    def __len__(self) -> int:
+        return len(self._slots)

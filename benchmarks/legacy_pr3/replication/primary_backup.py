@@ -1,0 +1,315 @@
+"""Primary-backup (PB) replication over randomized server nodes.
+
+Classical PB (paper §1): one replica — the **primary** — executes client
+requests and ships the resulting state (plus the response) to the
+**backups**; backups never execute, so arbitrary, non-deterministic
+services replicate correctly.  Should the primary crash, a backup is
+promoted.  PB tolerates crashes, not intrusions — which is exactly why
+FORTRESS fortifies it.
+
+Protocol messages
+-----------------
+``request``        client/proxy → servers; only the current primary executes.
+``state_update``   primary → backups; carries seq, snapshot, response.
+``server_response``server → requester; response signed with server index.
+``heartbeat``      primary → backups (liveness).
+``new_primary``    promoted backup → all (view announcement).
+``sync_request`` / ``sync_response``  state transfer after reboot/respawn.
+
+Attack surface
+--------------
+A request whose body is an attack probe (``op == "__probe__"``) exercises
+the vulnerable code path when the primary processes it: a wrong key guess
+crashes the primary (the forking daemon then respawns it with the same
+key), the right guess compromises it.  This implements the paper's
+"probes are crafted as service requests" (§6) and the indirect attack
+path of FORTRESS.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.timing import DEFAULT_RESPAWN_DELAY
+from ..crypto.signatures import SignatureAuthority
+from ..net.message import Message
+from ..net.network import Network
+from ..randomization.keyspace import KeySpace
+from ..randomization.node import RandomizedProcess
+from ..sim.engine import Simulator
+
+#: Request body ``op`` that triggers the randomized-code attack path.
+PROBE_OP = "__probe__"
+
+REQUEST = "request"
+STATE_UPDATE = "state_update"
+SERVER_RESPONSE = "server_response"
+HEARTBEAT = "heartbeat"
+NEW_PRIMARY = "new_primary"
+SYNC_REQUEST = "sync_request"
+SYNC_RESPONSE = "sync_response"
+
+
+class PBServer(RandomizedProcess):
+    """One node of a primary-backup replicated server tier.
+
+    Parameters
+    ----------
+    sim, name, keyspace, rng:
+        See :class:`~repro.randomization.node.RandomizedProcess`.
+    index:
+        The server's unique index (known to proxies and clients via the
+        name server); also determines promotion order.
+    service:
+        The service instance this replica hosts.
+    authority:
+        PKI used to sign responses.
+    network:
+        The network this server is registered on.
+    heartbeat_interval / heartbeat_timeout:
+        Primary liveness parameters; the timeout must exceed the
+        interval.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        index: int,
+        keyspace: KeySpace,
+        rng: random.Random,
+        service: Any,
+        authority: SignatureAuthority,
+        network: Network,
+        heartbeat_interval: float = 0.05,
+        heartbeat_timeout: float = 0.2,
+        respawn_delay: Optional[float] = DEFAULT_RESPAWN_DELAY,
+    ) -> None:
+        super().__init__(sim, name, keyspace, rng, respawn_delay=respawn_delay)
+        self.index = index
+        self.service = service
+        self.authority = authority
+        self.network = network
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.peers: list[str] = []  # all server names, in index order (incl. us)
+        self.view = 0
+        self.seq = 0
+        self.last_heartbeat = 0.0
+        self.response_cache: dict[str, dict] = {}
+        self.requests_executed = 0
+        self.updates_applied = 0
+        authority.issue_keypair(name)
+        self._heartbeat_started = False
+        self._watchdog_started = False
+
+    # ------------------------------------------------------------------
+    # Membership and roles
+    # ------------------------------------------------------------------
+    def configure(self, peers: list[str]) -> None:
+        """Install the ordered server membership (index order) and start
+        the heartbeat / failover machinery."""
+        self.peers = list(peers)
+        self._start_timers()
+
+    @property
+    def primary_name(self) -> str:
+        """Name of the primary for the current view."""
+        return self.peers[self.view % len(self.peers)]
+
+    @property
+    def is_primary(self) -> bool:
+        """Whether this replica currently acts as the primary."""
+        return bool(self.peers) and self.primary_name == self.name
+
+    def _start_timers(self) -> None:
+        if not self._heartbeat_started:
+            self._heartbeat_started = True
+            self.sim.schedule(self.heartbeat_interval, self._heartbeat_tick)
+        if not self._watchdog_started:
+            self._watchdog_started = True
+            self.last_heartbeat = self.sim.now
+            self.sim.schedule(self.heartbeat_timeout, self._watchdog_tick)
+
+    def _heartbeat_tick(self) -> None:
+        if self.is_available and self.is_primary:
+            for peer in self.peers:
+                if peer != self.name:
+                    self.network.send(
+                        Message(self.name, peer, HEARTBEAT, {"view": self.view})
+                    )
+        self.sim.schedule(self.heartbeat_interval, self._heartbeat_tick)
+
+    def _watchdog_tick(self) -> None:
+        if (
+            self.is_available
+            and not self.is_primary
+            and self.sim.now - self.last_heartbeat > self.heartbeat_timeout
+        ):
+            self._advance_view()
+        self.sim.schedule(self.heartbeat_timeout, self._watchdog_tick)
+
+    def _advance_view(self) -> None:
+        """Primary appears dead: move to the next view; announce if we
+        are the new primary."""
+        self.view += 1
+        self.last_heartbeat = self.sim.now
+        if self.is_primary:
+            for peer in self.peers:
+                if peer != self.name:
+                    self.network.send(
+                        Message(self.name, peer, NEW_PRIMARY, {"view": self.view})
+                    )
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        handler = {
+            REQUEST: self._on_request,
+            STATE_UPDATE: self._on_state_update,
+            HEARTBEAT: self._on_heartbeat,
+            NEW_PRIMARY: self._on_new_primary,
+            SYNC_REQUEST: self._on_sync_request,
+            SYNC_RESPONSE: self._on_sync_response,
+        }.get(message.mtype)
+        if handler is not None:
+            handler(message)
+
+    # -- requests -------------------------------------------------------
+    def _on_request(self, message: Message) -> None:
+        payload = message.payload
+        body = payload.get("body", {})
+        if body.get("op") == PROBE_OP:
+            # The probe exercises the randomized code path of whichever
+            # replica processes it.  Only the primary executes requests.
+            if self.is_primary:
+                self.receive_probe(int(body.get("guess", -1)))
+            return
+        if not self.is_primary:
+            return
+        request_id = payload["request_id"]
+        reply_to = list(payload.get("reply_to", [payload.get("client", message.src)]))
+        if request_id in self.response_cache:
+            self._send_response(request_id, self.response_cache[request_id], reply_to)
+            return
+        response = self.service.apply(body)
+        self.requests_executed += 1
+        self.seq += 1
+        self.response_cache[request_id] = response
+        snapshot = self.service.snapshot()
+        for peer in self.peers:
+            if peer != self.name:
+                self.network.send(
+                    Message(
+                        self.name,
+                        peer,
+                        STATE_UPDATE,
+                        {
+                            "seq": self.seq,
+                            "view": self.view,
+                            "request_id": request_id,
+                            "reply_to": reply_to,
+                            "snapshot": snapshot,
+                            "response": response,
+                        },
+                    )
+                )
+        self._send_response(request_id, response, reply_to)
+
+    def _send_response(
+        self, request_id: str, response: dict, reply_to: list[str]
+    ) -> None:
+        """Sign ``(request_id, response, index)`` and send to requesters.
+
+        A compromised replica is attacker-controlled: it corrupts the
+        response (the attacker's goal once inside is to subvert the
+        service, and this makes compromise observable end-to-end).
+        """
+        body = {"request_id": request_id, "response": response, "index": self.index}
+        if self.compromised:
+            body = {
+                "request_id": request_id,
+                "response": {"ok": False, "error": "__corrupted__"},
+                "index": self.index,
+            }
+        signed = self.authority.sign(self.name, body)
+        for target in reply_to:
+            if self.network.knows(target):
+                self.network.send(
+                    Message(self.name, target, SERVER_RESPONSE, {"signed": signed})
+                )
+
+    # -- state updates ----------------------------------------------------
+    def _on_state_update(self, message: Message) -> None:
+        payload = message.payload
+        if payload["view"] < self.view:
+            return
+        if payload["view"] > self.view:
+            self.view = payload["view"]
+        if payload["seq"] <= self.seq:
+            return
+        if payload["seq"] > self.seq + 1:
+            # We missed an update (e.g. we were rebooting): sync instead.
+            self._request_sync()
+            return
+        self.seq = payload["seq"]
+        self.service.restore(payload["snapshot"])
+        self.updates_applied += 1
+        request_id = payload["request_id"]
+        self.response_cache[request_id] = payload["response"]
+        self.last_heartbeat = self.sim.now
+        self._send_response(request_id, payload["response"], list(payload["reply_to"]))
+
+    # -- liveness ---------------------------------------------------------
+    def _on_heartbeat(self, message: Message) -> None:
+        if message.payload["view"] >= self.view:
+            self.view = message.payload["view"]
+            self.last_heartbeat = self.sim.now
+
+    def _on_new_primary(self, message: Message) -> None:
+        if message.payload["view"] > self.view:
+            self.view = message.payload["view"]
+            self.last_heartbeat = self.sim.now
+
+    # -- state transfer ----------------------------------------------------
+    def _request_sync(self) -> None:
+        for peer in self.peers:
+            if peer != self.name and self.network.knows(peer):
+                self.network.send(Message(self.name, peer, SYNC_REQUEST, {}))
+
+    def _on_sync_request(self, message: Message) -> None:
+        self.network.send(
+            Message(
+                self.name,
+                message.src,
+                SYNC_RESPONSE,
+                {
+                    "seq": self.seq,
+                    "view": self.view,
+                    "snapshot": self.service.snapshot(),
+                    "cache": dict(self.response_cache),
+                },
+            )
+        )
+
+    def _on_sync_response(self, message: Message) -> None:
+        payload = message.payload
+        if payload["seq"] > self.seq:
+            self.seq = payload["seq"]
+            self.view = max(self.view, payload["view"])
+            self.service.restore(payload["snapshot"])
+            self.response_cache.update(payload["cache"])
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks.  (The direct connection-probe attack surface is
+    # inherited from RandomizedProcess.)
+    # ------------------------------------------------------------------
+    def on_respawn(self) -> None:
+        """After a forking-daemon respawn, catch up on missed state."""
+        self._request_sync()
+
+    def on_reboot_complete(self) -> None:
+        """After recovery / re-randomization, catch up on missed state."""
+        self._request_sync()

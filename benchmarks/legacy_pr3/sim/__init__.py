@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel: clock, events, processes, RNG
+streams, event tracing."""
+
+from .engine import Event, Simulator
+from .process import ProcessState, SimProcess
+from .rng import RngRegistry, derive_seed
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "ProcessState",
+    "SimProcess",
+    "RngRegistry",
+    "derive_seed",
+    "TraceEvent",
+    "TraceRecorder",
+]

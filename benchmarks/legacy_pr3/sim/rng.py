@@ -1,0 +1,54 @@
+"""Deterministic random-number streams for reproducible simulations.
+
+Every stochastic component of a simulation draws from its own named stream
+derived from a single root seed.  Two runs with the same root seed and the
+same component names therefore produce identical event sequences, while
+adding a new component does not perturb the streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterator
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a child seed from ``root_seed`` and a component ``name``.
+
+    The derivation hashes the pair so that sequential component names do
+    not produce correlated ``random.Random`` states.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Factory of named, independently seeded ``random.Random`` streams.
+
+    Parameters
+    ----------
+    root_seed:
+        Seed from which every named stream is derived.
+    """
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = root_seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(derive_seed(self.root_seed, name))
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """Return a child registry whose streams are independent of ours."""
+        return RngRegistry(derive_seed(self.root_seed, f"spawn:{name}"))
+
+    def names(self) -> Iterator[str]:
+        """Iterate over the names of streams created so far."""
+        return iter(sorted(self._streams))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngRegistry(root_seed={self.root_seed}, streams={len(self._streams)})"

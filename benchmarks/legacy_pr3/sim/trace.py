@@ -1,0 +1,135 @@
+"""Structured event tracing for protocol-level runs.
+
+A :class:`TraceRecorder` hooks the listener surfaces that already exist
+throughout the stack — process state transitions, crashes, compromises,
+obfuscation epochs — and keeps a bounded, queryable timeline.  Used by
+examples and debugging sessions to answer "what actually happened in
+this run?" without instrumenting any component.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..errors import ConfigurationError
+from .engine import Simulator
+from .process import SimProcess
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline entry."""
+
+    time: float
+    category: str
+    subject: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.3f}] {self.category:<12} {self.subject:<12} {extras}".rstrip()
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records from a running simulation.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing timestamps.
+    limit:
+        Maximum retained events (oldest dropped first); ``None`` keeps
+        everything.
+    """
+
+    def __init__(self, sim: Simulator, limit: Optional[int] = 10_000) -> None:
+        if limit is not None and limit < 1:
+            raise ConfigurationError(f"limit must be >= 1 or None, got {limit}")
+        self.sim = sim
+        self._events: deque[TraceEvent] = deque(maxlen=limit)
+        self.dropped = 0
+        self._limit = limit
+
+    # ------------------------------------------------------------------
+    def record(self, category: str, subject: str, **detail: Any) -> TraceEvent:
+        """Append one event stamped with the current simulated time."""
+        if self._limit is not None and len(self._events) == self._limit:
+            self.dropped += 1
+        event = TraceEvent(
+            time=self.sim.now, category=category, subject=subject, detail=detail
+        )
+        self._events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Attachment helpers
+    # ------------------------------------------------------------------
+    def attach_process(self, process: SimProcess) -> None:
+        """Trace a process's state transitions and compromises."""
+        process.add_state_listener(
+            lambda p: self.record("state", p.name, state=p.state.value)
+        )
+        process.add_compromise_listener(
+            lambda p: self.record("compromise", p.name)
+        )
+
+    def attach_obfuscation(self, manager) -> None:
+        """Trace epoch boundaries of an obfuscation manager."""
+        manager.add_epoch_listener(
+            lambda epoch: self.record("epoch", "obfuscation", epoch=epoch)
+        )
+
+    def attach_deployment(self, deployed) -> None:
+        """Trace every node, the epochs and system compromise of a
+        :class:`repro.core.builders.DeployedSystem`.
+
+        The monitor's own compromise listeners were registered at build
+        time and therefore run *before* ours, so checking the monitor
+        from an additional per-node listener observes the system-level
+        verdict for the very intrusion that caused it.
+        """
+        monitor = deployed.monitor
+        recorded = {"system_down": False}
+
+        def check_system(_node) -> None:
+            if monitor.is_compromised and not recorded["system_down"]:
+                recorded["system_down"] = True
+                self.record("system-down", "monitor", cause=monitor.cause)
+
+        for node in list(deployed.servers) + list(deployed.proxies):
+            self.attach_process(node)
+            node.add_compromise_listener(check_system)
+        self.attach_obfuscation(deployed.obfuscation)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def events(
+        self,
+        category: Optional[str] = None,
+        subject: Optional[str] = None,
+        since: float = float("-inf"),
+    ) -> list[TraceEvent]:
+        """Filtered view of the timeline (insertion order)."""
+        return [
+            e
+            for e in self._events
+            if (category is None or e.category == category)
+            and (subject is None or e.subject == subject)
+            and e.time >= since
+        ]
+
+    def count(self, category: Optional[str] = None) -> int:
+        """Number of retained events (optionally of one category)."""
+        if category is None:
+            return len(self._events)
+        return sum(1 for e in self._events if e.category == category)
+
+    def render_timeline(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
+        """Human-readable timeline of ``events`` (default: everything)."""
+        chosen = list(events) if events is not None else list(self._events)
+        if not chosen:
+            return "(empty trace)"
+        return "\n".join(str(event) for event in chosen)

@@ -78,7 +78,9 @@ def verify_paper_trends(
     # worst case, so checking there proves the trend for every κ).
     margins = []
     for a in alphas:
-        po_floor = min(el_s2_po(a, 1.0, launchpad_fraction=launchpad_fraction), el_s1_po(a))
+        po_floor = min(
+            el_s2_po(a, 1.0, launchpad_fraction=launchpad_fraction), el_s1_po(a)
+        )
         so_ceiling = max(el_s1_so(a), el_s0_so(a))
         margins.append(po_floor - so_ceiling)
     worst = min(margins)

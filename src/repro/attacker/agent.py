@@ -32,7 +32,14 @@ from ..randomization.node import RandomizedProcess
 from ..sim.engine import Simulator
 from ..sim.process import SimProcess
 from .driver import IndirectProber, ProbeDriver
-from .keytracker import KeyGuessTracker
+from .keytracker import GuessBuffer, KeyGuessTracker
+
+#: Simulated-time grace between "every probe stream is dead" and the
+#: fast-forward stop, expressed in attacker periods.  It only needs to
+#: cover in-flight probe chains (a handful of network latencies plus one
+#: detection lag, all ≪ period by construction); one full period is a
+#: generous upper bound.
+FAST_FORWARD_GRACE_PERIODS = 1.0
 
 
 class AttackerProcess(SimProcess):
@@ -78,6 +85,10 @@ class AttackerProcess(SimProcess):
         self.reset_pools_on_epoch = reset_pools_on_epoch
         self.probe_pacing = probe_pacing
         self._rng: random.Random = sim.rng.stream(f"{name}:guesses")
+        #: Chunked randrange pulls shared by every pool drawing from the
+        #: guesses stream (bit-identical to per-probe draws; see
+        #: :class:`~repro.attacker.keytracker.GuessBuffer`).
+        self._guess_buffer = GuessBuffer(self._rng, keyspace.size)
         self._pools: dict[str, KeyGuessTracker] = {}
         self._drivers: list[ProbeDriver] = []
         self._indirect: list[IndirectProber] = []
@@ -86,7 +97,10 @@ class AttackerProcess(SimProcess):
         self._launchpad_pool_id: Optional[str] = None
         self._launchpad_drivers: dict[str, ProbeDriver] = {}  # proxy -> driver
         self._launchpad_hosts: set = set()  # currently compromised proxies
+        self._watched_proxies: set = set()  # proxies with our state listener
         self._feedback_handlers: list = []
+        self._fast_forward = False
+        self._ff_check_pending = False
         self.probes_sent_direct = 0
         self.probes_sent_indirect = 0
         self.compromises_observed: list[tuple[float, str]] = []
@@ -96,9 +110,14 @@ class AttackerProcess(SimProcess):
     # ------------------------------------------------------------------
     def pool(self, pool_id: str) -> KeyGuessTracker:
         """Return (creating on first use) the tracker for ``pool_id``."""
-        if pool_id not in self._pools:
-            self._pools[pool_id] = KeyGuessTracker(self.keyspace, self._rng)
-        return self._pools[pool_id]
+        tracker = self._pools.get(pool_id)
+        if tracker is None:
+            tracker = KeyGuessTracker(
+                self.keyspace, self._rng, buffer=self._guess_buffer
+            )
+            self._guess_buffer.register(tracker)
+            self._pools[pool_id] = tracker
+        return tracker
 
     # ------------------------------------------------------------------
     # Campaign configuration
@@ -172,7 +191,67 @@ class AttackerProcess(SimProcess):
         self._launchpad_pool_id = pool_id
         for proxy in proxies:
             proxy.add_compromise_listener(self._on_proxy_compromised)
-            proxy.add_state_listener(self._on_proxy_state_change)
+            # The state listener (which detects the refresh that evicts
+            # us from a proxy) is registered lazily at first compromise:
+            # proxies crash at probe rate, and an armed-but-idle launch
+            # pad must not pay a listener call per crash/respawn.
+
+    # ------------------------------------------------------------------
+    # Fast-forward (skip draining decided runs)
+    # ------------------------------------------------------------------
+    def enable_fast_forward(self) -> None:
+        """Allow the attacker to stop the simulation once the attack is
+        provably over.
+
+        A probe stream dies permanently when its pool drains (every key
+        tried, the winning probes lost to downtime) — nothing restarts
+        it.  Once *every* stream is dead, no launch pad is live and no
+        adaptive feedback handler could mount a new attack, the run's
+        outcome is decided: the remaining simulated epochs are pure
+        timer churn (heartbeats, refreshes) that cannot change the
+        compromise verdict.  With fast-forward enabled the attacker then
+        stops the simulator after a one-period grace window (long enough
+        for any in-flight probe chain to land), so censored runs cost a
+        few periods instead of the whole step budget.
+
+        Off by default: opted into by the experiment layer
+        (:func:`repro.core.experiment.run_protocol_lifetime` for runs
+        without a workload).  Deployments driven directly — examples,
+        traces, workload studies — keep the full timeline.
+        """
+        self._fast_forward = True
+
+    def _attack_live(self) -> bool:
+        """Whether any current or potential probe source remains."""
+        return (
+            any(d.active for d in self._drivers)
+            or any(p.active for p in self._indirect)
+            or bool(self._launchpad_drivers)
+            or bool(self._launchpad_hosts)
+            or bool(self._feedback_handlers)
+        )
+
+    def _on_stream_dead(self) -> None:
+        """A probe stream deactivated itself (pool drained)."""
+        if not self._fast_forward or self._ff_check_pending:
+            return
+        if self._attack_live():
+            return
+        self._ff_check_pending = True
+        self.sim.schedule_fast(
+            FAST_FORWARD_GRACE_PERIODS * self.period, self._ff_confirm
+        )
+
+    def _ff_confirm(self) -> None:
+        """Grace window elapsed: stop the run if the attack stayed dead.
+
+        The window exists because the *last* probes of a dying stream can
+        still be in flight when the stream deactivates; had one of them
+        carried the key, the compromise fires during the grace period
+        (reviving the launch pad and failing this check)."""
+        self._ff_check_pending = False
+        if self._fast_forward and not self._attack_live():
+            self.sim.stop()
 
     # ------------------------------------------------------------------
     # Epoch alignment (PO awareness)
@@ -202,10 +281,18 @@ class AttackerProcess(SimProcess):
         if driver is not None:
             driver.on_data(connection, payload)
 
-    def on_connection_closed(self, connection: Connection) -> None:
-        driver = self._by_connection.pop(connection.conn_id, None)
-        if driver is not None:
-            driver.on_closed(connection)
+    def unregister_connection(self, connection: Connection) -> None:
+        """Drop the routing entry of a dead connection.
+
+        Drivers call this when they abandon a closed connection (on
+        reconnect or stop).  The attacker deliberately does *not*
+        override ``on_connection_closed``: a probe driver discovers the
+        closure itself by checking ``connection.open`` at its next fire,
+        so a per-crash closure notification event would carry no
+        information — and the network elides notifications that would
+        only reach the base no-op handler.
+        """
+        self._by_connection.pop(connection.conn_id, None)
 
     def register_feedback_handler(self, handler) -> None:
         """Route client-path feedback (errors/responses) to ``handler``
@@ -230,10 +317,15 @@ class AttackerProcess(SimProcess):
 
     def _on_proxy_compromised(self, proxy) -> None:
         self._on_node_compromised(proxy)
+        if proxy not in self._watched_proxies:
+            self._watched_proxies.add(proxy)
+            proxy.add_state_listener(self._on_proxy_state_change)
         self._launchpad_hosts.add(proxy)
         self._ensure_launchpad()
 
     def _on_proxy_state_change(self, proxy) -> None:
+        if not self._launchpad_hosts and not self._launchpad_drivers:
+            return  # nothing armed: crash/respawn churn is not ours
         if proxy.compromised:
             return
         self._launchpad_hosts.discard(proxy)
@@ -241,6 +333,9 @@ class AttackerProcess(SimProcess):
         if driver is not None:
             driver.stop()
             self._ensure_launchpad()
+            # The launch pad may have been the last live stream (all
+            # direct/indirect pools long drained): re-check deadness.
+            self._on_stream_dead()
 
     def _ensure_launchpad(self) -> None:
         """Keep exactly one launch-pad stream alive while any compromised

@@ -22,7 +22,7 @@ from ..net.message import Message
 from ..net.transport import Connection
 from ..proxy.proxy import CLIENT_REQUEST
 from .keytracker import KeyGuessTracker
-from .probe import connection_probe, is_intrusion_ack, request_probe
+from .probe import is_intrusion_ack, request_probe
 
 if TYPE_CHECKING:  # pragma: no cover
     from .agent import AttackerProcess
@@ -46,6 +46,22 @@ class ProbeDriver:
         Launch-pad streams pass a compromised proxy's name here.
     """
 
+    __slots__ = (
+        "attacker",
+        "target",
+        "pool",
+        "interval",
+        "initiator",
+        "connection",
+        "active",
+        "probes_sent",
+        "reconnects",
+        "_last_guess",
+        "_schedule_fast",
+        "_net",
+        "_target_process",
+    )
+
     def __init__(
         self,
         attacker: "AttackerProcess",
@@ -66,6 +82,9 @@ class ProbeDriver:
         self.probes_sent = 0
         self.reconnects = 0
         self._last_guess: Optional[int] = None
+        self._schedule_fast = attacker.sim.schedule_fast  # per-probe hot call
+        self._net = attacker.network
+        self._target_process = None  # bound at first successful connect
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -73,48 +92,78 @@ class ProbeDriver:
         if self.active:
             return
         self.active = True
-        self.attacker.sim.schedule(self.interval, self._fire)
+        self._schedule_fast(self.interval, self._fire)
 
     def stop(self) -> None:
         """Stop probing and drop the connection."""
         self.active = False
-        if self.connection is not None and self.connection.open:
-            self.connection.close(closed_by=self.initiator)
+        connection = self.connection
+        if connection is not None:
+            if connection.open:
+                connection.close(closed_by=self.initiator)
+            self.attacker.unregister_connection(connection)
         self.connection = None
 
     # ------------------------------------------------------------------
     def _fire(self) -> None:
         if not self.active:
             return
-        if self.pool.known_key is None and self.pool.exhausted:
+        attacker = self.attacker
+        pool = self.pool
+        known = pool.known_key
+        if known is None and len(pool._tried) >= pool.keyspace.size:  # exhausted
             # Defensive: in SO mode against an unlucky space the pool can
             # drain; the attack has then provably failed for this instance.
             self.active = False
+            attacker._on_stream_dead()
             return
-        if self.connection is None or not self.connection.open:
-            self.connection = self.attacker.network.connect(self.initiator, self.target)
-            if self.connection is not None:
+        connection = self.connection
+        if connection is None or not connection.open:
+            if connection is not None:
+                # The old stream died (its closure is our crash
+                # observation); retire its routing entry here instead of
+                # paying a notification event per crash.
+                attacker.unregister_connection(connection)
+            connection = self.connection = attacker.network.connect(
+                self.initiator, self.target
+            )
+            if connection is not None:
                 self.reconnects += 1
-                self.attacker.register_connection(self.connection, self)
-        if self.connection is not None:
-            if self.pool.known_key is not None:
+                attacker.register_connection(connection, self)
+                if self._target_process is None:
+                    # The registry is append-only: resolve once, deliver
+                    # by object reference from then on.
+                    self._target_process = self._net.process(self.target)
+        if connection is not None:
+            if known is not None:
                 # Re-exploitation: recovery did not change the key, so
                 # the discovered key works instantly (SO semantics).
-                guess = self.pool.known_key
+                guess = known
             else:
-                guess = self.pool.next_guess()
+                guess = pool.next_guess()
             self._last_guess = guess
-            self.connection.send(self.initiator, connection_probe(guess))
+            # Inlined Connection.send + Network.deliver_on_connection
+            # fast path: the connection is open (checked above), our
+            # peer is always the target, and the per-probe delivery
+            # event is pushed without intermediate frames.
+            connection.bytes_exchanged += 1
+            net = self._net
+            fixed = net._fixed_delay
+            self._schedule_fast(
+                fixed if fixed is not None else net.latency.sample(net._rng),
+                net.deliver_probe_to,
+                connection,
+                self._target_process,
+                {"kind": "probe", "guess": guess},
+            )
             self.probes_sent += 1
-            self.attacker.probes_sent_direct += 1
-        self.attacker.sim.schedule(self.interval, self._fire)
+            attacker.probes_sent_direct += 1
+        self._schedule_fast(self.interval, self._fire)
 
     # -- events routed back by the attacker ------------------------------
-    def on_closed(self, connection: Connection) -> None:
-        """The target crashed (wrong guess) or was refreshed."""
-        if connection is self.connection:
-            self.connection = None
-
+    # (There is deliberately no on_closed hook: the driver observes a
+    # crash-induced closure itself, via ``connection.open`` at its next
+    # fire — see AttackerProcess.unregister_connection.)
     def on_data(self, connection: Connection, payload) -> None:
         """Intrusion acks confirm the in-flight guess was the key."""
         if is_intrusion_ack(payload) and self._last_guess is not None:
@@ -151,6 +200,26 @@ class IndirectProber:
         periodicity (unit tests).
     """
 
+    __slots__ = (
+        "attacker",
+        "proxies",
+        "pool",
+        "interval",
+        "identities",
+        "pacing_rng",
+        "active",
+        "probes_sent",
+        "_turn",
+        "_jitter_buffer",
+    )
+
+    #: Pacing-jitter draws pre-pulled per chunk.  The pacing stream has
+    #: exactly one consumer (this prober) and one call type
+    #: (``random()``), so chunked pulls replay the identical value
+    #: sequence the per-probe calls would produce — bit-stable pacing,
+    #: amortized RNG dispatch.
+    PACING_CHUNK = 256
+
     def __init__(
         self,
         attacker: "AttackerProcess",
@@ -173,18 +242,25 @@ class IndirectProber:
         self.active = False
         self.probes_sent = 0
         self._turn = 0
+        self._jitter_buffer: list[float] = []
 
     def _next_delay(self) -> float:
-        if self.pacing_rng is None:
+        rng = self.pacing_rng
+        if rng is None:
             return self.interval
-        return self.interval * (0.5 + self.pacing_rng.random())
+        buffer = self._jitter_buffer
+        if not buffer:
+            # Refill in reverse so pop() returns draws in stream order.
+            buffer.extend(rng.random() for _ in range(self.PACING_CHUNK))
+            buffer.reverse()
+        return self.interval * (0.5 + buffer.pop())
 
     def start(self) -> None:
         """Begin the indirect probe loop."""
         if self.active:
             return
         self.active = True
-        self.attacker.sim.schedule(self._next_delay(), self._fire)
+        self.attacker.sim.schedule_fast(self._next_delay(), self._fire)
 
     def stop(self) -> None:
         """Stop the loop."""
@@ -193,20 +269,23 @@ class IndirectProber:
     def _fire(self) -> None:
         if not self.active:
             return
-        if self.pool.exhausted:
+        attacker = self.attacker
+        pool = self.pool
+        if pool.exhausted:
             self.active = False
+            attacker._on_stream_dead()
             return
-        guess = self.pool.next_guess()
-        identity = self.attacker.name
+        guess = pool.next_guess()
+        identity = attacker.name
         if self.identities > 1:
-            identity = f"{self.attacker.name}~{self._turn % self.identities}"
+            identity = f"{attacker.name}~{self._turn % self.identities}"
         payload = request_probe(guess, identity)
         proxy = self.proxies[self._turn % len(self.proxies)]
         self._turn += 1
-        if self.attacker.network.knows(proxy):
-            self.attacker.network.send(
-                Message(self.attacker.name, proxy, CLIENT_REQUEST, payload)
+        if attacker.network.knows(proxy):
+            attacker.network.send(
+                Message(attacker.name, proxy, CLIENT_REQUEST, payload)
             )
         self.probes_sent += 1
-        self.attacker.probes_sent_indirect += 1
-        self.attacker.sim.schedule(self._next_delay(), self._fire)
+        attacker.probes_sent_indirect += 1
+        attacker.sim.schedule_fast(self._next_delay(), self._fire)

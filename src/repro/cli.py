@@ -185,6 +185,51 @@ def cmd_protocol(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_grid_point(spec, args: argparse.Namespace, timing: TimingSpec) -> int:
+    """cProfile one grid point serially and print a hotspot table.
+
+    The profiled workload is exactly what one campaign worker executes
+    for this point, so a throughput regression seen in a sweep can be
+    diagnosed from the CLI without writing a harness.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    estimate = estimate_protocol_lifetime(
+        spec,
+        trials=args.trials,
+        max_steps=args.max_steps,
+        seed0=args.seed,
+        workers=1,
+        timing=timing,
+    )
+    profiler.disable()
+    elapsed = sum(row[2] for row in pstats.Stats(profiler).stats.values())
+    print(
+        f"profiled {spec.label} alpha={spec.alpha:g} kappa={spec.kappa:g}: "
+        f"{estimate.stats.n} runs, mean EL {estimate.mean_steps:.2f} steps"
+    )
+    ranked = sorted(
+        pstats.Stats(profiler).stats.items(),
+        key=lambda item: item[1][2],
+        reverse=True,
+    )
+    rows = []
+    for (filename, lineno, name), (_, ncalls, tottime, cumtime, _) in ranked[:15]:
+        where = f"{filename.rsplit('/', 1)[-1]}:{lineno}({name})"
+        rows.append(
+            [str(ncalls), f"{tottime:.4f}", f"{cumtime:.4f}", where]
+        )
+    print(render_table(
+        ["ncalls", "tottime", "cumtime", "function"],
+        rows,
+        title=f"cProfile top-15 by internal time ({elapsed:.3f}s profiled)",
+    ))
+    return 0
+
+
 def cmd_protocol_sweep(args: argparse.Namespace) -> int:
     specs = campaign_grid(
         systems=[SystemClass[s.upper()] for s in args.systems],
@@ -194,6 +239,8 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
         entropy_bits=args.entropy_bits,
     )
     timing = TimingSpec.named(args.timing)
+    if args.profile:
+        return _profile_grid_point(specs[0], args, timing)
     result = run_campaign(
         specs,
         trials=args.trials,
@@ -351,6 +398,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="PATH",
         help="persist the campaign as diffable JSON (schema mirrors the "
              "bench records under benchmarks/results/)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the first grid point serially (trials seeds) and "
+             "print a hotspot table instead of running the sweep",
     )
     p.set_defaults(fn=cmd_protocol_sweep)
 

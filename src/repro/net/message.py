@@ -4,18 +4,28 @@ Messages are small tagged records.  ``mtype`` identifies the protocol
 message (e.g. ``"client_request"``, ``"state_update"``, ``"pre_prepare"``)
 and ``payload`` carries protocol-specific fields in a plain dict so that
 messages stay printable and hashable-by-content for signing.
+
+Messages are the single most-allocated protocol object, so the class is
+``__slots__``-based (no per-instance dict, no dataclass machinery) and
+:meth:`Message.reply` / :meth:`Message.forwarded` *share* payload
+mappings with the original instead of copying them — by protocol
+convention payloads are written once at construction and never mutated
+in flight.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+#: Shared default payload.  Handlers treat payloads as read-only, so an
+#: empty default can safely be one object instead of a dict per message.
+_EMPTY_PAYLOAD: Mapping[str, Any] = {}
+
 _MSG_IDS = itertools.count(1)
+_next_id = _MSG_IDS.__next__  # C-level counter, one call per message
 
 
-@dataclass(frozen=True)
 class Message:
     """A datagram travelling between two named processes.
 
@@ -26,27 +36,48 @@ class Message:
     mtype:
         Protocol message type tag.
     payload:
-        Message body; by convention a mapping of plain values.
+        Message body; by convention a mapping of plain values, treated
+        as immutable once the message is constructed.
     msg_id:
         Unique id assigned at construction (monotonically increasing).
     """
 
-    src: str
-    dst: str
-    mtype: str
-    payload: Mapping[str, Any] = field(default_factory=dict)
-    msg_id: int = field(default_factory=lambda: next(_MSG_IDS))
+    __slots__ = ("src", "dst", "mtype", "payload", "msg_id")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        mtype: str,
+        payload: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.mtype = mtype
+        self.payload = _EMPTY_PAYLOAD if payload is None else payload
+        self.msg_id = _next_id()
 
     def reply(self, mtype: str, payload: Mapping[str, Any] | None = None) -> "Message":
-        """Build a response message addressed back to our sender."""
-        return Message(src=self.dst, dst=self.src, mtype=mtype, payload=payload or {})
+        """Build a response message addressed back to our sender.
+
+        The caller's ``payload`` mapping is adopted as-is (not copied).
+        """
+        return Message(src=self.dst, dst=self.src, mtype=mtype, payload=payload)
 
     def forwarded(self, src: str, dst: str) -> "Message":
         """Build a copy of this message re-addressed ``src`` → ``dst``.
 
-        Used by proxies, which relay client requests to servers verbatim.
+        Used by proxies, which relay client requests to servers verbatim;
+        the payload mapping is shared with the original, not copied.
         """
         return Message(src=src, dst=dst, mtype=self.mtype, payload=self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(src={self.src!r}, dst={self.dst!r}, "
+            f"mtype={self.mtype!r}, payload={self.payload!r}, "
+            f"msg_id={self.msg_id})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"[{self.mtype} #{self.msg_id} {self.src}->{self.dst}]"

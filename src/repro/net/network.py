@@ -9,6 +9,11 @@ Two communication styles are provided:
   attackers, whose *close-on-crash* behaviour is the crash-observation
   channel that de-randomization attacks need (see
   :mod:`repro.net.transport`).
+
+Hot-path notes: every probe and protocol message crosses this file
+twice (send + deliver), so the common configuration — fixed latency, no
+partitions, no drops — is special-cased: the per-message cost is one
+dict lookup, one no-handle schedule, and no latency-model call at all.
 """
 
 from __future__ import annotations
@@ -21,6 +26,9 @@ from ..sim.process import ProcessState, SimProcess
 from .latency import FixedLatency, LatencyModel
 from .message import Message
 from .transport import Connection
+
+_RUNNING = ProcessState.RUNNING
+_BASE_CLOSE_HANDLER = SimProcess.on_connection_closed
 
 
 class Network:
@@ -36,6 +44,22 @@ class Network:
         Probability that any datagram is silently lost.
     """
 
+    __slots__ = (
+        "sim",
+        "latency",
+        "drop_rate",
+        "_rng",
+        "_fixed_delay",
+        "_processes",
+        "_aliases",
+        "_close_notify",
+        "_connections",
+        "_partitioned",
+        "messages_sent",
+        "messages_delivered",
+        "messages_dropped",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -47,14 +71,28 @@ class Network:
         self.sim = sim
         self.latency = latency or FixedLatency()
         self.drop_rate = drop_rate
+        # Fixed-latency fast path: a FixedLatency model consumes no RNG,
+        # so its constant can be inlined without perturbing any stream.
+        self._fixed_delay: Optional[float] = (
+            self.latency.delay if type(self.latency) is FixedLatency else None
+        )
         self._rng = sim.rng.stream("network")
         self._processes: dict[str, SimProcess] = {}
         self._aliases: dict[str, str] = {}
+        #: Names whose process class overrides ``on_connection_closed``
+        #: (cached at registration): only these get closure events under
+        #: the fixed-latency elision — see :meth:`connection_closed`.
+        self._close_notify: set[str] = set()
         self._connections: dict[str, set[Connection]] = {}
         self._partitioned: set[frozenset[str]] = set()
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+
+    def _delay(self) -> float:
+        """One sampled one-way latency (constant-folded when fixed)."""
+        fixed = self._fixed_delay
+        return fixed if fixed is not None else self.latency.sample(self._rng)
 
     # ------------------------------------------------------------------
     # Registration
@@ -65,6 +103,11 @@ class Network:
             raise NetworkError(f"duplicate process name {process.name!r}")
         self._processes[process.name] = process
         self._connections.setdefault(process.name, set())
+        if (
+            type(process).on_connection_closed is not _BASE_CLOSE_HANDLER
+            or "on_connection_closed" in process.__dict__
+        ):
+            self._close_notify.add(process.name)
         process.add_crash_listener(self._on_endpoint_down)
 
     def register_alias(self, alias: str, owner: str) -> None:
@@ -112,7 +155,8 @@ class Network:
 
     def is_blocked(self, a: str, b: str) -> bool:
         """True if traffic between ``a`` and ``b`` is partitioned away."""
-        return frozenset((a, b)) in self._partitioned
+        partitioned = self._partitioned
+        return bool(partitioned) and frozenset((a, b)) in partitioned
 
     # ------------------------------------------------------------------
     # Datagrams
@@ -124,24 +168,32 @@ class Network:
         partition or unlucky under ``drop_rate`` are silently dropped,
         like UDP.
         """
-        if not self.knows(message.dst):
-            raise NetworkError(f"message to unknown destination {message.dst!r}")
+        dst = message.dst
+        if dst not in self._processes and dst not in self._aliases:
+            raise NetworkError(f"message to unknown destination {dst!r}")
         self.messages_sent += 1
-        if self.is_blocked(message.src, message.dst):
+        if self._partitioned and self.is_blocked(message.src, dst):
             self.messages_dropped += 1
             return
         if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
             self.messages_dropped += 1
             return
-        delay = self.latency.sample(self._rng)
-        self.sim.schedule(delay, self._deliver, message)
+        fixed = self._fixed_delay
+        self.sim.schedule_fast(
+            fixed if fixed is not None else self.latency.sample(self._rng),
+            self._deliver,
+            message,
+        )
 
     def _deliver(self, message: Message) -> None:
-        process = self._resolve(message.dst)
-        if process is None or process.state is not ProcessState.RUNNING:
+        process = self._processes.get(message.dst)
+        if process is None:
+            process = self._resolve(message.dst)
+        if process is None or process.state is not _RUNNING:
             self.messages_dropped += 1
             return
-        if not process.accepts_message_from(message.src):
+        allowed = process.allowed_senders  # admission control, inlined
+        if allowed is not None and message.src not in allowed:
             self.messages_dropped += 1
             return
         self.messages_delivered += 1
@@ -152,6 +204,76 @@ class Network:
         for dst in dsts:
             self.send(Message(src=src, dst=dst, mtype=mtype, payload=payload))
 
+    def multicast(
+        self, src: str, dsts: list[str], mtype: str, payload, strict: bool = True
+    ) -> None:
+        """Send one identical datagram to several destinations at once.
+
+        Protocol fan-outs (heartbeats, state updates, proxy→server
+        forwards, SMR phase broadcasts) dominate the datagram volume, so
+        under the common configuration — fixed latency, no loss — the
+        whole group shares ONE delivery event and ONE message object.
+        This is exactly order-equivalent to a per-destination ``send``
+        loop: those sends are issued back to back, so their deliveries
+        land at the same timestamp with consecutive sequence numbers,
+        i.e. consecutively in ``dsts`` order — precisely how
+        ``_deliver_multi`` walks the group.  Sampled-latency or lossy
+        networks fall back to the loop (each message must draw its own
+        latency/loss there, in per-message order).
+
+        ``strict`` keeps ``send``'s misconfiguration guard: an unknown
+        destination raises.  Callers that previously filtered with
+        :meth:`knows` (the proxy relay, whose server list may outlive a
+        deregistration-free network only in tests) pass ``strict=False``
+        to skip unknown names silently instead.
+        """
+        if self._fixed_delay is None or self.drop_rate > 0.0:
+            for dst in dsts:
+                if strict or self.knows(dst):
+                    self.send(Message(src=src, dst=dst, mtype=mtype, payload=payload))
+            return
+        processes = self._processes
+        aliases = self._aliases
+        partitioned = self._partitioned
+        targets = []
+        sent = 0
+        for dst in dsts:
+            if dst not in processes and dst not in aliases:
+                if strict:
+                    raise NetworkError(f"message to unknown destination {dst!r}")
+                continue
+            sent += 1
+            if partitioned and frozenset((src, dst)) in partitioned:
+                self.messages_dropped += 1
+                continue
+            targets.append(dst)
+        self.messages_sent += sent
+        if targets:
+            self.sim.schedule_fast(
+                self._fixed_delay,
+                self._deliver_multi,
+                Message(src=src, dst=targets[0], mtype=mtype, payload=payload),
+                targets,
+            )
+
+    def _deliver_multi(self, message: Message, dsts: list[str]) -> None:
+        """Deliver one shared message to each group member in order."""
+        processes = self._processes
+        src = message.src
+        for dst in dsts:
+            process = processes.get(dst)
+            if process is None:
+                process = self._resolve(dst)
+            if process is None or process.state is not _RUNNING:
+                self.messages_dropped += 1
+                continue
+            allowed = process.allowed_senders
+            if allowed is not None and src not in allowed:
+                self.messages_dropped += 1
+                continue
+            self.messages_delivered += 1
+            process.handle_message(message)
+
     # ------------------------------------------------------------------
     # Connections
     # ------------------------------------------------------------------
@@ -161,58 +283,108 @@ class Network:
         A connection is refused when the responder is unknown, not
         currently running, or partitioned away from the initiator.
         """
-        if initiator not in self._processes:
+        processes = self._processes
+        if initiator not in processes:
             raise NetworkError(f"unknown initiator {initiator!r}")
-        target = self._processes.get(responder)
-        if target is None or target.state is not ProcessState.RUNNING:
+        target = processes.get(responder)
+        if target is None or target.state is not _RUNNING:
             return None
-        if self.is_blocked(initiator, responder):
+        if self._partitioned and self.is_blocked(initiator, responder):
             return None
-        if not target.accepts_connection_from(initiator):
+        allowed = target.allowed_connection_initiators  # admission, inlined
+        if allowed is not None and initiator not in allowed:
             return None
         connection = Connection(self, initiator, responder)
-        self._connections[initiator].add(connection)
-        self._connections[responder].add(connection)
+        connections = self._connections
+        connections[initiator].add(connection)
+        connections[responder].add(connection)
         return connection
 
     def deliver_on_connection(
         self, connection: Connection, dst: str, payload: Any
     ) -> None:
         """Deliver connection data to ``dst`` after one latency."""
-        delay = self.latency.sample(self._rng)
-        self.sim.schedule(
-            delay, self._deliver_connection_data, connection, dst, payload
+        fixed = self._fixed_delay
+        self.sim.schedule_fast(
+            fixed if fixed is not None else self.latency.sample(self._rng),
+            self._deliver_connection_data,
+            connection,
+            dst,
+            payload,
         )
+
+    def deliver_probe_to(
+        self, connection: Connection, process: SimProcess, payload: Any
+    ) -> None:
+        """Probe-stream delivery fast path (pre-resolved destination).
+
+        Probe drivers target one fixed process per stream, the registry
+        is append-only, and probe targets never carry sink overrides —
+        so the per-delivery name resolution and sink lookup of
+        :meth:`_deliver_connection_data` can be skipped.  Scheduled by
+        :class:`repro.attacker.driver.ProbeDriver`.
+        """
+        if connection.open and process.state is _RUNNING:
+            process.handle_connection_data(connection, payload)
 
     def _deliver_connection_data(
         self, connection: Connection, dst: str, payload: Any
     ) -> None:
         if not connection.open:
             return
-        process = connection.sink_for(dst) or self._processes.get(dst)
-        if process is None or process.state is not ProcessState.RUNNING:
+        sinks = connection._sinks
+        process = None if sinks is None else sinks.get(dst)
+        if process is None:
+            process = self._processes.get(dst)
+        if process is None or process.state is not _RUNNING:
             return
         process.handle_connection_data(connection, payload)
 
     def connection_closed(self, connection: Connection, closed_by: str | None) -> None:
-        """Propagate a close: notify the peer (or both ends) after latency."""
+        """Propagate a close: notify the peer (or both ends) after latency.
+
+        Crash-driven closes notify both endpoints, but most endpoints
+        inherit the base no-op ``on_connection_closed`` (only attackers
+        observe closures) — under a fixed latency model, where skipping
+        a delivery consumes no RNG, those provably-inert notifications
+        are elided instead of scheduled.  A sink override or a
+        subclass/instance handler always gets its event.
+        """
+        connections = self._connections
+        schedule_fast = self.sim.schedule_fast
+        fixed = self._fixed_delay is not None
+        sinks = connection._sinks
+        notify = self._close_notify
         for name in (connection.initiator, connection.responder):
-            self._connections.get(name, set()).discard(connection)
-            if name != closed_by:
-                delay = self.latency.sample(self._rng)
-                self.sim.schedule(delay, self._notify_closed, name, connection)
+            conns = connections.get(name)
+            if conns is not None:
+                conns.discard(connection)
+            if name == closed_by:
+                continue
+            if fixed and name not in notify and (sinks is None or name not in sinks):
+                continue  # would reach the base no-op handler: inert
+            schedule_fast(self._delay(), self._notify_closed, name, connection)
 
     def _notify_closed(self, name: str, connection: Connection) -> None:
-        process = connection.sink_for(name) or self._processes.get(name)
-        if process is not None and process.state is ProcessState.RUNNING:
+        sinks = connection._sinks
+        process = None if sinks is None else sinks.get(name)
+        if process is None:
+            process = self._processes.get(name)
+        if process is not None and process.state is _RUNNING:
             process.on_connection_closed(connection)
 
     def connections_of(self, name: str) -> set[Connection]:
         """Snapshot of the open connections of ``name``."""
-        return set(self._connections.get(name, set()))
+        return set(self._connections.get(name, ()))
 
     # ------------------------------------------------------------------
     def _on_endpoint_down(self, process: SimProcess) -> None:
         """Crash/reboot/stop listener: tear down the endpoint's connections."""
-        for connection in list(self._connections.get(process.name, ())):
-            connection.close(closed_by=None)
+        conns = self._connections.get(process.name)
+        if conns:
+            # Each close() discards the connection from this very set,
+            # so draining it needs no snapshot copy.
+            while conns:
+                connection = next(iter(conns))
+                connection.close(closed_by=None)
+                conns.discard(connection)  # defensive: close() is idempotent

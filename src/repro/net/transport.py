@@ -11,14 +11,13 @@ network latency.
 
 from __future__ import annotations
 
-import itertools
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.process import SimProcess
     from .network import Network
 
-_CONN_IDS = itertools.count(1)
+_next_conn_id = 0
 
 
 class Connection:
@@ -29,16 +28,32 @@ class Connection:
     ``handle_connection_data``) or :meth:`close` the stream.  Closure —
     explicit or caused by an endpoint crash — is signalled to the other
     endpoint via ``on_connection_closed``.
+
+    ``__slots__``-based: attackers churn through one connection per
+    crash observation, so connections are allocated at probe rate.
     """
 
+    __slots__ = (
+        "conn_id",
+        "network",
+        "initiator",
+        "responder",
+        "open",
+        "bytes_exchanged",
+        "_sinks",
+    )
+
     def __init__(self, network: "Network", initiator: str, responder: str) -> None:
-        self.conn_id = next(_CONN_IDS)
+        global _next_conn_id
+        _next_conn_id += 1
+        self.conn_id = _next_conn_id
         self.network = network
         self.initiator = initiator
         self.responder = responder
         self.open = True
         self.bytes_exchanged = 0
-        self._sinks: dict[str, "SimProcess"] = {}
+        #: Lazily created: almost no connection has a sink override.
+        self._sinks: Optional[dict[str, "SimProcess"]] = None
 
     def attach_sink(self, endpoint: str, process: "SimProcess") -> None:
         """Route this connection's events for ``endpoint`` to ``process``.
@@ -49,11 +64,14 @@ class Connection:
         """
         if endpoint not in (self.initiator, self.responder):
             raise ValueError(f"{endpoint} is not an endpoint of {self!r}")
+        if self._sinks is None:
+            self._sinks = {}
         self._sinks[endpoint] = process
 
     def sink_for(self, endpoint: str) -> "SimProcess | None":
         """The process handling ``endpoint``'s events, if overridden."""
-        return self._sinks.get(endpoint)
+        sinks = self._sinks
+        return sinks.get(endpoint) if sinks is not None else None
 
     # ------------------------------------------------------------------
     def peer_of(self, name: str) -> str:
@@ -72,7 +90,12 @@ class Connection:
         """
         if not self.open:
             return False
-        peer = self.peer_of(sender)
+        if sender == self.initiator:
+            peer = self.responder
+        elif sender == self.responder:
+            peer = self.initiator
+        else:
+            raise ValueError(f"{sender} is not an endpoint of {self!r}")
         self.bytes_exchanged += 1
         self.network.deliver_on_connection(self, peer, payload)
         return True

@@ -63,7 +63,9 @@ class DetectionPolicy:
         return self.threshold / self.window
 
 
-def kappa_for_policy(policy: DetectionPolicy, omega: float, period: float = 1.0) -> float:
+def kappa_for_policy(
+    policy: DetectionPolicy, omega: float, period: float = 1.0
+) -> float:
     """The indirect attack coefficient κ that ``policy`` imposes.
 
     An attacker able to complete ``omega`` probes per unit time-step of

@@ -137,21 +137,18 @@ class ProxyNode(RandomizedProcess):
         }
         self.requests_forwarded += 1
         body = payload.get("body", {})
-        for server in self.servers:
-            if self.network.knows(server):
-                self.network.send(
-                    Message(
-                        self.name,
-                        server,
-                        REQUEST,
-                        {
-                            "request_id": request_id,
-                            "client": client,
-                            "reply_to": [self.name],
-                            "body": body,
-                        },
-                    )
-                )
+        self.network.multicast(
+            self.name,
+            self.servers,
+            REQUEST,
+            {
+                "request_id": request_id,
+                "client": client,
+                "reply_to": [self.name],
+                "body": body,
+            },
+            strict=False,  # historical relay semantics: skip unknown servers
+        )
 
     def _on_request_timeout(self, request_id: str) -> None:
         entry = self._pending.pop(request_id, None)
@@ -186,9 +183,13 @@ class ProxyNode(RandomizedProcess):
         else:
             self._deliver(entry, request_id, signed)
 
-    def _vote_smr(self, entry: dict, request_id: str, signed: Signed, body: Mapping) -> None:
+    def _vote_smr(
+        self, entry: dict, request_id: str, signed: Signed, body: Mapping
+    ) -> None:
         """Accumulate responses until ``f + 1`` replicas agree."""
-        fingerprint = repr(sorted((str(k), repr(v)) for k, v in body["response"].items()))
+        fingerprint = repr(
+            sorted((str(k), repr(v)) for k, v in body["response"].items())
+        )
         entry["votes"][body["index"]] = (signed, fingerprint)
         counts: dict[str, int] = {}
         for _, fp in entry["votes"].values():

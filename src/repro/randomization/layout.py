@@ -35,6 +35,15 @@ class AddressSpace:
         The current randomization key (the secret offset).
     """
 
+    __slots__ = (
+        "keyspace",
+        "key",
+        "probes_received",
+        "crashes_caused",
+        "intrusions",
+        "randomizations",
+    )
+
     def __init__(self, keyspace: KeySpace, key: int) -> None:
         self.keyspace = keyspace
         self._validate(key)

@@ -104,7 +104,9 @@ class ObfuscationManager:
         """Register one independently randomized node."""
         return self.add_group([node], offset=offset)
 
-    def add_group(self, nodes: list[RandomizedProcess], offset: float = 0.0) -> KeyGroup:
+    def add_group(
+        self, nodes: list[RandomizedProcess], offset: float = 0.0
+    ) -> KeyGroup:
         """Register a group of nodes randomized with one shared key.
 
         The group's key is aligned immediately so that members are
@@ -153,10 +155,10 @@ class ObfuscationManager:
             if group.offset == 0.0:
                 self._refresh_group(group)
             else:
-                self.sim.schedule(group.offset, self._refresh_group, group)
+                self.sim.schedule_fast(group.offset, self._refresh_group, group)
         for listener in list(self._epoch_listeners):
             listener(self.epoch)
-        self.sim.schedule(self.period, self._epoch_boundary)
+        self.sim.schedule_fast(self.period, self._epoch_boundary)
 
     def _refresh_group(self, group: KeyGroup) -> None:
         group.refreshes += 1

@@ -38,6 +38,7 @@ from ..net.network import Network
 from ..randomization.keyspace import KeySpace
 from ..randomization.node import RandomizedProcess
 from ..sim.engine import Simulator
+from ..sim.process import ProcessState
 
 #: Request body ``op`` that triggers the randomized-code attack path.
 PROBE_OP = "__probe__"
@@ -103,6 +104,12 @@ class PBServer(RandomizedProcess):
         authority.issue_keypair(name)
         self._heartbeat_started = False
         self._watchdog_started = False
+        #: Time of the next heartbeat-grid point; the tick chain runs
+        #: only while we are primary (backups pay no per-tick event) and
+        #: resumes on promotion at exactly the grid an always-running
+        #: chain would occupy — see ``_ensure_heartbeat``.
+        self._hb_next = 0.0
+        self._hb_scheduled = False
 
     # ------------------------------------------------------------------
     # Membership and roles
@@ -126,29 +133,65 @@ class PBServer(RandomizedProcess):
     def _start_timers(self) -> None:
         if not self._heartbeat_started:
             self._heartbeat_started = True
-            self.sim.schedule(self.heartbeat_interval, self._heartbeat_tick)
+            self._hb_next = self.sim.now + self.heartbeat_interval
+            if self.is_primary:
+                self._hb_scheduled = True
+                self.sim.schedule_fast(self.heartbeat_interval, self._heartbeat_tick)
         if not self._watchdog_started:
             self._watchdog_started = True
             self.last_heartbeat = self.sim.now
-            self.sim.schedule(self.heartbeat_timeout, self._watchdog_tick)
+            self.sim.schedule_fast(self.heartbeat_timeout, self._watchdog_tick)
+
+    def _ensure_heartbeat(self) -> None:
+        """(Re)start the heartbeat chain if we are primary.
+
+        Called wherever the view (and therefore primariness) can change.
+        The chain resumes at the next grid point an always-running
+        ticker would hit — the advance loop replays the same float
+        additions that ticker's reschedules would have performed, so the
+        heartbeat grid is bit-identical to a never-paused chain.
+        """
+        if self._hb_scheduled or not self._heartbeat_started or not self.is_primary:
+            return
+        now = self.sim.now
+        nxt = self._hb_next
+        while nxt <= now:
+            nxt += self.heartbeat_interval
+        self._hb_next = nxt
+        self._hb_scheduled = True
+        # schedule_at: the grid point must be hit exactly (now + (nxt -
+        # now) could differ from nxt in the last ulp).
+        self.sim.schedule_at(nxt, self._heartbeat_tick)
 
     def _heartbeat_tick(self) -> None:
-        if self.is_available and self.is_primary:
-            for peer in self.peers:
-                if peer != self.name:
-                    self.network.send(
-                        Message(self.name, peer, HEARTBEAT, {"view": self.view})
-                    )
-        self.sim.schedule(self.heartbeat_interval, self._heartbeat_tick)
+        peers = self.peers
+        if not (peers and peers[self.view % len(peers)] == self.name):  # demoted
+            self._hb_scheduled = False
+            self._hb_next = self.sim.now + self.heartbeat_interval
+            return
+        if self.state is ProcessState.RUNNING:
+            # Heartbeats advertise the primary's sequence number so that
+            # replicas which missed state updates (reboot, respawn) can
+            # detect staleness and sync lazily — see ``_on_heartbeat``.
+            self.network.multicast(
+                self.name,
+                [peer for peer in peers if peer != self.name],
+                HEARTBEAT,
+                {"view": self.view, "seq": self.seq},
+            )
+        self._hb_next = self.sim.now + self.heartbeat_interval
+        self.sim.schedule_fast(self.heartbeat_interval, self._heartbeat_tick)
 
     def _watchdog_tick(self) -> None:
+        peers = self.peers
         if (
-            self.is_available
-            and not self.is_primary
+            self.state is ProcessState.RUNNING
+            and peers
+            and peers[self.view % len(peers)] != self.name  # backup only
             and self.sim.now - self.last_heartbeat > self.heartbeat_timeout
         ):
             self._advance_view()
-        self.sim.schedule(self.heartbeat_timeout, self._watchdog_tick)
+        self.sim.schedule_fast(self.heartbeat_timeout, self._watchdog_tick)
 
     def _advance_view(self) -> None:
         """Primary appears dead: move to the next view; announce if we
@@ -156,26 +199,25 @@ class PBServer(RandomizedProcess):
         self.view += 1
         self.last_heartbeat = self.sim.now
         if self.is_primary:
-            for peer in self.peers:
-                if peer != self.name:
-                    self.network.send(
-                        Message(self.name, peer, NEW_PRIMARY, {"view": self.view})
-                    )
+            self.network.multicast(
+                self.name,
+                [peer for peer in self.peers if peer != self.name],
+                NEW_PRIMARY,
+                {"view": self.view},
+            )
+            self._ensure_heartbeat()
 
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
+    #: Message-type → unbound handler, built once at class level (the
+    #: old per-message dict literal dominated the dispatch cost).
+    _DISPATCH: dict = {}
+
     def handle_message(self, message: Message) -> None:
-        handler = {
-            REQUEST: self._on_request,
-            STATE_UPDATE: self._on_state_update,
-            HEARTBEAT: self._on_heartbeat,
-            NEW_PRIMARY: self._on_new_primary,
-            SYNC_REQUEST: self._on_sync_request,
-            SYNC_RESPONSE: self._on_sync_response,
-        }.get(message.mtype)
+        handler = self._DISPATCH.get(message.mtype)
         if handler is not None:
-            handler(message)
+            handler(self, message)
 
     # -- requests -------------------------------------------------------
     def _on_request(self, message: Message) -> None:
@@ -198,24 +240,19 @@ class PBServer(RandomizedProcess):
         self.requests_executed += 1
         self.seq += 1
         self.response_cache[request_id] = response
-        snapshot = self.service.snapshot()
-        for peer in self.peers:
-            if peer != self.name:
-                self.network.send(
-                    Message(
-                        self.name,
-                        peer,
-                        STATE_UPDATE,
-                        {
-                            "seq": self.seq,
-                            "view": self.view,
-                            "request_id": request_id,
-                            "reply_to": reply_to,
-                            "snapshot": snapshot,
-                            "response": response,
-                        },
-                    )
-                )
+        self.network.multicast(
+            self.name,
+            [peer for peer in self.peers if peer != self.name],
+            STATE_UPDATE,
+            {
+                "seq": self.seq,
+                "view": self.view,
+                "request_id": request_id,
+                "reply_to": reply_to,
+                "snapshot": self.service.snapshot(),
+                "response": response,
+            },
+        )
         self._send_response(request_id, response, reply_to)
 
     def _send_response(
@@ -264,14 +301,20 @@ class PBServer(RandomizedProcess):
 
     # -- liveness ---------------------------------------------------------
     def _on_heartbeat(self, message: Message) -> None:
-        if message.payload["view"] >= self.view:
-            self.view = message.payload["view"]
+        payload = message.payload
+        if payload["view"] >= self.view:
+            self.view = payload["view"]
             self.last_heartbeat = self.sim.now
+            if payload.get("seq", 0) > self.seq:
+                # We missed state updates while down: catch up from the
+                # advertising primary (it provably holds that state).
+                self.network.send(Message(self.name, message.src, SYNC_REQUEST, {}))
 
     def _on_new_primary(self, message: Message) -> None:
         if message.payload["view"] > self.view:
             self.view = message.payload["view"]
             self.last_heartbeat = self.sim.now
+            self._ensure_heartbeat()  # defensive: adopted views may be ours
 
     # -- state transfer ----------------------------------------------------
     def _request_sync(self) -> None:
@@ -301,15 +344,37 @@ class PBServer(RandomizedProcess):
             self.view = max(self.view, payload["view"])
             self.service.restore(payload["snapshot"])
             self.response_cache.update(payload["cache"])
+            # A peer may report a view in which *we* lead (it advanced
+            # past us while we were down): restart our heartbeat chain.
+            self._ensure_heartbeat()
 
     # ------------------------------------------------------------------
     # Lifecycle hooks.  (The direct connection-probe attack surface is
     # inherited from RandomizedProcess.)
     # ------------------------------------------------------------------
     def on_respawn(self) -> None:
-        """After a forking-daemon respawn, catch up on missed state."""
-        self._request_sync()
+        """After a forking-daemon respawn, catch up on missed state.
+
+        Lazily: the next primary heartbeat (at most one
+        ``heartbeat_interval`` away) advertises the current sequence
+        number, and ``_on_heartbeat`` requests a sync only when we are
+        actually behind.  A respawn that missed nothing — the common
+        case under attack probing, where crashed primaries respawn at
+        probe rate with no workload executing — then costs zero sync
+        messages instead of a per-respawn request/response exchange
+        with every peer."""
 
     def on_reboot_complete(self) -> None:
-        """After recovery / re-randomization, catch up on missed state."""
-        self._request_sync()
+        """After recovery / re-randomization, catch up on missed state
+        (lazily, via the heartbeat staleness check — see
+        :meth:`on_respawn`)."""
+
+
+PBServer._DISPATCH = {
+    REQUEST: PBServer._on_request,
+    STATE_UPDATE: PBServer._on_state_update,
+    HEARTBEAT: PBServer._on_heartbeat,
+    NEW_PRIMARY: PBServer._on_new_primary,
+    SYNC_REQUEST: PBServer._on_sync_request,
+    SYNC_RESPONSE: PBServer._on_sync_response,
+}

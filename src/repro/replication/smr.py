@@ -120,7 +120,7 @@ class SMRReplica(RandomizedProcess):
         self._ordering = OrderingState(n=len(peers), f=self.f)
         if not self._ticker_started:
             self._ticker_started = True
-            self.sim.schedule(self.request_timeout, self._tick)
+            self.sim.schedule_fast(self.request_timeout, self._tick)
 
     @property
     def ordering(self) -> OrderingState:
@@ -141,18 +141,14 @@ class SMRReplica(RandomizedProcess):
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
+    #: Message-type → unbound handler, built once at module level (a
+    #: per-message dict literal would dominate the dispatch cost).
+    _DISPATCH: dict = {}
+
     def handle_message(self, message: Message) -> None:
-        handler = {
-            REQUEST: self._on_request,
-            PRE_PREPARE: self._on_preprepare,
-            PREPARE: self._on_prepare,
-            COMMIT: self._on_commit,
-            VIEW_CHANGE: self._on_view_change,
-            SYNC_REQUEST: self._on_sync_request,
-            SYNC_RESPONSE: self._on_sync_response,
-        }.get(message.mtype)
+        handler = self._DISPATCH.get(message.mtype)
         if handler is not None:
-            handler(message)
+            handler(self, message)
 
     # -- client requests --------------------------------------------------
     def _on_request(self, message: Message) -> None:
@@ -190,9 +186,12 @@ class SMRReplica(RandomizedProcess):
             "digest": digest,
             "record": record,
         }
-        for peer in self.peers:
-            if peer != self.name:
-                self.network.send(Message(self.name, peer, PRE_PREPARE, payload))
+        self.network.multicast(
+            self.name,
+            [peer for peer in self.peers if peer != self.name],
+            PRE_PREPARE,
+            payload,
+        )
         # Leader processes its own pre-prepare directly.
         self._accept_preprepare(payload)
 
@@ -219,9 +218,12 @@ class SMRReplica(RandomizedProcess):
 
     def _broadcast_vote(self, phase: str, view: int, seq: int, digest: str) -> None:
         payload = {"view": view, "seq": seq, "digest": digest}
-        for peer in self.peers:
-            if peer != self.name:
-                self.network.send(Message(self.name, peer, phase, payload))
+        self.network.multicast(
+            self.name,
+            [peer for peer in self.peers if peer != self.name],
+            phase,
+            payload,
+        )
 
     def _on_prepare(self, message: Message) -> None:
         p = message.payload
@@ -295,7 +297,7 @@ class SMRReplica(RandomizedProcess):
             oldest = min(self._pending_since.values())
             if self.sim.now - oldest > self.request_timeout:
                 self._vote_view_change(self.view + 1)
-        self.sim.schedule(self.request_timeout, self._tick)
+        self.sim.schedule_fast(self.request_timeout, self._tick)
 
     def _vote_view_change(self, new_view: int) -> None:
         votes = self._view_votes.setdefault(new_view, set())
@@ -303,9 +305,12 @@ class SMRReplica(RandomizedProcess):
             return
         votes.add(self.name)
         payload = {"new_view": new_view}
-        for peer in self.peers:
-            if peer != self.name:
-                self.network.send(Message(self.name, peer, VIEW_CHANGE, payload))
+        self.network.multicast(
+            self.name,
+            [peer for peer in self.peers if peer != self.name],
+            VIEW_CHANGE,
+            payload,
+        )
         self._maybe_enter_view(new_view)
 
     def _on_view_change(self, message: Message) -> None:
@@ -394,3 +399,14 @@ class SMRReplica(RandomizedProcess):
 
     def on_reboot_complete(self) -> None:
         self._request_sync()
+
+
+SMRReplica._DISPATCH = {
+    REQUEST: SMRReplica._on_request,
+    PRE_PREPARE: SMRReplica._on_preprepare,
+    PREPARE: SMRReplica._on_prepare,
+    COMMIT: SMRReplica._on_commit,
+    VIEW_CHANGE: SMRReplica._on_view_change,
+    SYNC_REQUEST: SMRReplica._on_sync_request,
+    SYNC_RESPONSE: SMRReplica._on_sync_response,
+}

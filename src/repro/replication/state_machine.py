@@ -91,10 +91,14 @@ class KVStoreService(Service):
         return {"ok": False, "error": f"unknown_op:{op}"}
 
     def snapshot(self) -> dict[str, Any]:
-        return {"data": copy.deepcopy(self._data), "ops": self.ops_applied}
+        # Attack-only runs sync empty stores at respawn rate: skip the
+        # deepcopy machinery when there is nothing to copy.
+        data = self._data
+        return {"data": copy.deepcopy(data) if data else {}, "ops": self.ops_applied}
 
     def restore(self, state: Any) -> None:
-        self._data = copy.deepcopy(state["data"])
+        data = state["data"]
+        self._data = copy.deepcopy(data) if data else {}
         self.ops_applied = state["ops"]
 
 

@@ -4,40 +4,62 @@ The kernel is a classic event-heap scheduler: callbacks are scheduled at
 simulated times and executed in time order (FIFO among equal times).  All
 higher layers — network delivery, protocol timers, re-randomization
 epochs, attacker probe pacing — are built on :class:`Simulator`.
+
+Hot-path design (every protocol probe, message and timer passes through
+here, so single-run campaign throughput is bounded by this file):
+
+* heap entries are plain 4-slot lists ``[time, seq, fn, args]`` — heap
+  sifting compares floats and ints at C speed instead of calling a
+  rich-comparison method per element;
+* per-event storage is a single small list whose allocation hits
+  CPython's built-in C-level list free list — measurably faster than a
+  Python-level entry-recycling pool (which was tried and removed), and
+  no rich Python object is allocated per event;
+* :meth:`Simulator.schedule_fast` is a no-handle variant for the many
+  call sites that never cancel (message delivery, probe pacing,
+  respawns): no :class:`Event` handle is allocated at all;
+* :meth:`Simulator.run` pops the heap inline instead of peeking through
+  a helper and re-popping in :meth:`Simulator.step`;
+* mass cancellation compacts the heap in place once cancelled entries
+  outnumber live ones, so abandoned timers cannot grow it without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
 from .rng import RngRegistry
 
+#: Heap-entry slot indices (an entry is ``[time, seq, fn, args]``; a
+#: ``fn`` of ``None`` marks the entry cancelled or already fired).
+_TIME, _SEQ, _FN, _ARGS = 0, 1, 2, 3
 
-@dataclass(order=True)
+#: Compaction threshold: rebuild the heap in place once more than this
+#: many cancelled entries linger *and* they outnumber the live ones.
+_COMPACT_MIN_CANCELLED = 64
+
+
 class Event:
-    """A scheduled callback.
+    """Cancellation handle for a scheduled callback.
 
-    Events order by ``(time, seq)`` so ties resolve in scheduling order.
-    Cancelled events stay in the heap but are skipped on pop; the owning
-    simulator's live-event counter is kept in sync at cancel time, so
-    :attr:`Simulator.pending_events` never has to scan the heap.
+    Handles are views onto kernel heap entries.  The kernel recycles
+    entries after they fire, so a handle guards every operation with its
+    sequence number: once the underlying entry has fired (or has been
+    reused for a later event), :meth:`cancel` is a safe no-op — a late
+    ``cancel()`` can never corrupt the pending count or kill an
+    unrelated event that happens to occupy the recycled slot.
     """
 
-    time: float
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    #: Owning simulator while the event is scheduled and live; cleared
-    #: when the event executes or is cancelled (so a late ``cancel()``
-    #: on an already-fired event cannot corrupt the pending count).
-    _owner: Optional["Simulator"] = field(
-        compare=False, default=None, repr=False
-    )
+    __slots__ = ("time", "seq", "cancelled", "_sim", "_entry")
+
+    def __init__(self, sim: "Simulator", entry: list) -> None:
+        self.time: float = entry[_TIME]
+        self.seq: int = entry[_SEQ]
+        self.cancelled = False
+        self._sim = sim
+        self._entry = entry
 
     def cancel(self) -> None:
         """Prevent the event from firing; safe to call more than once
@@ -45,9 +67,18 @@ class Event:
         if self.cancelled:
             return
         self.cancelled = True
-        if self._owner is not None:
-            self._owner._pending -= 1
-            self._owner = None
+        entry = self._entry
+        self._entry = None
+        # Generation guard: only a live entry still carrying our
+        # sequence number is ours to cancel.
+        if entry[_SEQ] == self.seq and entry[_FN] is not None:
+            entry[_FN] = None
+            entry[_ARGS] = None
+            self._sim._note_cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "scheduled"
+        return f"<Event #{self.seq} t={self.time:.3f} {state}>"
 
 
 class Simulator:
@@ -70,24 +101,45 @@ class Simulator:
     ['b', 'a']
     """
 
+    __slots__ = (
+        "now",
+        "rng",
+        "_heap",
+        "_seq",
+        "_events_executed",
+        "_pending",
+        "_running",
+        "_stopped",
+        "_cancelled_in_heap",
+    )
+
     def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        self._heap: list[list] = []
+        self._seq = 0
         self._events_executed = 0
         self._pending = 0  # live (scheduled, non-cancelled) events
         self._running = False
         self._stopped = False
+        self._cancelled_in_heap = 0  # dead entries awaiting pop/compaction
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def _push(self, time: float, fn: Callable[..., None], args: tuple) -> list:
+        """Allocate and push one heap entry."""
+        seq = self._seq = self._seq + 1
+        self._pending += 1
+        entry = [time, seq, fn, args]
+        heapq.heappush(self._heap, entry)
+        return entry
+
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        return Event(self, self._push(self.now + delay, fn, args))
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
@@ -95,15 +147,47 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
-        event = Event(time=time, seq=next(self._seq), fn=fn, args=args)
-        event._owner = self
+        return Event(self, self._push(time, fn, args))
+
+    def schedule_fast(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """No-handle fast path: schedule ``fn(*args)`` ``delay`` from now.
+
+        Identical semantics to :meth:`schedule` except that no
+        :class:`Event` handle is allocated, so the event cannot be
+        cancelled.  Hot call sites that fire-and-forget (message
+        delivery, probe pacing, respawn timers) use this to keep the
+        per-event cost down to one recycled heap entry.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        # _push, inlined: this is the single hottest call in the stack.
+        seq = self._seq = self._seq + 1
         self._pending += 1
-        heapq.heappush(self._heap, event)
-        return event
+        heapq.heappush(self._heap, [self.now + delay, seq, fn, args])
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
         event.cancel()
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for one cancelled-in-heap entry (+ compaction)."""
+        self._pending -= 1
+        cancelled = self._cancelled_in_heap = self._cancelled_in_heap + 1
+        heap = self._heap
+        if cancelled > _COMPACT_MIN_CANCELLED and cancelled * 2 > len(heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, preserving identity.
+
+        In place (slice assignment) so that a ``run()`` loop holding a
+        local reference to the heap keeps seeing the live structure even
+        when a callback's cancellations trigger compaction mid-run.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[_FN] is not None]
+        heapq.heapify(heap)
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -113,21 +197,27 @@ class Simulator:
 
         Returns ``True`` if an event ran, ``False`` if the heap is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue  # its cancel() already adjusted the counter
-            if event.time < self.now:  # pragma: no cover - defensive
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            fn = entry[_FN]
+            if fn is None:  # cancelled; its cancel() adjusted the counter
+                self._cancelled_in_heap -= 1
+                continue
+            time = entry[_TIME]
+            if time < self.now:  # pragma: no cover - defensive
                 raise SimulationError("event heap yielded an event from the past")
+            entry[_FN] = None
             self._pending -= 1
-            event._owner = None
-            self.now = event.time
-            event.fn(*event.args)
+            self.now = time
+            fn(*entry[_ARGS])
             self._events_executed += 1
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
         """Run events until the heap empties, ``until`` is reached, or
         ``max_events`` have executed (whichever comes first).
 
@@ -139,32 +229,41 @@ class Simulator:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
         self._stopped = False
+        horizon = float("inf") if until is None else until
+        budget = -1 if max_events is None else max_events
         executed = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap and not self._stopped:
-                if max_events is not None and executed >= max_events:
+            while heap and not self._stopped:
+                entry = heap[0]
+                fn = entry[_FN]
+                if fn is None:  # cancelled: discard and retry
+                    pop(heap)
+                    self._cancelled_in_heap -= 1
+                    continue
+                if entry[_TIME] > horizon:
+                    break
+                if executed == budget:
                     return
-                nxt = self._next_pending()
-                if nxt is None:
-                    break
-                if until is not None and nxt.time > until:
-                    break
-                self.step()
+                pop(heap)
+                self.now = entry[_TIME]
+                # fn is cleared so a live Event handle's late cancel()
+                # sees a consumed entry (args may keep their reference:
+                # the entry itself is garbage after this pop).
+                entry[_FN] = None
+                self._pending -= 1
+                fn(*entry[_ARGS])
                 executed += 1
         finally:
             self._running = False
+            self._events_executed += executed
             if until is not None and self.now < until and not self._stopped:
                 self.now = until
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
-
-    def _next_pending(self) -> Optional[Event]:
-        """Peek the earliest non-cancelled event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0] if self._heap else None
 
     # ------------------------------------------------------------------
     # Introspection

@@ -11,6 +11,13 @@ a crashed server process is respawned by its daemon after a short delay,
 and — because the child is *forked*, not re-executed — it inherits the
 parent's randomization key.  Keys change only on reboot (re-randomization
 or recovery), which is driven by :mod:`repro.randomization.obfuscation`.
+
+Listeners are stored as tuples and replaced wholesale on registration:
+notifying N listeners then iterates a snapshot without copying a list
+per crash/state-change (the crash path runs at probe rate), and a
+process with no listeners pays a single truthiness check.  Registration
+during notification affects only subsequent notifications — the same
+semantics the previous copy-on-notify list implementation had.
 """
 
 from __future__ import annotations
@@ -24,6 +31,8 @@ from .engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..net.message import Message
+
+Listener = Callable[["SimProcess"], None]
 
 
 class ProcessState(enum.Enum):
@@ -53,6 +62,25 @@ class SimProcess:
         :data:`~repro.core.timing.DEFAULT_RESPAWN_DELAY`.
     """
 
+    __slots__ = (
+        "sim",
+        "name",
+        "respawn_delay",
+        "allowed_senders",
+        "allowed_connection_initiators",
+        "state",
+        "compromised",
+        "crash_count",
+        "respawn_count",
+        "reboot_count",
+        "_crash_listeners",
+        "_state_listeners",
+        "_compromise_listeners",
+        "_in_outage",
+        "_outage_saved_delay",
+        "__dict__",  # subclasses carry protocol state of their own
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -73,9 +101,9 @@ class SimProcess:
         self.crash_count = 0
         self.respawn_count = 0
         self.reboot_count = 0
-        self._crash_listeners: list[Callable[["SimProcess"], None]] = []
-        self._state_listeners: list[Callable[["SimProcess"], None]] = []
-        self._compromise_listeners: list[Callable[["SimProcess"], None]] = []
+        self._crash_listeners: tuple[Listener, ...] = ()
+        self._state_listeners: tuple[Listener, ...] = ()
+        self._compromise_listeners: tuple[Listener, ...] = ()
         self._in_outage = False
         self._outage_saved_delay: Optional[float] = respawn_delay
 
@@ -102,22 +130,24 @@ class SimProcess:
     # ------------------------------------------------------------------
     # Listeners
     # ------------------------------------------------------------------
-    def add_crash_listener(self, listener: Callable[["SimProcess"], None]) -> None:
+    def add_crash_listener(self, listener: Listener) -> None:
         """Register a callback invoked (synchronously) whenever we crash."""
-        self._crash_listeners.append(listener)
+        self._crash_listeners += (listener,)
 
-    def add_state_listener(self, listener: Callable[["SimProcess"], None]) -> None:
+    def add_state_listener(self, listener: Listener) -> None:
         """Register a callback invoked on every state transition."""
-        self._state_listeners.append(listener)
+        self._state_listeners += (listener,)
 
-    def add_compromise_listener(self, listener: Callable[["SimProcess"], None]) -> None:
+    def add_compromise_listener(self, listener: Listener) -> None:
         """Register a callback invoked when the process is compromised."""
-        self._compromise_listeners.append(listener)
+        self._compromise_listeners += (listener,)
 
     def _set_state(self, state: ProcessState) -> None:
         self.state = state
-        for listener in list(self._state_listeners):
-            listener(self)
+        listeners = self._state_listeners
+        if listeners:
+            for listener in listeners:
+                listener(self)
 
     # ------------------------------------------------------------------
     # Crash / respawn (forking daemon)
@@ -132,18 +162,28 @@ class SimProcess:
         if self.state is not ProcessState.RUNNING:
             return
         self.crash_count += 1
-        self._set_state(ProcessState.CRASHED)
-        for listener in list(self._crash_listeners):
-            listener(self)
+        self.state = ProcessState.CRASHED  # _set_state, inlined (hot)
+        listeners = self._state_listeners
+        if listeners:
+            for listener in listeners:
+                listener(self)
+        listeners = self._crash_listeners
+        if listeners:
+            for listener in listeners:
+                listener(self)
         if self.respawn_delay is not None:
-            self.sim.schedule(self.respawn_delay, self._respawn)
+            self.sim.schedule_fast(self.respawn_delay, self._respawn)
 
     def _respawn(self) -> None:
         """Forking-daemon respawn: restore service, *preserving* the key."""
         if self.state is not ProcessState.CRASHED:
             return
         self.respawn_count += 1
-        self._set_state(ProcessState.RUNNING)
+        self.state = ProcessState.RUNNING  # _set_state, inlined (hot)
+        listeners = self._state_listeners
+        if listeners:
+            for listener in listeners:
+                listener(self)
         self.on_respawn()
 
     def revive(self) -> None:
@@ -191,9 +231,11 @@ class SimProcess:
             self.on_reboot_complete()
             return
         self._set_state(ProcessState.REBOOTING)
-        for listener in list(self._crash_listeners):
-            listener(self)
-        self.sim.schedule(duration, self._finish_reboot)
+        listeners = self._crash_listeners
+        if listeners:
+            for listener in listeners:
+                listener(self)
+        self.sim.schedule_fast(duration, self._finish_reboot)
 
     def _finish_reboot(self) -> None:
         if self.state is not ProcessState.REBOOTING:
@@ -204,8 +246,10 @@ class SimProcess:
     def stop(self) -> None:
         """Permanently remove the process from the simulation."""
         self._set_state(ProcessState.STOPPED)
-        for listener in list(self._crash_listeners):
-            listener(self)
+        listeners = self._crash_listeners
+        if listeners:
+            for listener in listeners:
+                listener(self)
 
     # ------------------------------------------------------------------
     # Compromise
@@ -216,8 +260,10 @@ class SimProcess:
             return
         self.compromised = True
         self.on_compromised()
-        for listener in list(self._compromise_listeners):
-            listener(self)
+        listeners = self._compromise_listeners
+        if listeners:
+            for listener in listeners:
+                listener(self)
 
     # ------------------------------------------------------------------
     # Hooks for subclasses

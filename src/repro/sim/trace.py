@@ -29,7 +29,8 @@ class TraceEvent:
 
     def __str__(self) -> str:
         extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
-        return f"[{self.time:10.3f}] {self.category:<12} {self.subject:<12} {extras}".rstrip()
+        line = f"[{self.time:10.3f}] {self.category:<12} {self.subject:<12} {extras}"
+        return line.rstrip()
 
 
 class TraceRecorder:
@@ -50,17 +51,42 @@ class TraceRecorder:
         self.sim = sim
         self._events: deque[TraceEvent] = deque(maxlen=limit)
         self.dropped = 0
-        self._limit = limit
+
+    @property
+    def limit(self) -> Optional[int]:
+        """Maximum retained events (``None`` = unbounded)."""
+        return self._events.maxlen
+
+    @limit.setter
+    def limit(self, limit: Optional[int]) -> None:
+        """Re-bound the buffer in place.
+
+        Shrinking below the current fill evicts the oldest events, which
+        count as dropped — so ``dropped`` stays an accurate total even
+        when the limit changes under an already-full deque.
+        """
+        if limit is not None and limit < 1:
+            raise ConfigurationError(f"limit must be >= 1 or None, got {limit}")
+        events = self._events
+        if limit is not None and len(events) > limit:
+            self.dropped += len(events) - limit
+        self._events = deque(events, maxlen=limit)
 
     # ------------------------------------------------------------------
     def record(self, category: str, subject: str, **detail: Any) -> TraceEvent:
-        """Append one event stamped with the current simulated time."""
-        if self._limit is not None and len(self._events) == self._limit:
+        """Append one event stamped with the current simulated time.
+
+        The drop check reads the deque's own bound rather than a cached
+        copy of the construction-time limit, so drops stay counted
+        correctly after :attr:`limit` is reassigned on a full buffer.
+        """
+        events = self._events
+        if events.maxlen is not None and len(events) == events.maxlen:
             self.dropped += 1
         event = TraceEvent(
             time=self.sim.now, category=category, subject=subject, detail=detail
         )
-        self._events.append(event)
+        events.append(event)
         return event
 
     # ------------------------------------------------------------------

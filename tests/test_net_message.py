@@ -35,8 +35,16 @@ def test_forwarded_preserves_type_and_payload():
     assert forwarded.msg_id != original.msg_id
 
 
-def test_default_payload_is_independent():
+def test_default_payload_is_empty_mapping():
     a = Message("x", "y", "t")
-    b = Message("x", "y", "t")
     assert a.payload == {}
-    assert a.payload is not b.payload
+
+
+def test_forwarded_and_reply_share_payload_mappings():
+    """The hot relay paths must not copy payloads: proxies forward client
+    requests verbatim, so the forwarded message adopts the same mapping
+    (payloads are write-once by protocol convention)."""
+    original = Message("client", "proxy", "client_request", {"body": {"op": "get"}})
+    assert original.forwarded("proxy", "server").payload is original.payload
+    reply_payload = {"ok": True}
+    assert original.reply("response", reply_payload).payload is reply_payload

@@ -219,5 +219,119 @@ def test_pending_counter_matches_heap_scan_under_churn():
         else:
             sim.run(until=sim.now + rng.uniform(0.0, 0.5))
             live = [e for e in live if not e.cancelled and e.time > sim.now]
-    scan = sum(1 for e in sim._heap if not e.cancelled)
+    # Heap entries are [time, seq, fn, args] lists; fn is None for
+    # cancelled (or already-fired) entries.
+    scan = sum(1 for entry in sim._heap if entry[2] is not None)
     assert sim.pending_events == scan
+
+
+# ----------------------------------------------------------------------
+# Fast-path kernel edge cases (list-entry heap, recycled-slot guard,
+# no-handle scheduling, in-place compaction)
+# ----------------------------------------------------------------------
+def test_cancel_after_fire_is_safe_even_after_later_scheduling():
+    """A late cancel() must stay a no-op once the event fired — even if
+    new events have since been scheduled (the sequence-number guard, not
+    object identity, is what protects the pending count)."""
+    sim = Simulator()
+    fired = []
+    stale = sim.schedule(1.0, fired.append, "a")
+    sim.run()
+    replacements = [sim.schedule(1.0, fired.append, i) for i in range(50)]
+    pending_before = sim.pending_events
+    stale.cancel()
+    stale.cancel()
+    assert sim.pending_events == pending_before
+    sim.run()
+    assert len(fired) == 1 + len(replacements)
+
+
+def test_schedule_at_now_during_run_executes_in_same_run():
+    sim = Simulator()
+    fired = []
+
+    def first() -> None:
+        fired.append("first")
+        sim.schedule_at(sim.now, fired.append, "same-time")
+        sim.schedule(0.0, fired.append, "zero-delay")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "same-time", "zero-delay"]
+    assert sim.now == 1.0
+
+
+def test_schedule_fast_interleaves_fifo_with_schedule():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "handle-1")
+    sim.schedule_fast(1.0, fired.append, "fast-1")
+    sim.schedule(1.0, fired.append, "handle-2")
+    sim.schedule_fast(1.0, fired.append, "fast-2")
+    sim.run()
+    assert fired == ["handle-1", "fast-1", "handle-2", "fast-2"]
+
+
+def test_schedule_fast_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_fast(-1e-9, lambda: None)
+    assert sim.pending_events == 0
+
+
+def test_mass_cancellation_compacts_heap():
+    """Cancelled entries must not accumulate: after cancelling the bulk
+    of a large heap, the heap itself shrinks (in-place compaction) and
+    the survivors still fire in order."""
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(float(i + 1), lambda: None) for i in range(5000)]
+    keep = [sim.schedule(10_000.0 + i, fired.append, i) for i in range(3)]
+    for event in doomed:
+        event.cancel()
+    assert sim.pending_events == len(keep)
+    assert len(sim._heap) < 1000  # compaction ran; dead entries dropped
+    sim.run()
+    assert fired == [0, 1, 2]
+    assert all(not e.cancelled for e in keep)
+
+
+def test_compaction_during_run_keeps_heap_identity():
+    """A callback that mass-cancels mid-run triggers compaction while
+    run() holds a local reference to the heap; the in-place rebuild must
+    keep that reference valid (later events still execute)."""
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(50.0 + i, lambda: None) for i in range(500)]
+
+    def massacre() -> None:
+        for event in doomed:
+            event.cancel()
+
+    sim.schedule(1.0, massacre)
+    sim.schedule(2.0, fired.append, "after")
+    sim.run()
+    assert fired == ["after"]
+    assert sim.pending_events == 0
+
+
+def test_pending_events_invariant_under_mixed_fast_and_handle_churn():
+    import random as pyrandom
+
+    sim = Simulator()
+    rng = pyrandom.Random(17)
+    live = []
+    for _ in range(800):
+        action = rng.random()
+        if action < 0.35:
+            live.append(sim.schedule(rng.uniform(0.0, 10.0), lambda: None))
+        elif action < 0.6:
+            sim.schedule_fast(rng.uniform(0.0, 10.0), lambda: None)
+        elif action < 0.8 and live:
+            live.pop(rng.randrange(len(live))).cancel()
+        else:
+            sim.run(until=sim.now + rng.uniform(0.0, 0.4))
+    scan = sum(1 for entry in sim._heap if entry[2] is not None)
+    assert sim.pending_events == scan
+    sim.run()
+    assert sim.pending_events == 0

@@ -95,3 +95,37 @@ def test_deployment_trace_end_to_end():
     # The system-down event is at (or after) the first node compromise.
     first_compromise = trace.events(category="compromise")[0]
     assert downs[0].time >= first_compromise.time
+
+
+def test_drops_counted_accurately_when_limit_shrinks_on_full_buffer():
+    """Regression: ``record`` used to compare against a cached copy of
+    the construction-time limit, so re-bounding an already-full recorder
+    miscounted subsequent drops.  The drop check now reads the deque's
+    own bound, and shrinking the limit counts the evicted events."""
+    sim = Simulator()
+    trace = TraceRecorder(sim, limit=5)
+    for i in range(5):
+        trace.record("c", f"s{i}")
+    assert trace.dropped == 0
+    trace.limit = 3  # evicts the two oldest
+    assert trace.dropped == 2
+    assert [e.subject for e in trace.events()] == ["s2", "s3", "s4"]
+    trace.record("c", "s5")  # full at the NEW bound: one more drop
+    assert trace.dropped == 3
+    assert trace.count() == 3
+
+
+def test_limit_can_grow_and_lift_without_counting_drops():
+    sim = Simulator()
+    trace = TraceRecorder(sim, limit=2)
+    trace.record("c", "a")
+    trace.record("c", "b")
+    trace.limit = 4
+    trace.record("c", "c")
+    assert trace.dropped == 0 and trace.count() == 3
+    trace.limit = None  # unbounded
+    for i in range(10):
+        trace.record("c", f"x{i}")
+    assert trace.dropped == 0 and trace.count() == 13
+    with pytest.raises(ConfigurationError):
+        trace.limit = 0
