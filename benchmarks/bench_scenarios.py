@@ -1,0 +1,148 @@
+"""Scenario survivability matrix — scheme × scenario (BENCH).
+
+Runs every registered scenario as a protocol campaign on a common S2
+grid (both schemes, laptop scale: α = 0.15, χ = 2⁸) and records the
+**survivability matrix**: for each (scheme, scenario) cell, the
+fraction of runs that survived the step budget, the mean/KM lifetime
+and the censoring count.  The matrix is the scenario subsystem's
+headline artifact: one table showing how each composition — benign
+faults, degraded timing, network pathology, non-paper adversaries —
+shifts the two schemes' survival.
+
+Asserted content: the matrix covers at least the eight canonical
+built-in scenarios; every cell ran its full seed count; and a
+``workers=2`` re-run of one faulty, workload-carrying scenario is
+bit-identical to the serial leg (the campaign determinism contract,
+checked at the bench level so throughput numbers can never come from
+divergent runs).  The JSON record persists under
+``benchmarks/results/bench_scenarios.json``; ``--smoke`` scales the
+seed count down for CI.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.campaign import run_scenario_campaign
+from repro.reporting.tables import render_table
+from repro.scenarios import all_scenarios
+from repro.scenarios.registry import _ensure_library
+
+SEED = 20260727
+FULL_TRIALS = 40
+MAX_STEPS = 60
+#: The common grid every scenario is projected onto for the matrix:
+#: the same S2 point under both schemes, so cells are comparable.
+MATRIX_SYSTEMS = ("s2",)
+MATRIX_SCHEMES = ("po", "so")
+#: The determinism cross-check runs this scenario twice (serial vs 2
+#: workers); chosen because it composes faults + workload + stealth.
+CROSS_CHECK = "combined-stress"
+
+
+def _matrix_variant(scenario):
+    """Project a scenario onto the common matrix grid."""
+    return scenario.replace(systems=MATRIX_SYSTEMS, schemes=MATRIX_SCHEMES)
+
+
+def bench_scenarios(save_table, save_json, scale_trials, smoke):
+    _ensure_library()
+    scenarios = all_scenarios()
+    assert len(scenarios) >= 8, "built-in scenario library shrank"
+    trials = scale_trials(FULL_TRIALS, floor=6)
+
+    rows = []
+    json_rows = []
+    elapsed_total = 0.0
+    for scenario in scenarios:
+        variant = _matrix_variant(scenario)
+        start = time.perf_counter()
+        result = run_scenario_campaign(
+            variant, trials=trials, max_steps=MAX_STEPS, seed=SEED
+        )
+        elapsed = time.perf_counter() - start
+        elapsed_total += elapsed
+        for estimate in result:
+            assert estimate.stats.n == trials, scenario.name
+            survival = estimate.censored_fraction
+            json_rows.append(
+                {
+                    "scenario": scenario.name,
+                    "scheme": estimate.spec.scheme.name,
+                    "label": estimate.spec.label,
+                    "runs": estimate.stats.n,
+                    "survival_fraction": survival,
+                    "censored": estimate.censored,
+                    "mean_steps": estimate.mean_steps,
+                    "km_mean_steps": estimate.km_mean_steps,
+                    "timing": variant.timing,
+                    "adversary": variant.adversary.kind,
+                    "faults": variant.faults.kind,
+                    "workload": variant.workload.kind,
+                }
+            )
+        by_scheme = {e.spec.scheme.name: e for e in result}
+        rows.append(
+            [
+                scenario.name,
+                variant.adversary.kind,
+                variant.faults.kind,
+                variant.workload.kind,
+                f"{by_scheme['PO'].censored_fraction:.2f}",
+                f"{by_scheme['PO'].km_mean_steps:.1f}",
+                f"{by_scheme['SO'].censored_fraction:.2f}",
+                f"{by_scheme['SO'].km_mean_steps:.1f}",
+            ]
+        )
+
+    # Determinism cross-check: one faulty + workload scenario, serial
+    # vs fanned, must be bit-identical cell by cell.
+    check = _matrix_variant(
+        next(s for s in scenarios if s.name == CROSS_CHECK)
+    )
+    serial = run_scenario_campaign(
+        check, trials=trials, max_steps=MAX_STEPS, seed=SEED, workers=1
+    )
+    fanned = run_scenario_campaign(
+        check, trials=trials, max_steps=MAX_STEPS, seed=SEED, workers=2
+    )
+    for a, b in zip(serial, fanned):
+        assert a.stats == b.stats, "scenario campaign diverged across workers"
+        assert [o.steps for o in a.outcomes] == [o.steps for o in b.outcomes]
+
+    table = render_table(
+        [
+            "scenario",
+            "adversary",
+            "faults",
+            "workload",
+            "PO surv",
+            "PO KM",
+            "SO surv",
+            "SO KM",
+        ],
+        rows,
+        title=(
+            f"Scenario survivability matrix (S2, {trials} seeds/cell, "
+            f"budget {MAX_STEPS} steps, {elapsed_total:.1f}s total)"
+        ),
+    )
+    save_table("bench_scenarios", table)
+    save_json(
+        "bench_scenarios",
+        {
+            "benchmark": "scenario_matrix",
+            "seed": SEED,
+            "smoke": smoke,
+            "trials_per_cell": trials,
+            "max_steps": MAX_STEPS,
+            "grid": {
+                "systems": list(MATRIX_SYSTEMS),
+                "schemes": list(MATRIX_SCHEMES),
+            },
+            "scenarios": len(scenarios),
+            "worker_cross_check": CROSS_CHECK,
+            "elapsed_seconds": elapsed_total,
+            "rows": json_rows,
+        },
+    )

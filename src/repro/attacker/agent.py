@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from ..errors import ConfigurationError
 from ..net.message import Message
 from ..net.network import Network
 from ..net.transport import Connection
@@ -91,6 +92,7 @@ class AttackerProcess(SimProcess):
         self._guess_buffer = GuessBuffer(self._rng, keyspace.size)
         self._pools: dict[str, KeyGuessTracker] = {}
         self._drivers: list[ProbeDriver] = []
+        self._coordinated_agents: dict[str, SimProcess] = {}
         self._indirect: list[IndirectProber] = []
         self._by_connection: dict[int, ProbeDriver] = {}
         self._launchpad_servers: list[str] = []
@@ -144,6 +146,88 @@ class AttackerProcess(SimProcess):
         self._drivers.append(driver)
         driver.start()
         return driver
+
+    def attack_direct_duty_cycled(
+        self,
+        target: RandomizedProcess,
+        on_fraction: float,
+        cycle_periods: float = 1.0,
+        pool_id: Optional[str] = None,
+        rate: Optional[float] = None,
+    ) -> "ProbeDriver":
+        """Start a stealth (duty-cycled) direct probe stream at ``target``.
+
+        The stream probes at full rate during the first ``on_fraction``
+        of every ``cycle_periods``-period window and stays silent for
+        the rest (long-run rate ``on_fraction · ω``) — see
+        :class:`~repro.attacker.strategies.DutyCycledProbeDriver`.
+        """
+        from .strategies import DutyCycledProbeDriver
+
+        if not 0.0 < on_fraction <= 1.0:
+            raise ConfigurationError(
+                f"on_fraction must be in (0, 1], got {on_fraction}"
+            )
+        cycle = cycle_periods * self.period
+        driver = DutyCycledProbeDriver(
+            attacker=self,
+            target=target.name,
+            pool=self.pool(pool_id or target.name),
+            interval=self.probe_pacing * self.period / (rate or self.omega),
+            on_time=on_fraction * cycle,
+            cycle_time=cycle,
+        )
+        self._watch(target)
+        self._drivers.append(driver)
+        driver.start()
+        return driver
+
+    def attack_direct_coordinated(
+        self,
+        target: RandomizedProcess,
+        agents: int,
+        pool_id: Optional[str] = None,
+        rate: Optional[float] = None,
+    ) -> list["ProbeDriver"]:
+        """Split a direct attack on ``target`` across ``agents`` machines.
+
+        Each cooperating agent (a distinct registered network endpoint —
+        see :class:`~repro.attacker.strategies.CoordinatedAgent`) runs
+        one stream at ``rate / agents``, start times staggered so the
+        target sees one evenly paced aggregate stream of ``rate``.  All
+        streams share the target's key pool through the orchestrator's
+        guess buffer: the agents never duplicate a guess, and the probe
+        sequence is bit-deterministic like any single stream.
+        """
+        from .strategies import CoordinatedAgent
+
+        if agents < 1:
+            raise ConfigurationError(f"need at least one agent, got {agents}")
+        rate = rate or self.omega
+        base_interval = self.probe_pacing * self.period / rate
+        pool = self.pool(pool_id or target.name)
+        self._watch(target)
+        drivers: list[ProbeDriver] = []
+        for k in range(agents):
+            name = f"{self.name}~agent{k}"
+            if name not in self._coordinated_agents:
+                agent = CoordinatedAgent(self.sim, name)
+                self.network.register(agent)
+                self._coordinated_agents[name] = agent
+            driver = ProbeDriver(
+                attacker=self,
+                target=target.name,
+                pool=pool,
+                interval=agents * base_interval,
+                initiator=name,
+            )
+            self._drivers.append(driver)
+            drivers.append(driver)
+            if k == 0:
+                driver.start()
+            else:
+                self.sim.schedule_fast(k * base_interval, driver.start)
+        return drivers
 
     def attack_indirect(
         self,
@@ -362,6 +446,14 @@ class AttackerProcess(SimProcess):
         driver.start()
 
     # ------------------------------------------------------------------
+    @property
+    def endpoint_names(self) -> tuple[str, ...]:
+        """Every network endpoint the attack operates from: the
+        orchestrator itself plus any coordinated agent machines.
+        Network-level countermeasures (partition plans) must cut all of
+        them to actually sever the attacker."""
+        return (self.name, *self._coordinated_agents)
+
     @property
     def probes_sent_total(self) -> int:
         """All probes fired so far, on any path."""

@@ -8,6 +8,7 @@ Commands
 ``lifetime``        EL of one system spec (analytic + Monte-Carlo)
 ``protocol``        run protocol-level lifetime experiments
 ``protocol-sweep``  (system × scheme × α × κ) protocol campaigns
+``scenario``        list / show / run named scenario compositions
 ``advise``          the paper's §7 design recommendation
 """
 
@@ -26,7 +27,12 @@ from .analysis.orderings import (
     lifetimes_at,
     verify_paper_trends,
 )
-from .core.campaign import campaign_grid, campaign_record, run_campaign
+from .core.campaign import (
+    campaign_grid,
+    campaign_record,
+    run_campaign,
+    run_scenario_campaign,
+)
 from .core.experiment import estimate_protocol_lifetime
 from .core.specs import SystemClass, SystemSpec
 from .core.timing import TimingSpec
@@ -40,6 +46,7 @@ from .reporting.tables import (
     render_series_table,
     render_table,
 )
+from .scenarios import all_scenarios, get_scenario
 
 
 def _spec_from_args(args: argparse.Namespace) -> SystemSpec:
@@ -185,12 +192,15 @@ def cmd_protocol(args: argparse.Namespace) -> int:
     return 0
 
 
-def _profile_grid_point(spec, args: argparse.Namespace, timing: TimingSpec) -> int:
+def _profile_grid_point(
+    spec, args: argparse.Namespace, timing: TimingSpec, scenario=None
+) -> int:
     """cProfile one grid point serially and print a hotspot table.
 
     The profiled workload is exactly what one campaign worker executes
-    for this point, so a throughput regression seen in a sweep can be
-    diagnosed from the CLI without writing a harness.
+    for this point — scenario composition (fault injector, workload,
+    adversary strategy) included — so a throughput regression seen in a
+    sweep can be diagnosed from the CLI without writing a harness.
     """
     import cProfile
     import pstats
@@ -204,6 +214,7 @@ def _profile_grid_point(spec, args: argparse.Namespace, timing: TimingSpec) -> i
         seed0=args.seed,
         workers=1,
         timing=timing,
+        scenario=scenario,
     )
     profiler.disable()
     elapsed = sum(row[2] for row in pstats.Stats(profiler).stats.values())
@@ -230,17 +241,41 @@ def _profile_grid_point(spec, args: argparse.Namespace, timing: TimingSpec) -> i
     return 0
 
 
+def _write_campaign_record(record: dict, output: str) -> int:
+    path = pathlib.Path(output)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    except OSError as exc:
+        # The campaign (possibly minutes of work) already ran; keep
+        # the table on stdout and report the write failure cleanly.
+        print(f"error: cannot write campaign record: {exc}", file=sys.stderr)
+        return 2
+    print(f"\ncampaign record written to {path}")
+    return 0
+
+
 def cmd_protocol_sweep(args: argparse.Namespace) -> int:
-    specs = campaign_grid(
-        systems=[SystemClass[s.upper()] for s in args.systems],
-        schemes=[Scheme[s.upper()] for s in args.schemes],
-        alphas=args.alphas,
-        kappas=args.kappas,
-        entropy_bits=args.entropy_bits,
-    )
-    timing = TimingSpec.named(args.timing)
+    scenario = get_scenario(args.scenario) if args.scenario else None
+    if scenario is not None:
+        # The scenario declares its own grid and timing; an explicit
+        # --timing still overrides the preset for what-if sweeps.
+        specs = scenario.grid()
+        timing_preset = args.timing or scenario.timing
+        entropy_bits = scenario.entropy_bits
+    else:
+        specs = campaign_grid(
+            systems=[SystemClass[s.upper()] for s in args.systems],
+            schemes=[Scheme[s.upper()] for s in args.schemes],
+            alphas=args.alphas,
+            kappas=args.kappas,
+            entropy_bits=args.entropy_bits,
+        )
+        timing_preset = args.timing or "paper"
+        entropy_bits = args.entropy_bits
+    timing = TimingSpec.named(timing_preset)
     if args.profile:
-        return _profile_grid_point(specs[0], args, timing)
+        return _profile_grid_point(specs[0], args, timing, scenario=scenario)
     result = run_campaign(
         specs,
         trials=args.trials,
@@ -249,6 +284,66 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         precision=args.precision,
         timing=timing,
+        scenario=scenario,
+    )
+    if args.precision is not None:
+        method = f"precision {args.precision:g} rel. CI"
+    else:
+        method = f"{args.trials} seeds/point"
+    via = f"scenario={scenario.name}, " if scenario is not None else ""
+    print(render_campaign_table(
+        result.estimates,
+        title=(
+            f"Protocol campaign ({via}{method}, budget {args.max_steps} "
+            f"steps, chi=2^{entropy_bits}, timing={timing_preset}): "
+            f"{len(result)} grid points, {result.total_runs} runs, "
+            f"{result.total_censored} censored"
+        ),
+    ))
+    if args.output is not None:
+        record = campaign_record(
+            result, timing=timing, timing_preset=timing_preset,
+            scenario=scenario,
+        )
+        return _write_campaign_record(record, args.output)
+    return 0
+
+
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in all_scenarios():
+        rows.append([
+            spec.name,
+            str(len(spec.grid())),
+            spec.timing,
+            spec.adversary.kind,
+            spec.faults.kind,
+            spec.workload.kind,
+        ])
+    print(render_table(
+        ["scenario", "grid", "timing", "adversary", "faults", "workload"],
+        rows,
+        title=f"Registered scenarios ({len(rows)})",
+    ))
+    return 0
+
+
+def cmd_scenario_show(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.name)
+    print(json.dumps(spec.as_dict(), indent=2))
+    return 0
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.name)
+    result = run_scenario_campaign(
+        scenario,
+        trials=args.trials,
+        max_steps=args.max_steps,
+        seed=args.seed,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        precision=args.precision,
     )
     if args.precision is not None:
         method = f"precision {args.precision:g} rel. CI"
@@ -257,28 +352,23 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
     print(render_campaign_table(
         result.estimates,
         title=(
-            f"Protocol campaign ({method}, budget {args.max_steps} steps, "
-            f"chi=2^{args.entropy_bits}, timing={args.timing}): "
+            f"Scenario {scenario.name} ({method}, budget {args.max_steps} "
+            f"steps, timing={scenario.timing}, "
+            f"adversary={scenario.adversary.kind}, "
+            f"faults={scenario.faults.kind}, "
+            f"workload={scenario.workload.kind}): "
             f"{len(result)} grid points, {result.total_runs} runs, "
             f"{result.total_censored} censored"
         ),
     ))
     if args.output is not None:
         record = campaign_record(
-            result, timing=timing, timing_preset=args.timing
+            result,
+            timing=scenario.timing_spec(),
+            timing_preset=scenario.timing,
+            scenario=scenario,
         )
-        path = pathlib.Path(args.output)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(
-                json.dumps(record, indent=2) + "\n", encoding="utf-8"
-            )
-        except OSError as exc:
-            # The campaign (possibly minutes of work) already ran; keep
-            # the table on stdout and report the write failure cleanly.
-            print(f"error: cannot write campaign record: {exc}", file=sys.stderr)
-            return 2
-        print(f"\ncampaign record written to {path}")
+        return _write_campaign_record(record, args.output)
     return 0
 
 
@@ -391,8 +481,16 @@ def build_parser() -> argparse.ArgumentParser:
              "instead of --trials)",
     )
     p.add_argument(
-        "--timing", choices=TimingSpec.PRESETS, default="paper",
-        help="deployment timing preset applied to every grid point",
+        "--timing", choices=TimingSpec.PRESETS, default=None,
+        help="deployment timing preset applied to every grid point "
+             "(default: paper, or the scenario's own preset with "
+             "--scenario)",
+    )
+    p.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="run a registered scenario instead of the grid flags: its "
+             "grid, timing, adversary, fault plan and workload apply "
+             "(see `repro scenario list`)",
     )
     p.add_argument(
         "--output", default=None, metavar="PATH",
@@ -405,6 +503,44 @@ def build_parser() -> argparse.ArgumentParser:
              "print a hotspot table instead of running the sweep",
     )
     p.set_defaults(fn=cmd_protocol_sweep)
+
+    p = sub.add_parser(
+        "scenario",
+        help="list / show / run named scenario compositions",
+    )
+    action = p.add_subparsers(dest="action", required=True)
+
+    q = action.add_parser("list", help="all registered scenarios")
+    q.set_defaults(fn=cmd_scenario_list)
+
+    q = action.add_parser("show", help="one scenario's full spec as JSON")
+    q.add_argument("name")
+    q.set_defaults(fn=cmd_scenario_show)
+
+    q = action.add_parser("run", help="run one scenario as a campaign")
+    q.add_argument("name")
+    q.add_argument("--trials", type=int, default=20, help="seeds per grid point")
+    q.add_argument("--max-steps", type=int, default=300)
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument(
+        "--workers", type=int, default=None,
+        help="fan the whole campaign across N processes (-1 = all cores)",
+    )
+    q.add_argument(
+        "--batch-size", type=int, default=8,
+        help="seeds per dispatched task batch (results are invariant)",
+    )
+    q.add_argument(
+        "--precision", type=float, default=None,
+        help="per-point target relative 95%% CI half-width (early stopping "
+             "instead of --trials)",
+    )
+    q.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="persist the campaign (with the embedded scenario spec) as "
+             "diffable JSON",
+    )
+    q.set_defaults(fn=cmd_scenario_run)
 
     p = sub.add_parser("advise", help="SMR or FORTRESS? (paper §7)")
     p.add_argument("--alpha", type=float, default=1e-3)

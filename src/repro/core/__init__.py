@@ -21,6 +21,7 @@ _EXPORTS = {
     "campaign_grid": "campaign",
     "campaign_record": "campaign",
     "run_campaign": "campaign",
+    "run_scenario_campaign": "campaign",
     "WorkloadClient": "clients",
     "default_body_factory": "clients",
     "CompromiseMonitor": "compromise",

@@ -10,7 +10,7 @@ top, and ``add_clients`` adds legitimate workload.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..attacker.agent import AttackerProcess
 from ..crypto.signatures import SignatureAuthority
@@ -30,8 +30,17 @@ from .compromise import CompromiseMonitor
 from .specs import SystemClass, SystemSpec
 from .timing import DEFAULT_TIMING, TimingSpec
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
+    from ..randomization.node import RandomizedProcess
+
 #: Shared key-pool id of an identically randomized server tier.
 SERVER_POOL = "server-tier"
+
+#: How a direct probe stream is mounted on one target: scenario
+#: adversaries (stealth, coordinated) swap this while the campaign
+#: wiring of :func:`attach_attacker` stays single-sourced.
+DirectAttack = Callable[[AttackerProcess, "RandomizedProcess", Optional[str]], object]
 
 ServiceFactory = Callable[[int], Service]
 
@@ -60,6 +69,8 @@ class DeployedSystem:
     timing: TimingSpec = DEFAULT_TIMING
     attacker: Optional[AttackerProcess] = None
     clients: list[WorkloadClient] = field(default_factory=list)
+    #: Set by the scenario runtime when a fault plan is scheduled.
+    injector: Optional["FaultInjector"] = None
 
     @property
     def server_names(self) -> list[str]:
@@ -298,17 +309,34 @@ def _make_directory(
     return directory
 
 
-def attach_attacker(deployed: DeployedSystem) -> AttackerProcess:
-    """Mount the paper's §4 attack campaign on a deployment.
+def attach_attacker(
+    deployed: DeployedSystem,
+    direct: Optional[DirectAttack] = None,
+    indirect_identities: int = 1,
+) -> AttackerProcess:
+    """Mount the §4 attack campaign wiring on a deployment.
 
     * S0 — direct probe streams at every replica (diverse pools);
     * S1 — one direct stream at the server tier's shared pool;
     * S2 — direct streams at every proxy, paced indirect probing of the
       servers at κ·ω, and the launch-pad strategy armed.
+
+    ``direct`` swaps how each direct stream is driven (the scenario
+    subsystem passes duty-cycled or coordinated variants — see
+    :mod:`repro.attacker.strategies`); the default is the paper's
+    full-rate :meth:`~repro.attacker.agent.AttackerProcess.attack_direct`.
+    ``indirect_identities`` rotates that many spoofed client identities
+    through the indirect stream (the coordinated adversary matches it
+    to its agent count).
     """
     spec = deployed.spec
     if deployed.attacker is not None:
         raise ConfigurationError("attacker already attached")
+    if direct is None:
+
+        def direct(attacker, target, pool_id=None):
+            return attacker.attack_direct(target, pool_id=pool_id)
+
     attacker = AttackerProcess(
         deployed.sim,
         deployed.network,
@@ -323,21 +351,22 @@ def attach_attacker(deployed: DeployedSystem) -> AttackerProcess:
 
     if spec.system is SystemClass.S0:
         for replica in deployed.servers:
-            attacker.attack_direct(replica)
+            direct(attacker, replica)
     elif spec.system is SystemClass.S1:
         # The servers share one key: extra streams would re-test the same
         # pool, so the attacker aims one full-rate stream at the tier.
-        attacker.attack_direct(deployed.servers[0], pool_id=SERVER_POOL)
+        direct(attacker, deployed.servers[0], SERVER_POOL)
         for server in deployed.servers[1:]:
             server.add_compromise_listener(attacker._on_node_compromised)
     else:  # S2
         for proxy in deployed.proxies:
-            attacker.attack_direct(proxy)
+            direct(attacker, proxy)
         attacker.attack_indirect(
             proxies=deployed.proxy_names,
             servers=deployed.servers,
             pool_id=SERVER_POOL,
             rate=spec.kappa * spec.omega,
+            identities=indirect_identities,
         )
         pb_tier = isinstance(deployed.servers[0], PBServer)
         if spec.launchpad_fraction > 0 and pb_tier:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..randomization.obfuscation import Scheme
@@ -39,6 +39,9 @@ from .experiment import (
 )
 from .specs import SystemClass, SystemSpec
 from .timing import TimingSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..scenarios.spec import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -75,6 +78,7 @@ def campaign_record(
     *,
     timing: Optional[TimingSpec] = None,
     timing_preset: Optional[str] = None,
+    scenario: "ScenarioSpec | None" = None,
 ) -> dict:
     """Serialize a campaign as a diffable JSON-ready record.
 
@@ -82,7 +86,9 @@ def campaign_record(
     (one row per grid point with the protocol mean, 95% CI, censoring
     and Kaplan-Meier summary), so sweep outputs and bench outputs diff
     against each other.  ``timing`` / ``timing_preset`` document the
-    :class:`~repro.core.timing.TimingSpec` the campaign ran under.
+    :class:`~repro.core.timing.TimingSpec` the campaign ran under;
+    ``scenario`` embeds the full scenario spec (name + composition) so
+    a scenario campaign record is self-describing and reproducible.
     """
     rows = []
     for estimate in result.estimates:
@@ -121,6 +127,9 @@ def campaign_record(
         record["timing_preset"] = timing_preset
     if timing is not None:
         record["timing"] = timing.as_dict()
+    if scenario is not None:
+        record["scenario"] = scenario.name
+        record["scenario_spec"] = scenario.as_dict()
     return record
 
 
@@ -173,6 +182,7 @@ def run_campaign(
     min_trials: int = 20,
     max_trials: int = 2_000,
     max_censored_fraction: float = DEFAULT_MAX_CENSORED,
+    scenario: "ScenarioSpec | None" = None,
     **build_kwargs,
 ) -> CampaignResult:
     """Protocol-level lifetimes for every spec of a campaign grid.
@@ -181,7 +191,9 @@ def run_campaign(
     executor pass, so workers stay busy across grid-point boundaries;
     ``precision=`` campaigns stream each grid point through
     :func:`~repro.core.experiment.estimate_protocol_lifetime` (early
-    stopping needs the accumulating CI between rounds).
+    stopping needs the accumulating CI between rounds).  ``scenario``
+    composes every run through the scenario runtime (most callers use
+    :func:`run_scenario_campaign`, which also derives the grid).
     """
     from ..mc.executor import TaskExecutor, derive_point_seed  # avoids cycle
 
@@ -207,6 +219,7 @@ def run_campaign(
                         max_censored_fraction=max_censored_fraction,
                         seed_for=lambda j, i=i: derive_point_seed(seed, i, j),
                         executor=shared_executor,
+                        scenario=scenario,
                         **build_kwargs,
                     )
                 except CensoredPrecisionError as exc:
@@ -248,6 +261,7 @@ def run_campaign(
                     seeds=batch,
                     max_steps=max_steps,
                     build_kwargs=frozen_kwargs,
+                    scenario=scenario,
                 )
             )
             owners.append(i)
@@ -262,4 +276,45 @@ def run_campaign(
         root_seed=seed,
         trials=trials,
         max_steps=max_steps,
+    )
+
+
+def run_scenario_campaign(
+    scenario: "ScenarioSpec",
+    trials: int = 20,
+    max_steps: int = 300,
+    seed: int = 0,
+    *,
+    workers: int | None = None,
+    batch_size: int = DEFAULT_SEED_BATCH,
+    precision: Optional[float] = None,
+    min_trials: int = 20,
+    max_trials: int = 2_000,
+    max_censored_fraction: float = DEFAULT_MAX_CENSORED,
+    **build_kwargs,
+) -> CampaignResult:
+    """Run one named scenario as a protocol campaign.
+
+    The grid comes from the scenario itself
+    (:meth:`~repro.scenarios.spec.ScenarioSpec.grid`), and every run is
+    composed by the scenario runtime: scenario timing, adversary
+    strategy, per-seed fault plan, workload.  The scenario travels
+    inside each :class:`~repro.core.experiment.ProtocolTask`, so the
+    whole campaign fans out through the same
+    :class:`~repro.mc.executor.TaskExecutor` machinery with the same
+    worker/batch-invariant per-seed derivation as a plain campaign.
+    """
+    return run_campaign(
+        scenario.grid(),
+        trials=trials,
+        max_steps=max_steps,
+        seed=seed,
+        workers=workers,
+        batch_size=batch_size,
+        precision=precision,
+        min_trials=min_trials,
+        max_trials=max_trials,
+        max_censored_fraction=max_censored_fraction,
+        scenario=scenario,
+        **build_kwargs,
     )

@@ -34,6 +34,7 @@ from .specs import SystemSpec
 
 if TYPE_CHECKING:  # deferred at runtime: mc.executor imports core.specs
     from ..mc.executor import TaskExecutor
+    from ..scenarios.spec import ScenarioSpec
 
 #: Seeds dispatched per :class:`ProtocolTask` (amortizes process-pool
 #: dispatch without starving workers on small campaigns).
@@ -89,23 +90,40 @@ def run_protocol_lifetime(
     seed: int = 0,
     max_steps: int = 500,
     with_workload: bool = False,
+    scenario: "ScenarioSpec | None" = None,
     **build_kwargs,
 ) -> LifetimeOutcome:
     """Run one deployment until compromise or ``max_steps`` whole steps.
 
-    ``build_kwargs`` pass through to :func:`~repro.core.builders.build_system`.
+    With ``scenario`` set, the deployment is composed by
+    :func:`~repro.scenarios.runtime.deploy_scenario` — scenario timing,
+    adversary strategy, seeded fault plan and workload — and
+    ``with_workload`` is ignored (the scenario declares its own
+    traffic).  The epoch fast-forward arms only when the scenario has
+    no faults and no workload in play (see ``deploy_scenario``).
+    ``build_kwargs`` pass through to
+    :func:`~repro.core.builders.build_system` either way.
     """
-    deployed = build_system(spec, seed=seed, **build_kwargs)
-    attacker = attach_attacker(deployed)
-    if with_workload:
-        add_clients(deployed, count=1)
+    if scenario is not None:
+        from ..scenarios.runtime import deploy_scenario  # deferred: layering
+
+        deployed = deploy_scenario(
+            spec, scenario, seed=seed, max_steps=max_steps, **build_kwargs
+        )
+        attacker = deployed.attacker
+        assert attacker is not None
     else:
-        # No workload to serve: once every probe stream is provably dead
-        # the run's verdict is decided, so let the attacker fast-forward
-        # past the remaining (censored) epochs instead of simulating
-        # heartbeat/refresh churn to the horizon.  Outcomes are
-        # bit-identical either way.
-        attacker.enable_fast_forward()
+        deployed = build_system(spec, seed=seed, **build_kwargs)
+        attacker = attach_attacker(deployed)
+        if with_workload:
+            add_clients(deployed, count=1)
+        else:
+            # No workload to serve: once every probe stream is provably
+            # dead the run's verdict is decided, so let the attacker
+            # fast-forward past the remaining (censored) epochs instead
+            # of simulating heartbeat/refresh churn to the horizon.
+            # Outcomes are bit-identical either way.
+            attacker.enable_fast_forward()
     deployed.start()
     horizon = max_steps * spec.period
     # The simulation allocates at probe rate but creates no cycles the
@@ -172,13 +190,18 @@ class ProtocolTask:
     seeds: tuple[int, ...]
     max_steps: int = 500
     build_kwargs: tuple[tuple[str, Any], ...] = ()
+    scenario: "ScenarioSpec | None" = None
 
     def run(self) -> tuple[LifetimeOutcome, ...]:
         """Evaluate every seed of this batch in the current process."""
         kwargs = dict(self.build_kwargs)
         return tuple(
             run_protocol_lifetime(
-                self.spec, seed=seed, max_steps=self.max_steps, **kwargs
+                self.spec,
+                seed=seed,
+                max_steps=self.max_steps,
+                scenario=self.scenario,
+                **kwargs,
             )
             for seed in self.seeds
         )
@@ -282,6 +305,7 @@ def _dispatch(
     max_steps: int,
     batch_size: int,
     build_kwargs: dict,
+    scenario: "ScenarioSpec | None" = None,
 ) -> list[LifetimeOutcome]:
     """Run ``seeds`` through the executor as :class:`ProtocolTask` batches."""
     frozen_kwargs = tuple(sorted(build_kwargs.items()))
@@ -291,6 +315,7 @@ def _dispatch(
             seeds=batch,
             max_steps=max_steps,
             build_kwargs=frozen_kwargs,
+            scenario=scenario,
         )
         for batch in _batched(seeds, batch_size)
     ]
@@ -314,6 +339,7 @@ def estimate_protocol_lifetime(
     max_censored_fraction: float = DEFAULT_MAX_CENSORED,
     seed_for: Callable[[int], int] | None = None,
     executor: "TaskExecutor | None" = None,
+    scenario: "ScenarioSpec | None" = None,
     **build_kwargs,
 ) -> LifetimeEstimate:
     """Estimate the expected lifetime from independent protocol runs.
@@ -335,6 +361,11 @@ def estimate_protocol_lifetime(
     :class:`CensoredPrecisionError` once the censored fraction exceeds
     ``max_censored_fraction`` — at that point the interval describes
     the step budget, not the lifetime.
+
+    ``scenario`` composes every run through the scenario runtime
+    (adversary strategy, seeded fault plan, workload) — see
+    :func:`run_protocol_lifetime`; all fan-out guarantees hold
+    unchanged because the scenario travels inside the task.
     """
     from ..mc.executor import TaskExecutor  # deferred: avoids cycle
 
@@ -353,7 +384,7 @@ def estimate_protocol_lifetime(
             raise ConfigurationError(f"trials must be >= 1, got {trials}")
         seeds = [seed_for(i) for i in range(trials)]
         outcomes = _dispatch(
-            executor, spec, seeds, max_steps, batch_size, build_kwargs
+            executor, spec, seeds, max_steps, batch_size, build_kwargs, scenario
         )
         return _aggregate(spec, outcomes)
 
@@ -383,7 +414,15 @@ def estimate_protocol_lifetime(
             take = min(round_size, max_trials - len(outcomes))
             seeds = [seed_for(len(outcomes) + i) for i in range(take)]
             outcomes.extend(
-                _dispatch(executor, spec, seeds, max_steps, batch_size, build_kwargs)
+                _dispatch(
+                    executor,
+                    spec,
+                    seeds,
+                    max_steps,
+                    batch_size,
+                    build_kwargs,
+                    scenario,
+                )
             )
             if len(outcomes) < min_trials:
                 continue

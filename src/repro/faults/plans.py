@@ -44,7 +44,9 @@ def crash_storm(
         down_for = None
         if rng.random() < outage_probability:
             down_for = rng.uniform(*outage_range)
-        plan.append(CrashFault(time=t, target=rng.choice(list(targets)), down_for=down_for))
+        plan.append(
+            CrashFault(time=t, target=rng.choice(list(targets)), down_for=down_for)
+        )
     return plan
 
 
@@ -66,7 +68,9 @@ def rolling_outages(
     plan: list[FaultEvent] = []
     for i in range(rounds):
         target = targets[i % len(targets)]
-        plan.append(CrashFault(time=start + i * period, target=target, down_for=down_for))
+        plan.append(
+            CrashFault(time=start + i * period, target=target, down_for=down_for)
+        )
     return plan
 
 

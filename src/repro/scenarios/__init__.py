@@ -1,0 +1,40 @@
+"""Scenarios: declarative, named compositions of the scenario space.
+
+A scenario composes a system grid × timing preset × adversary strategy
+× seeded fault plan × workload into one registered, campaign-runnable
+name (``python -m repro scenario list|show|run``).  See
+:mod:`repro.scenarios.spec` for the data model,
+:mod:`repro.scenarios.library` for the built-ins and
+:mod:`repro.scenarios.runtime` for deployment.
+"""
+
+from .registry import (
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from .runtime import (
+    build_fault_plan,
+    deploy_scenario,
+    install_workload,
+    mount_adversary,
+)
+from .spec import AdversarySpec, FaultPlanSpec, ScenarioSpec, WorkloadSpec
+
+__all__ = [
+    "AdversarySpec",
+    "FaultPlanSpec",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "all_scenarios",
+    "build_fault_plan",
+    "deploy_scenario",
+    "get_scenario",
+    "install_workload",
+    "mount_adversary",
+    "register_scenario",
+    "scenario_names",
+    "unregister_scenario",
+]

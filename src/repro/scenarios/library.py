@@ -1,0 +1,192 @@
+"""The built-in scenario library.
+
+Nine named compositions spanning the scenario space the paper never
+ran: benign-fault torture, degraded infrastructure, network pathology
+and non-paper adversaries — all at laptop scale (χ = 2⁸, α = 0.15) so a
+full campaign of any scenario runs in seconds and the protocol, MC and
+analytic layers stay comparable.
+
+Every scenario here is reachable as ``python -m repro scenario run
+<name>`` and appears as a column of the survivability matrix in
+``benchmarks/bench_scenarios.py``.
+"""
+
+from __future__ import annotations
+
+from .registry import register_scenario
+from .spec import AdversarySpec, FaultPlanSpec, ScenarioSpec, WorkloadSpec
+
+
+@register_scenario
+def paper_baseline() -> ScenarioSpec:
+    """The paper's own threat model, as a named scenario."""
+    return ScenarioSpec(
+        name="paper-baseline",
+        description=(
+            "The paper's §4 attack campaign on all three system classes "
+            "under both schemes — no faults, no workload, paper timing."
+        ),
+        systems=("s0", "s1", "s2"),
+        schemes=("po", "so"),
+    )
+
+
+@register_scenario
+def crash_storm_under_attack() -> ScenarioSpec:
+    """Benign crashes and machine outages land *while* the probes fly."""
+    return ScenarioSpec(
+        name="crash-storm-under-attack",
+        description=(
+            "Poisson crash storm over the server tier (30% outages of "
+            "0.5-2 steps) concurrent with the paper's attack campaign."
+        ),
+        systems=("s1", "s2"),
+        schemes=("so",),
+        faults=FaultPlanSpec(
+            kind="crash_storm",
+            tier="servers",
+            rate=0.4,
+            outage_probability=0.3,
+            outage_steps=(0.5, 2.0),
+        ),
+    )
+
+
+@register_scenario
+def rolling_outages() -> ScenarioSpec:
+    """One server down at a time, round-robin, under live traffic."""
+    return ScenarioSpec(
+        name="rolling-outages",
+        description=(
+            "Round-robin single-node outages over the PB tier (1 step "
+            "down every 3) with an open-loop client measuring service "
+            "availability while the attack runs."
+        ),
+        systems=("s1",),
+        schemes=("po", "so"),
+        faults=FaultPlanSpec(
+            kind="rolling_outages",
+            tier="servers",
+            period_steps=3.0,
+            down_steps=1.0,
+        ),
+        workload=WorkloadSpec(kind="open_loop", arrival_rate=4.0),
+    )
+
+
+@register_scenario
+def partitioned_attacker() -> ScenarioSpec:
+    """The network fights back: attacker links flap."""
+    return ScenarioSpec(
+        name="partitioned-attacker",
+        description=(
+            "Random temporary partitions between the attacker and the "
+            "proxy tier (healing in 1-3 steps): probe connections drop "
+            "at reconnect time and indirect datagrams are cut."
+        ),
+        systems=("s2",),
+        schemes=("po", "so"),
+        faults=FaultPlanSpec(
+            kind="attacker_partition",
+            tier="proxies",
+            rate=0.25,
+            heal_steps=(1.0, 3.0),
+        ),
+    )
+
+
+@register_scenario
+def lossy_wan() -> ScenarioSpec:
+    """Overlapping message-loss windows degrade everyone's traffic."""
+    return ScenarioSpec(
+        name="lossy-wan",
+        description=(
+            "Three overlapping drop-rate windows (up to 60% loss) hit "
+            "protocol traffic and indirect probes alike — the overlap "
+            "exercises the injector's nested-window restore semantics."
+        ),
+        systems=("s2",),
+        schemes=("so",),
+        faults=FaultPlanSpec(
+            kind="loss_windows",
+            windows=((4.0, 0.3, 15.0), (10.0, 0.6, 5.0), (20.0, 0.15, 12.0)),
+        ),
+    )
+
+
+@register_scenario
+def degraded_timing() -> ScenarioSpec:
+    """Slow infrastructure: the `degraded` TimingSpec as a scenario."""
+    return ScenarioSpec(
+        name="degraded-timing",
+        description=(
+            "Sluggish daemons, WAN latency, staggered refreshes and a "
+            "slow detection pipeline (TimingSpec.degraded) under the "
+            "stock attack."
+        ),
+        systems=("s2",),
+        schemes=("po", "so"),
+        timing="degraded",
+    )
+
+
+@register_scenario
+def stealth_prober() -> ScenarioSpec:
+    """A duty-cycled attacker that probes in bursts."""
+    return ScenarioSpec(
+        name="stealth-prober",
+        description=(
+            "Direct probing runs at full rate for half of every 2-step "
+            "cycle and goes silent in between — burst structure that "
+            "sustained-rate detection thresholds cannot see."
+        ),
+        systems=("s2",),
+        schemes=("so",),
+        adversary=AdversarySpec(
+            kind="stealth", duty_fraction=0.5, cycle_periods=2.0
+        ),
+    )
+
+
+@register_scenario
+def coordinated_attacker() -> ScenarioSpec:
+    """Three cooperating attacker machines share one campaign."""
+    return ScenarioSpec(
+        name="coordinated-attacker",
+        description=(
+            "Direct probing split across three agent machines (shared "
+            "key pools, interleaved pacing) and indirect probing "
+            "rotating three spoofed identities — per-source analysis "
+            "sees a third of the truth."
+        ),
+        systems=("s2",),
+        schemes=("po", "so"),
+        adversary=AdversarySpec(kind="coordinated", agents=3),
+    )
+
+
+@register_scenario
+def combined_stress() -> ScenarioSpec:
+    """Everything at once: the closest thing to a production bad day."""
+    return ScenarioSpec(
+        name="combined-stress",
+        description=(
+            "Stealth probing, a server-tier crash storm, open-loop "
+            "client traffic and degraded timing, all concurrently — "
+            "the composition stress test of the scenario subsystem."
+        ),
+        systems=("s2",),
+        schemes=("so",),
+        timing="degraded",
+        adversary=AdversarySpec(
+            kind="stealth", duty_fraction=0.5, cycle_periods=2.0
+        ),
+        faults=FaultPlanSpec(
+            kind="crash_storm",
+            tier="servers",
+            rate=0.3,
+            outage_probability=0.25,
+            outage_steps=(0.5, 1.5),
+        ),
+        workload=WorkloadSpec(kind="open_loop", arrival_rate=2.0),
+    )

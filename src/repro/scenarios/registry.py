@@ -1,0 +1,83 @@
+"""The scenario registry: named specs, discoverable and extensible.
+
+Scenarios register through the :func:`register_scenario` decorator on a
+zero-argument factory (the toolsaf ``builder_backend`` idiom: the
+decorated callable *is* the declaration, evaluated once at import):
+
+    @register_scenario
+    def my_scenario() -> ScenarioSpec:
+        return ScenarioSpec(name="my-scenario", ...)
+
+The built-in library (:mod:`repro.scenarios.library`) loads lazily on
+first lookup, so importing :mod:`repro.scenarios` stays cheap and user
+registrations can happen before or after the built-ins land.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+from .spec import ScenarioSpec
+
+ScenarioFactory = Callable[[], ScenarioSpec]
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+_library_loaded = False
+
+
+def register_scenario(factory: ScenarioFactory) -> ScenarioFactory:
+    """Register the :class:`ScenarioSpec` built by ``factory()``.
+
+    The factory runs once, at decoration time; its spec is registered
+    under its own ``name``.  Duplicate names are configuration errors —
+    a scenario's name is its identity in campaign records.
+    """
+    spec = factory()
+    if not isinstance(spec, ScenarioSpec):
+        raise ConfigurationError(
+            f"scenario factory {factory.__name__!r} returned "
+            f"{type(spec).__name__}, not a ScenarioSpec"
+        )
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} is already registered"
+        )
+    _REGISTRY[spec.name] = spec
+    return factory
+
+
+def _ensure_library() -> None:
+    global _library_loaded
+    if not _library_loaded:
+        _library_loaded = True
+        from . import library  # noqa: F401  (registers the built-ins)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a scenario up by name."""
+    _ensure_library()
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {known}"
+        )
+    return spec
+
+
+def scenario_names() -> list[str]:
+    """All registered scenario names, in registration order."""
+    _ensure_library()
+    return list(_REGISTRY)
+
+
+def all_scenarios() -> list[ScenarioSpec]:
+    """All registered scenarios, in registration order."""
+    _ensure_library()
+    return list(_REGISTRY.values())
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registration (tests use this to stay hermetic)."""
+    _REGISTRY.pop(name, None)

@@ -175,8 +175,13 @@ class SimProcess:
             self.sim.schedule_fast(self.respawn_delay, self._respawn)
 
     def _respawn(self) -> None:
-        """Forking-daemon respawn: restore service, *preserving* the key."""
-        if self.state is not ProcessState.CRASHED:
+        """Forking-daemon respawn: restore service, *preserving* the key.
+
+        A respawn scheduled *before* an outage began must not revive the
+        powered-off machine, so mid-outage respawns are dropped (the
+        daemon itself is down with the machine).
+        """
+        if self.state is not ProcessState.CRASHED or self._in_outage:
             return
         self.respawn_count += 1
         self.state = ProcessState.RUNNING  # _set_state, inlined (hot)

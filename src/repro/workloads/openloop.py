@@ -139,11 +139,11 @@ class OpenLoopClient(SimProcess):
     def handle_message(self, message: Message) -> None:
         if message.mtype == CLIENT_RESPONSE and self.mode == "fortress":
             envelope = message.payload.get("envelope")
-            if isinstance(envelope, Signed) and self.authority.verify_oversigned(envelope):
+            if isinstance(envelope, Signed) and self.authority.verify_oversigned(
+                envelope
+            ):
                 inner = envelope.payload
-                self._complete(
-                    inner.payload["request_id"], inner.payload["response"]
-                )
+                self._complete(inner.payload["request_id"], inner.payload["response"])
         elif message.mtype == SERVER_RESPONSE and self.mode in ("pb", "smr"):
             signed = message.payload.get("signed")
             if not isinstance(signed, Signed) or not self.authority.verify(signed):
@@ -158,7 +158,9 @@ class OpenLoopClient(SimProcess):
         entry = self._outstanding.get(body["request_id"])
         if entry is None:
             return
-        fingerprint = repr(sorted((str(k), repr(v)) for k, v in body["response"].items()))
+        fingerprint = repr(
+            sorted((str(k), repr(v)) for k, v in body["response"].items())
+        )
         entry["votes"][body["index"]] = (fingerprint, body["response"])
         counts: dict[str, int] = {}
         for fp, _ in entry["votes"].values():

@@ -156,6 +156,86 @@ def test_protocol_sweep_rejects_unknown_timing(capsys):
         )
 
 
+def test_scenario_list_shows_builtin_library(capsys):
+    code, out, err = run_cli(capsys, "scenario", "list")
+    assert code == 0
+    names = [
+        "paper-baseline", "crash-storm-under-attack", "rolling-outages",
+        "partitioned-attacker", "lossy-wan", "degraded-timing",
+        "stealth-prober", "coordinated-attacker",
+    ]
+    for name in names:
+        assert name in out
+
+
+def test_scenario_show_round_trips_through_json(capsys):
+    import json
+
+    from repro.scenarios import ScenarioSpec, get_scenario
+
+    code, out, err = run_cli(capsys, "scenario", "show", "lossy-wan")
+    assert code == 0
+    spec = ScenarioSpec.from_dict(json.loads(out))
+    assert spec == get_scenario("lossy-wan")
+
+
+def test_scenario_run_command(capsys):
+    code, out, err = run_cli(
+        capsys, "scenario", "run", "crash-storm-under-attack",
+        "--trials", "3", "--max-steps", "40",
+    )
+    assert code == 0
+    assert "Scenario crash-storm-under-attack" in out
+    assert "faults=crash_storm" in out
+    assert "S1SO" in out and "S2SO" in out
+
+
+def test_scenario_run_worker_invariant_output(capsys):
+    """The acceptance guarantee at the user surface: a scenario run is
+    bit-identical for any worker count."""
+    argv = [
+        "scenario", "run", "crash-storm-under-attack",
+        "--trials", "3", "--max-steps", "40", "--seed", "5",
+    ]
+    code_a, out_a, _ = run_cli(capsys, *argv, "--workers", "1")
+    code_b, out_b, _ = run_cli(capsys, *argv, "--workers", "2")
+    assert code_a == code_b == 0
+    assert out_a == out_b
+
+
+def test_scenario_run_writes_self_describing_record(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "scenario.json"
+    code, out, err = run_cli(
+        capsys, "scenario", "run", "rolling-outages",
+        "--trials", "2", "--max-steps", "30", "--output", str(out_path),
+    )
+    assert code == 0
+    record = json.loads(out_path.read_text())
+    assert record["scenario"] == "rolling-outages"
+    assert record["scenario_spec"]["faults"]["kind"] == "rolling_outages"
+    assert record["scenario_spec"]["workload"]["kind"] == "open_loop"
+    assert record["timing_preset"] == "paper"
+    assert record["rows"]
+
+
+def test_scenario_unknown_name_fails_cleanly(capsys):
+    code, out, err = run_cli(capsys, "scenario", "show", "no-such-scenario")
+    assert code == 2
+    assert "unknown scenario" in err
+
+
+def test_protocol_sweep_scenario_flag(capsys):
+    code, out, err = run_cli(
+        capsys, "protocol-sweep", "--scenario", "degraded-timing",
+        "--trials", "2", "--max-steps", "30",
+    )
+    assert code == 0
+    assert "scenario=degraded-timing" in out
+    assert "timing=degraded" in out  # the scenario's preset, not paper's
+
+
 def test_protocol_command_accepts_timing(capsys):
     code, out, err = run_cli(
         capsys, "protocol", "--system", "s1", "--scheme", "so",

@@ -33,6 +33,9 @@ from repro.sim.engine import Simulator
 from repro.sim.process import SimProcess
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_protocol_outcomes.json"
+GOLDEN_SCENARIO_PATH = (
+    pathlib.Path(__file__).parent / "data" / "golden_scenario_outcomes.json"
+)
 
 OUTCOME_FIELDS = (
     "compromised",
@@ -46,6 +49,12 @@ OUTCOME_FIELDS = (
 
 def _golden_configs():
     golden = json.loads(GOLDEN_PATH.read_text())
+    for name, cfg in sorted(golden.items()):
+        yield pytest.param(name, cfg, id=name)
+
+
+def _golden_scenario_configs():
+    golden = json.loads(GOLDEN_SCENARIO_PATH.read_text())
     for name, cfg in sorted(golden.items()):
         yield pytest.param(name, cfg, id=name)
 
@@ -67,6 +76,39 @@ def test_outcomes_bit_identical_to_pre_refactor_engine(name, cfg):
             seed=expected["seed"],
             max_steps=cfg["max_steps"],
             timing=timing,
+        )
+        got = {field: getattr(outcome, field) for field in OUTCOME_FIELDS}
+        want = {field: expected[field] for field in OUTCOME_FIELDS}
+        assert got == want, f"{name} seed {expected['seed']} diverged"
+
+
+@pytest.mark.parametrize("name,cfg", _golden_scenario_configs())
+def test_scenario_outcomes_bit_identical_to_golden(name, cfg):
+    """Scenario runs (faults + workloads + non-paper adversaries active)
+    replay bit-identically against outcomes captured at PR 5: the
+    regression gate for the composed path — injector scheduling,
+    workload installation and adversary strategies included.
+
+    The scenario is rehydrated from the golden file itself, so later
+    edits to the built-in library cannot silently change what this
+    test replays."""
+    from repro.scenarios import ScenarioSpec
+
+    scenario = ScenarioSpec.from_dict(cfg["scenario"])
+    spec_cfg = cfg["spec"]
+    spec = SystemSpec(
+        system=SystemClass[spec_cfg["system"]],
+        scheme=Scheme[spec_cfg["scheme"]],
+        alpha=spec_cfg["alpha"],
+        kappa=spec_cfg["kappa"],
+        entropy_bits=spec_cfg["entropy_bits"],
+    )
+    for expected in cfg["outcomes"]:
+        outcome = run_protocol_lifetime(
+            spec,
+            seed=expected["seed"],
+            max_steps=cfg["max_steps"],
+            scenario=scenario,
         )
         got = {field: getattr(outcome, field) for field in OUTCOME_FIELDS}
         want = {field: expected[field] for field in OUTCOME_FIELDS}

@@ -20,7 +20,6 @@ from repro.faults.plans import (
     rolling_outages,
 )
 from repro.net.latency import FixedLatency
-from repro.net.message import Message
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 from repro.sim.process import ProcessState, SimProcess
@@ -89,12 +88,151 @@ def test_past_fault_rejected():
         injector.schedule(CrashFault(time=1.0, target="a"))
 
 
-def test_invalid_loss_rate_rejected_at_apply():
+def test_invalid_loss_rate_rejected_at_schedule():
     sim, net, a, b = make_arena()
     injector = FaultInjector(sim, net)
-    injector.schedule(MessageLossFault(time=1.0, rate=1.0, duration=1.0))
     with pytest.raises(ConfigurationError):
-        sim.run(until=1.5)
+        injector.schedule(MessageLossFault(time=1.0, rate=1.0, duration=1.0))
+    assert not injector.applied
+
+
+# ----------------------------------------------------------------------
+# Overlapping windows (regressions: restores must not clobber each other)
+# ----------------------------------------------------------------------
+def test_overlapping_loss_windows_restore_in_force_rate():
+    """Window A's expiry fires mid-window-B: it must leave B's rate in
+    force, and B's expiry must restore the true baseline — not the rate
+    A saw when it was applied."""
+    sim, net, a, b = make_arena()
+    net.drop_rate = 0.05  # non-zero baseline
+    injector = FaultInjector(sim, net)
+    injector.schedule_plan(
+        [
+            MessageLossFault(time=1.0, rate=0.9, duration=1.0),  # A: [1, 2)
+            MessageLossFault(time=1.5, rate=0.5, duration=1.0),  # B: [1.5, 2.5)
+        ]
+    )
+    sim.run(until=1.6)
+    assert net.drop_rate == 0.5  # most recent window rules the overlap
+    sim.run(until=2.1)  # A expired inside B
+    assert net.drop_rate == 0.5
+    assert injector.open_loss_windows == 1
+    sim.run(until=2.6)  # B expired: baseline restored
+    assert net.drop_rate == 0.05
+    assert injector.open_loss_windows == 0
+
+
+def test_nested_loss_window_reinstates_outer_rate():
+    """A short window fully inside a longer one: when the inner expires
+    the outer's rate comes back, not the baseline."""
+    sim, net, a, b = make_arena()
+    injector = FaultInjector(sim, net)
+    injector.schedule_plan(
+        [
+            MessageLossFault(time=1.0, rate=0.8, duration=2.0),  # outer [1, 3)
+            MessageLossFault(time=1.5, rate=0.2, duration=0.5),  # inner [1.5, 2)
+        ]
+    )
+    sim.run(until=1.7)
+    assert net.drop_rate == 0.2
+    sim.run(until=2.2)  # inner closed; outer still open
+    assert net.drop_rate == 0.8
+    sim.run(until=3.2)
+    assert net.drop_rate == 0.0
+
+
+def test_overlapping_outages_extend_to_last_end():
+    """Two overlapping outages on one target: it stays down until the
+    later end, and the forking daemon comes back exactly once."""
+    sim, net, a, b = make_arena()
+    injector = FaultInjector(sim, net)
+    injector.schedule_plan(
+        [
+            CrashFault(time=1.0, target="a", down_for=2.0),  # [1, 3)
+            CrashFault(time=2.0, target="a", down_for=2.0),  # [2, 4)
+        ]
+    )
+    sim.run(until=3.5)  # first outage expired inside the second
+    assert a.state is ProcessState.CRASHED
+    assert injector.pending_outages == 1
+    sim.run(until=4.1)
+    assert a.state is ProcessState.RUNNING
+    assert a.respawn_delay == 0.05  # daemon restored, not wedged at None
+    assert injector.pending_outages == 0
+    # Later transient crashes respawn normally again.
+    injector.schedule(CrashFault(time=5.0, target="a"))
+    sim.run(until=5.2)
+    assert a.state is ProcessState.RUNNING
+
+
+def test_pending_respawn_cannot_cut_an_outage_short():
+    """A daemon respawn scheduled just before the outage began must not
+    revive the powered-off machine mid-outage."""
+    sim, net, a, b = make_arena()
+    injector = FaultInjector(sim, net)
+    sim.schedule_at(0.99, a.crash)  # daemon respawn pending at 1.04
+    injector.schedule(CrashFault(time=1.0, target="a", down_for=1.0))
+    sim.run(until=1.5)
+    assert a.state is ProcessState.CRASHED  # still down mid-outage
+    sim.run(until=2.1)
+    assert a.state is ProcessState.RUNNING
+
+
+def test_overlapping_partitions_heal_at_last_window():
+    """Two overlapping partition windows on one pair: the link stays cut
+    until the *last* window heals (Network.partition/heal are idempotent
+    set ops, so the injector must refcount)."""
+    sim, net, a, b = make_arena()
+    injector = FaultInjector(sim, net)
+    injector.schedule_plan(
+        [
+            PartitionFault(time=1.0, a="a", b="b", heal_after=3.0),  # [1, 4)
+            PartitionFault(time=2.0, a="a", b="b", heal_after=3.0),  # [2, 5)
+        ]
+    )
+    sim.run(until=4.5)  # first window healed inside the second
+    assert net.is_blocked("a", "b")
+    sim.run(until=5.1)
+    assert not net.is_blocked("a", "b")
+
+
+# ----------------------------------------------------------------------
+# Plan validation at schedule_plan time
+# ----------------------------------------------------------------------
+def test_schedule_plan_rejects_unsorted_plans():
+    sim, net, a, b = make_arena()
+    injector = FaultInjector(sim, net)
+    plan = [
+        CrashFault(time=2.0, target="a"),
+        CrashFault(time=1.0, target="b"),
+    ]
+    with pytest.raises(ConfigurationError, match="not sorted"):
+        injector.schedule_plan(plan)
+    assert sim.pending_events == 0  # nothing half-scheduled
+
+
+def test_schedule_plan_rejects_events_beyond_horizon():
+    sim, net, a, b = make_arena()
+    injector = FaultInjector(sim, net)
+    plan = [CrashFault(time=5.0, target="a")]
+    with pytest.raises(ConfigurationError, match="horizon"):
+        injector.schedule_plan(plan, horizon=5.0)
+    injector.schedule_plan(plan, horizon=6.0)  # strictly inside: fine
+
+
+def test_schedule_plan_rejects_bad_parameters_up_front():
+    sim, net, a, b = make_arena()
+    injector = FaultInjector(sim, net)
+    bad_plans = [
+        [MessageLossFault(time=1.0, rate=1.0, duration=1.0)],
+        [MessageLossFault(time=1.0, rate=0.5, duration=0.0)],
+        [CrashFault(time=1.0, target="a", down_for=0.0)],
+        [PartitionFault(time=1.0, a="a", b="b", heal_after=0.0)],
+    ]
+    for plan in bad_plans:
+        with pytest.raises(ConfigurationError):
+            injector.schedule_plan(plan)
+    assert sim.pending_events == 0
 
 
 # ----------------------------------------------------------------------
