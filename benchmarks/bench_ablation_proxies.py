@@ -27,9 +27,7 @@ def _el(n_proxies: int, kappa: float) -> float:
 
 def bench_proxy_count_ablation(benchmark, save_table):
     results = benchmark(
-        lambda: {
-            (n, k): _el(n, k) for n in PROXY_COUNTS for k in KAPPAS
-        }
+        lambda: {(n, k): _el(n, k) for n in PROXY_COUNTS for k in KAPPAS}
     )
     rows = [
         [str(n)] + [format_quantity(results[(n, k)]) for k in KAPPAS]

@@ -44,7 +44,9 @@ def bench_figure2_analytic(benchmark, save_table):
     )
 
 
-def bench_figure2_kappa_sweep_montecarlo(benchmark, save_table, scale_trials, bench_workers):
+def bench_figure2_kappa_sweep_montecarlo(
+    benchmark, save_table, scale_trials, bench_workers
+):
     """The κ axis itself, Monte-Carlo, at a mid-range α."""
     base = s2(Scheme.PO, alpha=1e-3)
     # Adjacent κ curves sit ~10% apart, so the monotonicity assert needs

@@ -115,7 +115,10 @@ def _fidelity_leg(specs, preset, trials, pure_means):
     for estimate in campaign:
         spec = estimate.spec
         model = mc_expected_lifetime(
-            spec, seed=MC_SEED, precision=0.02, max_trials=500_000,
+            spec,
+            seed=MC_SEED,
+            precision=0.02,
+            max_trials=500_000,
             timing=timing,
         )
         pure_mean = pure_means[spec.label]
@@ -188,9 +191,7 @@ def bench_protocol_engine(save_table, save_json, scale_trials, smoke):
         model_se = model.stats.std / np.sqrt(model.stats.n)
         sigma = float(np.hypot(protocol_se, model_se))
         distance = abs(estimate.mean_steps - model.mean)
-        within_ci = bool(
-            estimate.stats.ci_low <= model.mean <= estimate.stats.ci_high
-        )
+        within_ci = bool(estimate.stats.ci_low <= model.mean <= estimate.stats.ci_high)
         assert estimate.censored_fraction <= 0.1, (
             f"{spec.label} kappa={spec.kappa:g}: campaign point heavily "
             f"censored ({estimate.censored}/{estimate.stats.n})"
@@ -335,10 +336,20 @@ def bench_protocol_engine(save_table, save_json, scale_trials, smoke):
                 "runs/sec",
             ],
             [
-                ["serial", "1", str(total_runs), f"{serial_seconds:.2f}",
-                 f"{serial_rps:.1f}"],
-                ["parallel", str(WORKERS), str(total_runs),
-                 f"{parallel_seconds:.2f}", f"{parallel_rps:.1f}"],
+                [
+                    "serial",
+                    "1",
+                    str(total_runs),
+                    f"{serial_seconds:.2f}",
+                    f"{serial_rps:.1f}",
+                ],
+                [
+                    "parallel",
+                    str(WORKERS),
+                    str(total_runs),
+                    f"{parallel_seconds:.2f}",
+                    f"{parallel_rps:.1f}",
+                ],
             ],
             title=(
                 "Protocol engine throughput (bit-identical campaigns; "

@@ -97,9 +97,7 @@ def bench_scenarios(save_table, save_json, scale_trials, smoke):
 
     # Determinism cross-check: one faulty + workload scenario, serial
     # vs fanned, must be bit-identical cell by cell.
-    check = _matrix_variant(
-        next(s for s in scenarios if s.name == CROSS_CHECK)
-    )
+    check = _matrix_variant(next(s for s in scenarios if s.name == CROSS_CHECK))
     serial = run_scenario_campaign(
         check, trials=trials, max_steps=MAX_STEPS, seed=SEED, workers=1
     )

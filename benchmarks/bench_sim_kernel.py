@@ -142,9 +142,7 @@ def _bench_runs(run_fn, spec, timing, seeds: int, reps: int) -> tuple[float, lis
         outcomes = []
         start = time.perf_counter()
         for seed in range(seeds):
-            outcomes.append(
-                run_fn(spec, seed=seed, max_steps=MAX_STEPS, timing=timing)
-            )
+            outcomes.append(run_fn(spec, seed=seed, max_steps=MAX_STEPS, timing=timing))
         best = max(best, seeds / (time.perf_counter() - start))
     return best, [_outcome_key(o) for o in outcomes]
 
@@ -241,12 +239,24 @@ def bench_sim_kernel(save_table, save_json, scale_trials, smoke):
         render_table(
             ["metric", "legacy (PR 3)", "new", "speedup"],
             [
-                ["kernel events/sec", f"{legacy_eps:,.0f}", f"{new_eps:,.0f}",
-                 f"{kernel_speedup:.2f}x"],
-                ["messages/sec", f"{legacy_mps:,.0f}", f"{new_mps:,.0f}",
-                 f"{message_speedup:.2f}x"],
-                ["S2SO runs/sec", f"{legacy_rps:.1f}", f"{new_rps:.1f}",
-                 f"{run_speedup:.2f}x"],
+                [
+                    "kernel events/sec",
+                    f"{legacy_eps:,.0f}",
+                    f"{new_eps:,.0f}",
+                    f"{kernel_speedup:.2f}x",
+                ],
+                [
+                    "messages/sec",
+                    f"{legacy_mps:,.0f}",
+                    f"{new_mps:,.0f}",
+                    f"{message_speedup:.2f}x",
+                ],
+                [
+                    "S2SO runs/sec",
+                    f"{legacy_rps:.1f}",
+                    f"{new_rps:.1f}",
+                    f"{run_speedup:.2f}x",
+                ],
             ],
             title=(
                 "Simulation-kernel fast path: frozen PR 3 stack vs new engine "

@@ -24,9 +24,7 @@ from repro.randomization.obfuscation import Scheme
 
 def bench_amc_solver_large_chain(benchmark):
     """Solve a (16 phases x 7 proxies) = 112-state absorbing chain."""
-    chain = build_s2_po_period_chain(
-        1e-3, 0.5, n_proxies=8, period_steps=16
-    )
+    chain = build_s2_po_period_chain(1e-3, 0.5, n_proxies=8, period_steps=16)
 
     def solve():
         chain._fundamental = None  # force a fresh factorization

@@ -30,7 +30,10 @@ def bench_section6_trends(benchmark, save_table):
     summary) and print the evidence."""
     reports = benchmark(verify_paper_trends)
     assert all(r.holds for r in reports)
-    rows = [[r.name, r.statement, "HOLDS" if r.holds else "FAILS", r.detail] for r in reports]
+    rows = [
+        [r.name, r.statement, "HOLDS" if r.holds else "FAILS", r.detail]
+        for r in reports
+    ]
     chain_ok = all(
         summary_chain_holds(alpha, kappa)
         for alpha in DEFAULT_ALPHAS

@@ -19,8 +19,10 @@ from repro.workloads import OpenLoopClient, ZipfKeys, kv_body_factory
 
 def main() -> None:
     spec = s2(Scheme.SO, alpha=0.08, kappa=0.5, entropy_bits=8)
-    print(f"{spec.label}: chi={spec.chi}, omega={spec.omega:.1f} probes/step, "
-          f"kappa={spec.kappa}")
+    print(
+        f"{spec.label}: chi={spec.chi}, omega={spec.omega:.1f} probes/step, "
+        f"kappa={spec.kappa}"
+    )
     deployed = build_system(spec, seed=99, stop_on_compromise=False)
     trace = TraceRecorder(deployed.sim, limit=None)
     trace.attach_deployment(deployed)
@@ -54,8 +56,10 @@ def main() -> None:
             interesting.append(event)
     print(trace.render_timeline(interesting) or "(nothing)")
     recompromises = trace.count("compromise") - len(seen - {"monitor"})
-    print(f"(+ {recompromises} instant re-compromises of nodes whose keys "
-          f"the attacker already knows — SO recovery does not change keys)")
+    print(
+        f"(+ {recompromises} instant re-compromises of nodes whose keys "
+        f"the attacker already knows — SO recovery does not change keys)"
+    )
 
     print()
     print("--- what the monitor concluded ---")
@@ -68,19 +72,27 @@ def main() -> None:
 
     print()
     print("--- what legitimate clients experienced ---")
-    print(f"requests sent : {client.requests_sent} "
-          f"(open loop, {client.arrival_rate}/unit)")
+    print(
+        f"requests sent : {client.requests_sent} "
+        f"(open loop, {client.arrival_rate}/unit)"
+    )
     print(f"valid         : {client.responses_ok}")
-    print(f"corrupted     : {client.responses_corrupted} "
-          f"(attacker-controlled primary answering)")
+    print(
+        f"corrupted     : {client.responses_corrupted} "
+        f"(attacker-controlled primary answering)"
+    )
     print(f"timeouts      : {client.timeouts}")
     if client.latencies:
-        print(f"p50 / p95 lat : {client.latency_percentile(0.5) * 1000:.1f} ms / "
-              f"{client.latency_percentile(0.95) * 1000:.1f} ms")
+        print(
+            f"p50 / p95 lat : {client.latency_percentile(0.5) * 1000:.1f} ms / "
+            f"{client.latency_percentile(0.95) * 1000:.1f} ms"
+        )
     print()
-    print(f"epochs traced : {trace.count('epoch')}, "
-          f"state changes: {trace.count('state')}, "
-          f"node compromises: {trace.count('compromise')}")
+    print(
+        f"epochs traced : {trace.count('epoch')}, "
+        f"state changes: {trace.count('state')}, "
+        f"node compromises: {trace.count('compromise')}"
+    )
 
 
 if __name__ == "__main__":

@@ -33,14 +33,21 @@ def act_one() -> None:
     primary = deployed.servers[0]
     monitor = deployed.monitor
     print(f"probes fired            : {attacker.probes_sent_direct}")
-    print(f"server crashes caused   : {primary.crash_count} "
-          f"(each respawned by the forking daemon, key preserved)")
-    print(f"distinct keys eliminated: "
-          f"{attacker.pool('server-tier').tried_count - 1}")
-    print(f"key discovered          : {attacker.pool('server-tier').known_key} "
-          f"(actual: {primary.address_space.key})")
-    print(f"system compromised after {monitor.steps_survived} whole steps: "
-          f"{monitor.cause}")
+    print(
+        f"server crashes caused   : {primary.crash_count} "
+        f"(each respawned by the forking daemon, key preserved)"
+    )
+    print(
+        f"distinct keys eliminated: " f"{attacker.pool('server-tier').tried_count - 1}"
+    )
+    print(
+        f"key discovered          : {attacker.pool('server-tier').known_key} "
+        f"(actual: {primary.address_space.key})"
+    )
+    print(
+        f"system compromised after {monitor.steps_survived} whole steps: "
+        f"{monitor.cause}"
+    )
     print()
 
 
@@ -51,13 +58,15 @@ def act_two() -> None:
     policy = DetectionPolicy(window=10.0, threshold=10)
     # Unpaced: the attacker pushes indirect probes at full rate.
     greedy = s2(Scheme.SO, alpha=0.05, kappa=1.0, entropy_bits=8)
-    deployed = build_system(greedy, seed=12, detection_policy=policy,
-                            stop_on_compromise=False)
+    deployed = build_system(
+        greedy, seed=12, detection_policy=policy, stop_on_compromise=False
+    )
     attacker = attach_attacker(deployed)
     deployed.start()
     deployed.sim.run(until=30.0)
-    flagged = [p.name for p in deployed.proxies
-               if p.detection.is_blacklisted(attacker.name)]
+    flagged = [
+        p.name for p in deployed.proxies if p.detection.is_blacklisted(attacker.name)
+    ]
     print(f"full-rate indirect probing (kappa=1.0):")
     print(f"  probes through proxies: {attacker.probes_sent_indirect}")
     print(f"  blacklisted at        : {flagged or 'none'}")
@@ -68,18 +77,22 @@ def act_two() -> None:
 
     # Paced: the best response is to stay below threshold/window.
     kappa = kappa_for_policy(policy, omega=greedy.omega, period=1.0)
-    print(f"the detection policy (window={policy.window}, "
-          f"threshold={policy.threshold}) caps the attacker at "
-          f"{policy.max_sustainable_rate:.1f} probes/unit time")
+    print(
+        f"the detection policy (window={policy.window}, "
+        f"threshold={policy.threshold}) caps the attacker at "
+        f"{policy.max_sustainable_rate:.1f} probes/unit time"
+    )
     print(f"=> effective indirect coefficient kappa = {kappa:.3f}")
     paced = s2(Scheme.SO, alpha=0.05, kappa=kappa * 0.9, entropy_bits=8)
-    deployed = build_system(paced, seed=13, detection_policy=policy,
-                            stop_on_compromise=False)
+    deployed = build_system(
+        paced, seed=13, detection_policy=policy, stop_on_compromise=False
+    )
     attacker = attach_attacker(deployed)
     deployed.start()
     deployed.sim.run(until=30.0)
-    flagged = [p.name for p in deployed.proxies
-               if p.detection.is_blacklisted(attacker.name)]
+    flagged = [
+        p.name for p in deployed.proxies if p.detection.is_blacklisted(attacker.name)
+    ]
     print(f"paced probing at 0.9*kappa*omega:")
     print(f"  probes through proxies: {attacker.probes_sent_indirect}")
     print(f"  blacklisted at        : {flagged or 'none'}")

@@ -49,36 +49,78 @@ def recommend(alpha: float, kappa: float, dsm_ready: bool) -> tuple[str, str]:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--alpha", type=float, default=1e-3,
-                        help="per-step direct attack success probability")
-    parser.add_argument("--kappa", type=float, default=0.5,
-                        help="indirect attack coefficient the proxies achieve")
-    parser.add_argument("--entropy-bits", type=int, default=16,
-                        help="randomization key entropy (display only)")
-    parser.add_argument("--dsm-ready", action="store_true",
-                        help="the service already is a deterministic state machine")
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        default=1e-3,
+        help="per-step direct attack success probability",
+    )
+    parser.add_argument(
+        "--kappa",
+        type=float,
+        default=0.5,
+        help="indirect attack coefficient the proxies achieve",
+    )
+    parser.add_argument(
+        "--entropy-bits",
+        type=int,
+        default=16,
+        help="randomization key entropy (display only)",
+    )
+    parser.add_argument(
+        "--dsm-ready",
+        action="store_true",
+        help="the service already is a deterministic state machine",
+    )
     args = parser.parse_args()
 
     el = lifetimes_at(args.alpha, args.kappa)
     chi = 1 << args.entropy_bits
-    print(f"Deployment parameters: alpha={args.alpha:g} "
-          f"(omega={args.alpha * chi:.1f} probes/step at chi=2^{args.entropy_bits}), "
-          f"kappa={args.kappa:g}, DSM-ready={args.dsm_ready}")
+    print(
+        f"Deployment parameters: alpha={args.alpha:g} "
+        f"(omega={args.alpha * chi:.1f} probes/step at chi=2^{args.entropy_bits}), "
+        f"kappa={args.kappa:g}, DSM-ready={args.dsm_ready}"
+    )
     print()
     rows = [
-        ["S0PO", "4-replica SMR, fresh keys each step", format_quantity(el["S0PO"]),
-         "needs DSM" if not args.dsm_ready else "available"],
-        ["S2PO", "FORTRESS: 3 proxies + 3 PB servers", format_quantity(el["S2PO"]), "any service"],
-        ["S1PO", "3-server PB, fresh keys each step", format_quantity(el["S1PO"]), "any service"],
-        ["S1SO", "3-server PB, recovery only", format_quantity(el["S1SO"]), "any service"],
-        ["S0SO", "4-replica SMR, recovery only", format_quantity(el["S0SO"]),
-         "needs DSM" if not args.dsm_ready else "available"],
+        [
+            "S0PO",
+            "4-replica SMR, fresh keys each step",
+            format_quantity(el["S0PO"]),
+            "needs DSM" if not args.dsm_ready else "available",
+        ],
+        [
+            "S2PO",
+            "FORTRESS: 3 proxies + 3 PB servers",
+            format_quantity(el["S2PO"]),
+            "any service",
+        ],
+        [
+            "S1PO",
+            "3-server PB, fresh keys each step",
+            format_quantity(el["S1PO"]),
+            "any service",
+        ],
+        [
+            "S1SO",
+            "3-server PB, recovery only",
+            format_quantity(el["S1SO"]),
+            "any service",
+        ],
+        [
+            "S0SO",
+            "4-replica SMR, recovery only",
+            format_quantity(el["S0SO"]),
+            "needs DSM" if not args.dsm_ready else "available",
+        ],
     ]
-    print(render_table(
-        ["system", "architecture", "EL (steps)", "service constraint"],
-        rows,
-        title="Candidate architectures",
-    ))
+    print(
+        render_table(
+            ["system", "architecture", "EL (steps)", "service constraint"],
+            rows,
+            title="Candidate architectures",
+        )
+    )
     print()
     choice, rationale = recommend(args.alpha, args.kappa, args.dsm_ready)
     print(f"RECOMMENDATION: {choice}")

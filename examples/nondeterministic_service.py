@@ -39,8 +39,10 @@ def show_divergence() -> None:
         print(f"  replica-{i} minted token {token}")
     assert len(set(tokens)) == 4
     digests = {replica.digest() for replica in replicas}
-    print(f"  => {len(set(tokens))} different tokens, "
-          f"{len(digests)} divergent replica states")
+    print(
+        f"  => {len(set(tokens))} different tokens, "
+        f"{len(digests)} divergent replica states"
+    )
     print("  => no f+1 matching responses exist: the DSM requirement is violated.")
     print("  (repro.core.build_system refuses to deploy this service on S0")
     print("   for exactly this reason.)")
@@ -61,10 +63,14 @@ def run_tier(spec, label: str) -> None:
     deployed.sim.run(until=8.0)
     client = clients[0]
     digests = {server.service.digest() for server in deployed.servers}
-    print(f"  client responses: {client.responses_ok} valid, "
-          f"{client.failures} failed")
-    print(f"  replica state digests agree: {len(digests) == 1} "
-          f"(primary's tokens shipped via state updates)")
+    print(
+        f"  client responses: {client.responses_ok} valid, "
+        f"{client.failures} failed"
+    )
+    print(
+        f"  replica state digests agree: {len(digests) == 1} "
+        f"(primary's tokens shipped via state updates)"
+    )
     assert len(digests) == 1
     assert client.responses_ok > 0
     print()

@@ -28,11 +28,15 @@ def main() -> None:
     # A laptop-scale configuration: 2^8 = 256 keys so the attack
     # resolves in seconds of simulated time.
     spec = s2(Scheme.PO, alpha=0.05, kappa=0.5, entropy_bits=8)
-    print(f"System under test : {spec.label} "
-          f"(n_s={spec.n_servers} PB servers, n_p={spec.n_proxies} proxies)")
+    print(
+        f"System under test : {spec.label} "
+        f"(n_s={spec.n_servers} PB servers, n_p={spec.n_proxies} proxies)"
+    )
     print(f"Key space         : chi = 2^{spec.entropy_bits} = {spec.chi} keys")
-    print(f"Attacker strength : omega = {spec.omega:.1f} probes/step "
-          f"(alpha = {spec.alpha}), kappa = {spec.kappa}")
+    print(
+        f"Attacker strength : omega = {spec.omega:.1f} probes/step "
+        f"(alpha = {spec.alpha}), kappa = {spec.kappa}"
+    )
     print()
 
     # ------------------------------------------------------------------
@@ -46,18 +50,26 @@ def main() -> None:
 
     print("--- one live run (60 unit time-steps) ---")
     client = clients[0]
-    print(f"client responses  : {client.responses_ok} valid, "
-          f"{client.responses_corrupted} corrupted, {client.failures} failed")
-    print(f"attacker effort   : {attacker.probes_sent_direct} direct probes, "
-          f"{attacker.probes_sent_indirect} indirect probes")
+    print(
+        f"client responses  : {client.responses_ok} valid, "
+        f"{client.responses_corrupted} corrupted, {client.failures} failed"
+    )
+    print(
+        f"attacker effort   : {attacker.probes_sent_direct} direct probes, "
+        f"{attacker.probes_sent_indirect} indirect probes"
+    )
     for proxy in deployed.proxies:
         flagged = proxy.detection.is_blacklisted(attacker.name)
-        print(f"{proxy.name:<10}: {proxy.detection.invalid_count(attacker.name)} "
-              f"invalid requests logged, blacklisted={flagged}")
+        print(
+            f"{proxy.name:<10}: {proxy.detection.invalid_count(attacker.name)} "
+            f"invalid requests logged, blacklisted={flagged}"
+        )
     monitor = deployed.monitor
     if monitor.is_compromised:
-        print(f"SYSTEM COMPROMISED after {monitor.steps_survived} whole steps "
-              f"({monitor.cause})")
+        print(
+            f"SYSTEM COMPROMISED after {monitor.steps_survived} whole steps "
+            f"({monitor.cause})"
+        )
     else:
         print("system survived the whole run")
     print()
@@ -69,11 +81,15 @@ def main() -> None:
     analytic = expected_lifetime(spec)
     print(f"analytic          : {analytic:.2f} steps")
     mc = mc_expected_lifetime(spec, trials=50_000, seed=7)
-    print(f"Monte-Carlo       : {mc.mean:.2f} steps "
-          f"[95% CI {mc.stats.ci_low:.2f}, {mc.stats.ci_high:.2f}]")
+    print(
+        f"Monte-Carlo       : {mc.mean:.2f} steps "
+        f"[95% CI {mc.stats.ci_low:.2f}, {mc.stats.ci_high:.2f}]"
+    )
     protocol = estimate_protocol_lifetime(spec, trials=15, max_steps=400, seed0=100)
-    print(f"protocol-level    : {protocol.mean_steps:.2f} steps "
-          f"({protocol.stats.n} seeds, {protocol.censored} censored)")
+    print(
+        f"protocol-level    : {protocol.mean_steps:.2f} steps "
+        f"({protocol.stats.n} seeds, {protocol.censored} censored)"
+    )
 
 
 if __name__ == "__main__":

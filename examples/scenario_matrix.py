@@ -35,16 +35,20 @@ def run_one(scenario, label=None) -> None:
         variant, trials=TRIALS, max_steps=MAX_STEPS, seed=SEED, workers=2
     )
     estimate = result.estimates[0]
-    print(f"{label or scenario.name:26s} "
-          f"adversary={scenario.adversary.kind:11s} "
-          f"faults={scenario.faults.kind:18s} "
-          f"KM mean {estimate.km_mean_steps:5.1f} steps, "
-          f"{estimate.censored}/{estimate.stats.n} survived the budget")
+    print(
+        f"{label or scenario.name:26s} "
+        f"adversary={scenario.adversary.kind:11s} "
+        f"faults={scenario.faults.kind:18s} "
+        f"KM mean {estimate.km_mean_steps:5.1f} steps, "
+        f"{estimate.censored}/{estimate.stats.n} survived the budget"
+    )
 
 
 def main() -> None:
-    print(f"S2SO under different scenarios "
-          f"({TRIALS} seeds, budget {MAX_STEPS} steps):\n")
+    print(
+        f"S2SO under different scenarios "
+        f"({TRIALS} seeds, budget {MAX_STEPS} steps):\n"
+    )
     for name in (
         "paper-baseline",
         "crash-storm-under-attack",

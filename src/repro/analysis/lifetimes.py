@@ -87,11 +87,7 @@ def per_step_compromise_s2_po(
         )
     survive = 0.0
     for b in range(n_proxies):  # b = n_proxies means all proxies fell: absorbed
-        p_b = (
-            math.comb(n_proxies, b)
-            * alpha**b
-            * (1.0 - alpha) ** (n_proxies - b)
-        )
+        p_b = math.comb(n_proxies, b) * alpha**b * (1.0 - alpha) ** (n_proxies - b)
         if b == 0:
             launchpad_survive = 1.0
         elif per_proxy_launchpad:
@@ -137,7 +133,10 @@ def per_step_compromise_s2_po_timed(
     """
     _check_alpha(alpha)
     eff = timing.effective_attack(
-        alpha, chi, kappa=kappa, launchpad_fraction=launchpad_fraction,
+        alpha,
+        chi,
+        kappa=kappa,
+        launchpad_fraction=launchpad_fraction,
         period=period,
     )
     alpha_proxy = eff.alpha_direct
@@ -309,9 +308,7 @@ def survival_curve(
     )
 
 
-def per_step_compromise(
-    spec: SystemSpec, timing: Optional[TimingSpec] = None
-) -> float:
+def per_step_compromise(spec: SystemSpec, timing: Optional[TimingSpec] = None) -> float:
     """Per-step compromise probability of a PO spec.
 
     With ``timing`` given, the probability is corrected for the
@@ -345,9 +342,7 @@ def per_step_compromise(
     )
 
 
-def expected_lifetime(
-    spec: SystemSpec, timing: Optional[TimingSpec] = None
-) -> float:
+def expected_lifetime(spec: SystemSpec, timing: Optional[TimingSpec] = None) -> float:
     """Analytic EL of ``spec``.
 
     ``timing`` computes the EL under a

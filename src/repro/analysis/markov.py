@@ -79,9 +79,7 @@ class AbsorbingMarkovChain:
             raise AnalysisError("transition probabilities must be non-negative")
         rows = Q.sum(axis=1) + R.sum(axis=1)
         if not np.allclose(rows, 1.0, atol=1e-8):
-            raise AnalysisError(
-                f"each row of [Q|R] must sum to 1; row sums are {rows}"
-            )
+            raise AnalysisError(f"each row of [Q|R] must sum to 1; row sums are {rows}")
         if not (R > 0.0).any():
             raise AnalysisError("chain has no path to absorption")
         self.Q = Q

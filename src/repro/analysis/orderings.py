@@ -144,12 +144,7 @@ def summary_chain_holds(
     the chain's first or second link is not claimed.
     """
     el = lifetimes_at(alpha, kappa, launchpad_fraction)
-    return (
-        el["S0PO"] >= el["S2PO"]
-        >= el["S1PO"]
-        >= el["S1SO"]
-        >= el["S0SO"]
-    )
+    return el["S0PO"] >= el["S2PO"] >= el["S1PO"] >= el["S1SO"] >= el["S0SO"]
 
 
 def _bisect_kappa(f, lo: float, hi: float, tol: float) -> float:

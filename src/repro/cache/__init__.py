@@ -1,0 +1,22 @@
+"""Content-addressed campaign result cache.
+
+:mod:`repro.cache.keys` turns result-determining payloads (spec dicts,
+timing, scenario, seed blocks, engine version) into canonical-JSON
+SHA-256 keys; :mod:`repro.cache.store` keeps the keyed entries on disk
+with atomic-rename writes and corrupt-entry-as-miss reads.  The cache is
+threaded through :mod:`repro.core.experiment` and
+:mod:`repro.core.campaign` so repeated campaign points skip dispatch
+entirely while staying bit-identical with recomputation.
+"""
+
+from .keys import ENGINE_VERSION, cache_key, canonical_json, jsonable
+from .store import ResultCache, atomic_write_text
+
+__all__ = [
+    "ENGINE_VERSION",
+    "ResultCache",
+    "atomic_write_text",
+    "cache_key",
+    "canonical_json",
+    "jsonable",
+]

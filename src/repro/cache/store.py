@@ -1,0 +1,120 @@
+"""On-disk content-addressed result store.
+
+Entries live under ``root/<key[:2]>/<key>.json`` (two-level fan-out so
+directories stay small on big campaign sweeps).  Writes go through
+:func:`atomic_write_text` — a temp file in the destination directory
+renamed into place with :func:`os.replace` — so a crash mid-write can
+never leave a half-entry behind; readers either see the whole entry or
+nothing.  Anything unreadable (truncated file, bad JSON, key mismatch
+from a hand-edited entry) is treated as a **miss**, never an error:
+the cache must only ever make campaigns faster, not able to fail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Any, Optional
+
+from .keys import ENGINE_VERSION, cache_key
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file is created in ``path``'s directory so the final rename
+    never crosses a filesystem boundary.  On any failure the temp file
+    is removed and the original ``path`` (if any) is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultCache:
+    """Content-addressed cache of finished campaign-point results.
+
+    Parameters
+    ----------
+    root:
+        Directory to keep entries under (created lazily on first store).
+    version:
+        Engine version folded into every key; defaults to
+        :data:`~repro.cache.keys.ENGINE_VERSION`.  Entries written under
+        a different version simply never match — bumping the version is
+        how engine changes invalidate the whole cache at once.
+
+    The ``hits`` / ``misses`` counters tally :meth:`lookup` outcomes so
+    campaign records can report how much work the cache saved.
+    """
+
+    def __init__(self, root: Path | str, version: int = ENGINE_VERSION) -> None:
+        self.root = Path(root)
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key_for(self, payload: dict) -> str:
+        """Content hash of ``payload`` with the engine version folded in."""
+        keyed = dict(payload)
+        keyed["engine_version"] = self.version
+        return cache_key(keyed)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> Optional[Any]:
+        """Stored payload for ``key``, or ``None`` on a miss.
+
+        Corrupt, truncated, or otherwise unreadable entries count as
+        misses: a failed read must degrade to recomputation, never
+        propagate as an error.
+        """
+        try:
+            text = self._path(key).read_text(encoding="utf-8")
+            entry = json.loads(text)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def store(self, key: str, payload: Any) -> None:
+        """Persist ``payload`` under ``key`` (best-effort).
+
+        Storage failures (read-only cache dir, disk full) are reported
+        as a warning and otherwise ignored — the computed result is
+        already in hand, so a failed write must not sink the campaign.
+        """
+        entry = {"key": key, "engine_version": self.version, "payload": payload}
+        try:
+            atomic_write_text(self._path(key), json.dumps(entry))
+        except OSError as exc:
+            warnings.warn(
+                f"result cache write failed under {self.root}: {exc}; "
+                "continuing without caching this entry",
+                RuntimeWarning,
+                stacklevel=2,
+            )

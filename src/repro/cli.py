@@ -10,12 +10,19 @@ Commands
 ``protocol-sweep``  (system × scheme × α × κ) protocol campaigns
 ``scenario``        list / show / run named scenario compositions
 ``advise``          the paper's §7 design recommendation
+
+Campaign commands (``protocol-sweep``, ``scenario run``) keep a
+content-addressed result cache (default ``~/.cache/repro/campaigns``,
+overridable with ``--cache-dir`` or ``REPRO_CACHE_DIR``): re-running a
+campaign replays finished grid points from disk, bit-identically, and
+``--no-cache`` turns the whole mechanism off.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from typing import Optional, Sequence
@@ -27,6 +34,7 @@ from .analysis.orderings import (
     lifetimes_at,
     verify_paper_trends,
 )
+from .cache import ResultCache, atomic_write_text
 from .core.campaign import (
     campaign_grid,
     campaign_record,
@@ -47,6 +55,9 @@ from .reporting.tables import (
     render_table,
 )
 from .scenarios import all_scenarios, get_scenario
+
+#: Default result-cache root for campaign commands (under ``$HOME``).
+DEFAULT_CACHE_DIR = pathlib.Path("~/.cache/repro/campaigns")
 
 
 def _spec_from_args(args: argparse.Namespace) -> SystemSpec:
@@ -69,15 +80,55 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--workers", type=int, default=None,
+        "--workers",
+        type=int,
+        default=None,
         help="fan Monte-Carlo grid points across N processes "
-             "(-1 = all cores; default serial)",
+        "(-1 = all cores; default serial)",
     )
     parser.add_argument(
-        "--precision", type=float, default=None,
+        "--precision",
+        type=float,
+        default=None,
         help="target relative 95%% CI half-width per Monte-Carlo point "
-             "(early stopping instead of a fixed trial count)",
+        "(early stopping instead of a fixed trial count)",
     )
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache root (default: $REPRO_CACHE_DIR, falling back "
+        f"to {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the campaign result cache",
+    )
+
+
+def _resolve_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """The result cache a campaign command should run with.
+
+    Resolution order: ``--no-cache`` disables caching outright; then
+    ``--cache-dir``; then ``REPRO_CACHE_DIR``; then the default
+    under ``~/.cache``.
+    """
+    if args.no_cache:
+        return None
+    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if root is None:
+        root = DEFAULT_CACHE_DIR.expanduser()
+    return ResultCache(root)
+
+
+def _print_cache_summary(cache: Optional[ResultCache]) -> None:
+    if cache is None:
+        return
+    print(f"result cache: {cache.hits} hits, {cache.misses} misses " f"({cache.root})")
 
 
 def cmd_figure1(args: argparse.Namespace) -> int:
@@ -95,12 +146,14 @@ def cmd_figure1(args: argparse.Namespace) -> int:
         method = f"Monte-Carlo x{args.mc_trials}"
     else:
         method = "analytic"
-    print(render_series_table(
-        series,
-        x_header="alpha",
-        title=f"Figure 1 ({method}): EL vs alpha [chi=2^16, kappa={args.kappa}]",
-        with_ci=use_mc,
-    ))
+    print(
+        render_series_table(
+            series,
+            x_header="alpha",
+            title=f"Figure 1 ({method}): EL vs alpha [chi=2^16, kappa={args.kappa}]",
+            with_ci=use_mc,
+        )
+    )
     return 0
 
 
@@ -112,41 +165,53 @@ def cmd_figure2(args: argparse.Namespace) -> int:
         precision=args.precision,
         workers=args.workers,
     )
-    print(render_series_table(
-        series,
-        x_header="alpha",
-        title="Figure 2: EL of S2PO vs alpha, one curve per kappa",
-    ))
+    print(
+        render_series_table(
+            series,
+            x_header="alpha",
+            title="Figure 2: EL of S2PO vs alpha, one curve per kappa",
+        )
+    )
     return 0
 
 
 def cmd_trends(args: argparse.Namespace) -> int:
     reports = verify_paper_trends(kappa=args.kappa)
-    print(render_table(
-        ["trend", "statement", "verdict", "evidence"],
-        [[r.name, r.statement, "HOLDS" if r.holds else "FAILS", r.detail]
-         for r in reports],
-        title="Section 6 trends",
-    ))
+    print(
+        render_table(
+            ["trend", "statement", "verdict", "evidence"],
+            [
+                [r.name, r.statement, "HOLDS" if r.holds else "FAILS", r.detail]
+                for r in reports
+            ],
+            title="Section 6 trends",
+        )
+    )
     print()
     rows = [
-        [f"{alpha:g}",
-         f"{kappa_crossover_s2_vs_s1(alpha):.6f}",
-         f"{kappa_crossover_s2_vs_s0(alpha):.3e}"]
+        [
+            f"{alpha:g}",
+            f"{kappa_crossover_s2_vs_s1(alpha):.6f}",
+            f"{kappa_crossover_s2_vs_s0(alpha):.3e}",
+        ]
         for alpha in (1e-4, 1e-3, 1e-2)
     ]
-    print(render_table(
-        ["alpha", "kappa* vs S1PO", "kappa* vs S0PO"],
-        rows,
-        title="Kappa crossovers",
-    ))
+    print(
+        render_table(
+            ["alpha", "kappa* vs S1PO", "kappa* vs S0PO"],
+            rows,
+            title="Kappa crossovers",
+        )
+    )
     return 0 if all(r.holds for r in reports) else 1
 
 
 def cmd_lifetime(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    print(f"{spec.label}: alpha={spec.alpha:g}, kappa={spec.kappa:g}, "
-          f"chi=2^{spec.entropy_bits} (omega={spec.omega:.2f} probes/step)")
+    print(
+        f"{spec.label}: alpha={spec.alpha:g}, kappa={spec.kappa:g}, "
+        f"chi=2^{spec.entropy_bits} (omega={spec.omega:.2f} probes/step)"
+    )
     try:
         print(f"analytic EL   : {format_quantity(expected_lifetime(spec))} steps")
     except ReproError as exc:
@@ -159,10 +224,12 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
         precision=args.precision,
     )
     note = "" if estimate.converged else ", NOT converged"
-    print(f"Monte-Carlo EL: {format_quantity(estimate.mean)} steps "
-          f"[95% CI {format_quantity(estimate.stats.ci_low)}, "
-          f"{format_quantity(estimate.stats.ci_high)}] "
-          f"({estimate.trials} trials{note})")
+    print(
+        f"Monte-Carlo EL: {format_quantity(estimate.mean)} steps "
+        f"[95% CI {format_quantity(estimate.stats.ci_low)}, "
+        f"{format_quantity(estimate.stats.ci_high)}] "
+        f"({estimate.trials} trials{note})"
+    )
     return 0
 
 
@@ -178,15 +245,21 @@ def cmd_protocol(args: argparse.Namespace) -> int:
         timing=TimingSpec.named(args.timing),
     )
     note = "" if estimate.converged else " (NOT converged)"
-    print(f"{spec.label} protocol-level lifetimes over {estimate.stats.n} seeds "
-          f"(chi=2^{spec.entropy_bits}, omega={spec.omega:.1f} probes/step):")
-    print(f"mean EL  : {estimate.mean_steps:.2f} whole steps "
-          f"[95% CI {estimate.stats.ci_low:.2f}, {estimate.stats.ci_high:.2f}]"
-          f"{note} "
-          f"(min {estimate.stats.minimum:.0f}, max {estimate.stats.maximum:.0f})")
-    print(f"censored : {estimate.censored} of {estimate.stats.n} "
-          f"(budget {args.max_steps} steps; KM mean "
-          f"{estimate.km_mean_steps:.2f})")
+    print(
+        f"{spec.label} protocol-level lifetimes over {estimate.stats.n} seeds "
+        f"(chi=2^{spec.entropy_bits}, omega={spec.omega:.1f} probes/step):"
+    )
+    print(
+        f"mean EL  : {estimate.mean_steps:.2f} whole steps "
+        f"[95% CI {estimate.stats.ci_low:.2f}, {estimate.stats.ci_high:.2f}]"
+        f"{note} "
+        f"(min {estimate.stats.minimum:.0f}, max {estimate.stats.maximum:.0f})"
+    )
+    print(
+        f"censored : {estimate.censored} of {estimate.stats.n} "
+        f"(budget {args.max_steps} steps; KM mean "
+        f"{estimate.km_mean_steps:.2f})"
+    )
     if estimate.censored:
         print("note     : censored runs present — mean EL is a lower bound")
     return 0
@@ -230,22 +303,24 @@ def _profile_grid_point(
     rows = []
     for (filename, lineno, name), (_, ncalls, tottime, cumtime, _) in ranked[:15]:
         where = f"{filename.rsplit('/', 1)[-1]}:{lineno}({name})"
-        rows.append(
-            [str(ncalls), f"{tottime:.4f}", f"{cumtime:.4f}", where]
+        rows.append([str(ncalls), f"{tottime:.4f}", f"{cumtime:.4f}", where])
+    print(
+        render_table(
+            ["ncalls", "tottime", "cumtime", "function"],
+            rows,
+            title=f"cProfile top-15 by internal time ({elapsed:.3f}s profiled)",
         )
-    print(render_table(
-        ["ncalls", "tottime", "cumtime", "function"],
-        rows,
-        title=f"cProfile top-15 by internal time ({elapsed:.3f}s profiled)",
-    ))
+    )
     return 0
 
 
 def _write_campaign_record(record: dict, output: str) -> int:
     path = pathlib.Path(output)
     try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+        # Atomic temp-file + rename (shared with the result cache): a
+        # crash mid-write can truncate neither a fresh record nor the
+        # previous run's file at the same path.
+        atomic_write_text(path, json.dumps(record, indent=2) + "\n")
     except OSError as exc:
         # The campaign (possibly minutes of work) already ran; keep
         # the table on stdout and report the write failure cleanly.
@@ -276,6 +351,7 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
     timing = TimingSpec.named(timing_preset)
     if args.profile:
         return _profile_grid_point(specs[0], args, timing, scenario=scenario)
+    cache = _resolve_cache(args)
     result = run_campaign(
         specs,
         trials=args.trials,
@@ -285,24 +361,30 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
         precision=args.precision,
         timing=timing,
         scenario=scenario,
+        cache=cache,
     )
     if args.precision is not None:
         method = f"precision {args.precision:g} rel. CI"
     else:
         method = f"{args.trials} seeds/point"
     via = f"scenario={scenario.name}, " if scenario is not None else ""
-    print(render_campaign_table(
-        result.estimates,
-        title=(
-            f"Protocol campaign ({via}{method}, budget {args.max_steps} "
-            f"steps, chi=2^{entropy_bits}, timing={timing_preset}): "
-            f"{len(result)} grid points, {result.total_runs} runs, "
-            f"{result.total_censored} censored"
-        ),
-    ))
+    print(
+        render_campaign_table(
+            result.estimates,
+            title=(
+                f"Protocol campaign ({via}{method}, budget {args.max_steps} "
+                f"steps, chi=2^{entropy_bits}, timing={timing_preset}): "
+                f"{len(result)} grid points, {result.total_runs} runs, "
+                f"{result.total_censored} censored"
+            ),
+        )
+    )
+    _print_cache_summary(cache)
     if args.output is not None:
         record = campaign_record(
-            result, timing=timing, timing_preset=timing_preset,
+            result,
+            timing=timing,
+            timing_preset=timing_preset,
             scenario=scenario,
         )
         return _write_campaign_record(record, args.output)
@@ -312,19 +394,23 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
 def cmd_scenario_list(args: argparse.Namespace) -> int:
     rows = []
     for spec in all_scenarios():
-        rows.append([
-            spec.name,
-            str(len(spec.grid())),
-            spec.timing,
-            spec.adversary.kind,
-            spec.faults.kind,
-            spec.workload.kind,
-        ])
-    print(render_table(
-        ["scenario", "grid", "timing", "adversary", "faults", "workload"],
-        rows,
-        title=f"Registered scenarios ({len(rows)})",
-    ))
+        rows.append(
+            [
+                spec.name,
+                str(len(spec.grid())),
+                spec.timing,
+                spec.adversary.kind,
+                spec.faults.kind,
+                spec.workload.kind,
+            ]
+        )
+    print(
+        render_table(
+            ["scenario", "grid", "timing", "adversary", "faults", "workload"],
+            rows,
+            title=f"Registered scenarios ({len(rows)})",
+        )
+    )
     return 0
 
 
@@ -336,6 +422,7 @@ def cmd_scenario_show(args: argparse.Namespace) -> int:
 
 def cmd_scenario_run(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.name)
+    cache = _resolve_cache(args)
     result = run_scenario_campaign(
         scenario,
         trials=args.trials,
@@ -344,23 +431,27 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         batch_size=args.batch_size,
         precision=args.precision,
+        cache=cache,
     )
     if args.precision is not None:
         method = f"precision {args.precision:g} rel. CI"
     else:
         method = f"{args.trials} seeds/point"
-    print(render_campaign_table(
-        result.estimates,
-        title=(
-            f"Scenario {scenario.name} ({method}, budget {args.max_steps} "
-            f"steps, timing={scenario.timing}, "
-            f"adversary={scenario.adversary.kind}, "
-            f"faults={scenario.faults.kind}, "
-            f"workload={scenario.workload.kind}): "
-            f"{len(result)} grid points, {result.total_runs} runs, "
-            f"{result.total_censored} censored"
-        ),
-    ))
+    print(
+        render_campaign_table(
+            result.estimates,
+            title=(
+                f"Scenario {scenario.name} ({method}, budget {args.max_steps} "
+                f"steps, timing={scenario.timing}, "
+                f"adversary={scenario.adversary.kind}, "
+                f"faults={scenario.faults.kind}, "
+                f"workload={scenario.workload.kind}): "
+                f"{len(result)} grid points, {result.total_runs} runs, "
+                f"{result.total_censored} censored"
+            ),
+        )
+    )
+    _print_cache_summary(cache)
     if args.output is not None:
         record = campaign_record(
             result,
@@ -375,25 +466,37 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
 def cmd_advise(args: argparse.Namespace) -> int:
     el = lifetimes_at(args.alpha, args.kappa)
     rows = [[label, format_quantity(value)] for label, value in el.items()]
-    print(render_table(["system", "EL (steps)"], rows,
-                       title=f"alpha={args.alpha:g}, kappa={args.kappa:g}"))
+    print(
+        render_table(
+            ["system", "EL (steps)"],
+            rows,
+            title=f"alpha={args.alpha:g}, kappa={args.kappa:g}",
+        )
+    )
     if args.dsm_ready:
         print("\nRecommendation: S0 + proactive obfuscation (SMR).")
     else:
         kappa_star = kappa_crossover_s2_vs_s1(args.alpha)
         if args.kappa <= kappa_star:
-            print(f"\nRecommendation: FORTRESS (S2) — kappa {args.kappa:g} is "
-                  f"below the crossover {kappa_star:.4f}.")
+            print(
+                f"\nRecommendation: FORTRESS (S2) — kappa {args.kappa:g} is "
+                f"below the crossover {kappa_star:.4f}."
+            )
         else:
-            print(f"\nRecommendation: plain PB + proactive obfuscation (S1PO) — "
-                  f"kappa {args.kappa:g} exceeds the crossover {kappa_star:.4f}.")
+            print(
+                f"\nRecommendation: plain PB + proactive obfuscation (S1PO) — "
+                f"kappa {args.kappa:g} exceeds the crossover {kappa_star:.4f}."
+            )
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="FORTRESS attack-resilience reproduction (Clarke & Ezhilchelvan, DSN 2010)",
+        description=(
+            "FORTRESS attack-resilience reproduction "
+            "(Clarke & Ezhilchelvan, DSN 2010)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -417,13 +520,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=20_000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
-        "--precision", type=float, default=None,
+        "--precision",
+        type=float,
+        default=None,
         help="target relative 95%% CI half-width (overrides --trials)",
     )
     p.add_argument(
-        "--scalar", action="store_true",
+        "--scalar",
+        action="store_true",
         help="use the bit-stable reference sampler instead of the "
-             "vectorized engine",
+        "vectorized engine",
     )
     p.set_defaults(fn=cmd_lifetime)
 
@@ -433,18 +539,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-steps", type=int, default=300)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
-        "--workers", type=int, default=None,
+        "--workers",
+        type=int,
+        default=None,
         help="fan protocol runs across N processes (-1 = all cores)",
     )
     p.add_argument(
-        "--precision", type=float, default=None,
+        "--precision",
+        type=float,
+        default=None,
         help="target relative 95%% CI half-width (early stopping instead "
-             "of --trials; refuses heavily censored samples)",
+        "of --trials; refuses heavily censored samples)",
     )
     p.add_argument(
-        "--timing", choices=TimingSpec.PRESETS, default="paper",
+        "--timing",
+        choices=TimingSpec.PRESETS,
+        default="paper",
         help="deployment timing preset: ideal (zero delays), paper "
-             "(realistic defaults) or degraded (slow daemon/WAN/stagger)",
+        "(realistic defaults) or degraded (slow daemon/WAN/stagger)",
     )
     p.set_defaults(fn=cmd_protocol)
 
@@ -453,18 +565,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="(system x scheme x alpha x kappa) protocol campaigns",
     )
     p.add_argument(
-        "--systems", nargs="+", choices=["s0", "s1", "s2"],
+        "--systems",
+        nargs="+",
+        choices=["s0", "s1", "s2"],
         default=["s0", "s1", "s2"],
     )
     p.add_argument(
-        "--schemes", nargs="+", choices=["po", "so"], default=["po", "so"],
+        "--schemes",
+        nargs="+",
+        choices=["po", "so"],
+        default=["po", "so"],
     )
     p.add_argument(
-        "--alphas", nargs="+", type=float, default=[0.1],
+        "--alphas",
+        nargs="+",
+        type=float,
+        default=[0.1],
         help="attacker-strength grid",
     )
     p.add_argument(
-        "--kappas", nargs="+", type=float, default=[0.5],
+        "--kappas",
+        nargs="+",
+        type=float,
+        default=[0.5],
         help="indirect-attack grid (S2 points only)",
     )
     p.add_argument("--entropy-bits", type=int, default=8)
@@ -472,36 +595,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-steps", type=int, default=300)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
-        "--workers", type=int, default=None,
+        "--workers",
+        type=int,
+        default=None,
         help="fan the whole campaign across N processes (-1 = all cores)",
     )
     p.add_argument(
-        "--precision", type=float, default=None,
+        "--precision",
+        type=float,
+        default=None,
         help="per-point target relative 95%% CI half-width (early stopping "
-             "instead of --trials)",
+        "instead of --trials)",
     )
     p.add_argument(
-        "--timing", choices=TimingSpec.PRESETS, default=None,
+        "--timing",
+        choices=TimingSpec.PRESETS,
+        default=None,
         help="deployment timing preset applied to every grid point "
-             "(default: paper, or the scenario's own preset with "
-             "--scenario)",
+        "(default: paper, or the scenario's own preset with "
+        "--scenario)",
     )
     p.add_argument(
-        "--scenario", default=None, metavar="NAME",
+        "--scenario",
+        default=None,
+        metavar="NAME",
         help="run a registered scenario instead of the grid flags: its "
-             "grid, timing, adversary, fault plan and workload apply "
-             "(see `repro scenario list`)",
+        "grid, timing, adversary, fault plan and workload apply "
+        "(see `repro scenario list`)",
     )
     p.add_argument(
-        "--output", default=None, metavar="PATH",
+        "--output",
+        default=None,
+        metavar="PATH",
         help="persist the campaign as diffable JSON (schema mirrors the "
-             "bench records under benchmarks/results/)",
+        "bench records under benchmarks/results/)",
     )
     p.add_argument(
-        "--profile", action="store_true",
+        "--profile",
+        action="store_true",
         help="cProfile the first grid point serially (trials seeds) and "
-             "print a hotspot table instead of running the sweep",
+        "print a hotspot table instead of running the sweep",
     )
+    _add_cache_arguments(p)
     p.set_defaults(fn=cmd_protocol_sweep)
 
     p = sub.add_parser(
@@ -523,23 +658,32 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--max-steps", type=int, default=300)
     q.add_argument("--seed", type=int, default=0)
     q.add_argument(
-        "--workers", type=int, default=None,
+        "--workers",
+        type=int,
+        default=None,
         help="fan the whole campaign across N processes (-1 = all cores)",
     )
     q.add_argument(
-        "--batch-size", type=int, default=8,
+        "--batch-size",
+        type=int,
+        default=8,
         help="seeds per dispatched task batch (results are invariant)",
     )
     q.add_argument(
-        "--precision", type=float, default=None,
+        "--precision",
+        type=float,
+        default=None,
         help="per-point target relative 95%% CI half-width (early stopping "
-             "instead of --trials)",
+        "instead of --trials)",
     )
     q.add_argument(
-        "--output", default=None, metavar="PATH",
+        "--output",
+        default=None,
+        metavar="PATH",
         help="persist the campaign (with the embedded scenario spec) as "
-             "diffable JSON",
+        "diffable JSON",
     )
+    _add_cache_arguments(q)
     q.set_defaults(fn=cmd_scenario_run)
 
     p = sub.add_parser("advise", help="SMR or FORTRESS? (paper §7)")

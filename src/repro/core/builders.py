@@ -263,9 +263,7 @@ def build_system(
         f=spec.f,
         period=spec.period,
         stop_on_compromise=stop_on_compromise,
-        server_tier_f=(
-            spec.f if (smr_tier and spec.system is SystemClass.S2) else 0
-        ),
+        server_tier_f=(spec.f if (smr_tier and spec.system is SystemClass.S2) else 0),
     )
 
     return DeployedSystem(
@@ -295,9 +293,7 @@ def _make_directory(
         fault_threshold=spec.f if smr_tier else 0,
     )
     directory.server_indices = [s.index for s in servers]
-    directory.server_keys = {
-        s.index: authority.public_key_of(s.name) for s in servers
-    }
+    directory.server_keys = {s.index: authority.public_key_of(s.name) for s in servers}
     if spec.system is SystemClass.S2:
         directory.proxy_addresses = [p.name for p in proxies]
         directory.proxy_keys = {

@@ -24,6 +24,7 @@ import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from ..cache import ResultCache
 from ..errors import ConfigurationError
 from ..randomization.obfuscation import Scheme
 from .experiment import (
@@ -34,6 +35,9 @@ from .experiment import (
     ProtocolTask,
     _aggregate,
     _batched,
+    _cache_fetch,
+    _outcome_block_payload,
+    _outcome_payload,
     estimate_protocol_lifetime,
     run_protocol_task,
 )
@@ -46,12 +50,18 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """All grid points of one protocol campaign, in grid order."""
+    """All grid points of one protocol campaign, in grid order.
+
+    ``cache_hits`` / ``cache_misses`` count result-cache lookups made by
+    this campaign (``None`` when it ran without a cache).
+    """
 
     estimates: tuple[LifetimeEstimate, ...]
     root_seed: int
     trials: int
     max_steps: int
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.estimates)
@@ -130,6 +140,11 @@ def campaign_record(
     if scenario is not None:
         record["scenario"] = scenario.name
         record["scenario_spec"] = scenario.as_dict()
+    if result.cache_hits is not None:
+        record["cache"] = {
+            "hits": result.cache_hits,
+            "misses": result.cache_misses,
+        }
     return record
 
 
@@ -183,6 +198,7 @@ def run_campaign(
     max_trials: int = 2_000,
     max_censored_fraction: float = DEFAULT_MAX_CENSORED,
     scenario: "ScenarioSpec | None" = None,
+    cache: Optional[ResultCache] = None,
     **build_kwargs,
 ) -> CampaignResult:
     """Protocol-level lifetimes for every spec of a campaign grid.
@@ -194,6 +210,13 @@ def run_campaign(
     stopping needs the accumulating CI between rounds).  ``scenario``
     composes every run through the scenario runtime (most callers use
     :func:`run_scenario_campaign`, which also derives the grid).
+
+    ``cache`` consults a :class:`~repro.cache.ResultCache` per grid
+    point (fixed-count) or per streaming round (precision): cached
+    points skip dispatch entirely — a fully warm fixed-count campaign
+    submits zero tasks — and the result reports hit/miss counts.
+    Because every seed is derived before dispatch, cached and
+    recomputed campaigns are bit-identical.
     """
     from ..mc.executor import TaskExecutor, derive_point_seed  # avoids cycle
 
@@ -202,6 +225,8 @@ def run_campaign(
         raise ConfigurationError("campaign needs at least one spec")
     if batch_size < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
     if precision is not None:
         estimates = []
         # One pool serves every grid point — paying pool startup per
@@ -220,6 +245,7 @@ def run_campaign(
                         seed_for=lambda j, i=i: derive_point_seed(seed, i, j),
                         executor=shared_executor,
                         scenario=scenario,
+                        cache=cache,
                         **build_kwargs,
                     )
                 except CensoredPrecisionError as exc:
@@ -236,15 +262,15 @@ def run_campaign(
                         RuntimeWarning,
                         stacklevel=2,
                     )
-                    estimate = _aggregate(
-                        spec, list(exc.outcomes), converged=False
-                    )
+                    estimate = _aggregate(spec, list(exc.outcomes), converged=False)
                 estimates.append(estimate)
         return CampaignResult(
             estimates=tuple(estimates),
             root_seed=seed,
             trials=0,
             max_steps=max_steps,
+            cache_hits=cache.hits - hits_before if cache is not None else None,
+            cache_misses=(cache.misses - misses_before if cache is not None else None),
         )
 
     if trials < 1:
@@ -252,8 +278,25 @@ def run_campaign(
     frozen_kwargs = tuple(sorted(build_kwargs.items()))
     tasks: list[ProtocolTask] = []
     owners: list[int] = []
+    per_spec: list[list] = [[] for _ in specs]
+    # Grid points whose seed block missed the cache; stored after the
+    # executor pass.  One entry covers a point's whole seed block, so a
+    # fully warm campaign scores exactly one hit per grid point — and
+    # builds no tasks at all.
+    point_keys: dict[int, str] = {}
     for i, spec in enumerate(specs):
         point_seeds = [derive_point_seed(seed, i, j) for j in range(trials)]
+        if cache is not None:
+            key = cache.key_for(
+                _outcome_block_payload(
+                    spec, point_seeds, max_steps, build_kwargs, scenario
+                )
+            )
+            cached = _cache_fetch(cache, key, spec, point_seeds)
+            if cached is not None:
+                per_spec[i] = cached
+                continue
+            point_keys[i] = key
         for batch in _batched(point_seeds, batch_size):
             tasks.append(
                 ProtocolTask(
@@ -265,17 +308,22 @@ def run_campaign(
                 )
             )
             owners.append(i)
-    per_spec: list[list] = [[] for _ in specs]
-    for owner, batch_outcomes in zip(
-        owners, TaskExecutor(workers).map(run_protocol_task, tasks)
-    ):
-        per_spec[owner].extend(batch_outcomes)
+    if tasks:
+        for owner, batch_outcomes in zip(
+            owners, TaskExecutor(workers).map(run_protocol_task, tasks)
+        ):
+            per_spec[owner].extend(batch_outcomes)
+    if cache is not None:
+        for i, key in point_keys.items():
+            cache.store(key, [_outcome_payload(o) for o in per_spec[i]])
     estimates = [_aggregate(spec, per_spec[i]) for i, spec in enumerate(specs)]
     return CampaignResult(
         estimates=tuple(estimates),
         root_seed=seed,
         trials=trials,
         max_steps=max_steps,
+        cache_hits=cache.hits - hits_before if cache is not None else None,
+        cache_misses=cache.misses - misses_before if cache is not None else None,
     )
 
 
@@ -291,6 +339,7 @@ def run_scenario_campaign(
     min_trials: int = 20,
     max_trials: int = 2_000,
     max_censored_fraction: float = DEFAULT_MAX_CENSORED,
+    cache: Optional[ResultCache] = None,
     **build_kwargs,
 ) -> CampaignResult:
     """Run one named scenario as a protocol campaign.
@@ -316,5 +365,6 @@ def run_scenario_campaign(
         max_trials=max_trials,
         max_censored_fraction=max_censored_fraction,
         scenario=scenario,
+        cache=cache,
         **build_kwargs,
     )

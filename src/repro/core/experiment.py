@@ -27,6 +27,7 @@ from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 
+from ..cache import ResultCache
 from ..errors import AnalysisError, ConfigurationError
 from ..metrics.stats import CensoredSummary, SummaryStats, summarize_censored
 from .builders import add_clients, attach_attacker, build_system
@@ -298,6 +299,95 @@ def _batched(seeds: list[int], batch_size: int) -> Iterator[tuple[int, ...]]:
         yield tuple(seeds[start : start + batch_size])
 
 
+# ----------------------------------------------------------------------
+# Result-cache plumbing
+# ----------------------------------------------------------------------
+def _outcome_block_payload(
+    spec: SystemSpec,
+    seeds: list[int],
+    max_steps: int,
+    build_kwargs: dict,
+    scenario: "ScenarioSpec | None",
+) -> dict:
+    """Cache-key payload for one (spec × seed block) of protocol runs.
+
+    Covers everything that determines the outcomes — and nothing about
+    the fan-out (``workers``/``batch_size`` never appear), so cached and
+    recomputed results agree bit-for-bit under any executor
+    configuration.  ``build_kwargs`` values (e.g. a
+    :class:`~repro.core.timing.TimingSpec`) serialize through their
+    ``as_dict`` (see :func:`repro.cache.keys.jsonable`).
+    """
+    return {
+        "kind": "protocol_outcomes",
+        "spec": spec,
+        "seeds": list(seeds),
+        "max_steps": max_steps,
+        "build_kwargs": dict(build_kwargs),
+        "scenario": scenario,
+    }
+
+
+def _outcome_payload(outcome: LifetimeOutcome) -> dict:
+    """JSON-ready form of one outcome (spec lives in the cache key)."""
+    return {
+        "seed": outcome.seed,
+        "compromised": outcome.compromised,
+        "steps": outcome.steps,
+        "time": outcome.time,
+        "cause": outcome.cause,
+        "probes_direct": outcome.probes_direct,
+        "probes_indirect": outcome.probes_indirect,
+    }
+
+
+def _outcomes_from_payload(
+    spec: SystemSpec, payload: Any, seeds: list[int]
+) -> list[LifetimeOutcome]:
+    """Rebuild a cached outcome block; raise if it doesn't match ``seeds``."""
+    if not isinstance(payload, list) or len(payload) != len(seeds):
+        raise ValueError("cached outcome block does not match the request")
+    outcomes: list[LifetimeOutcome] = []
+    for seed, entry in zip(seeds, payload):
+        if entry["seed"] != seed:
+            raise ValueError("cached outcome block does not match the request")
+        cause = entry["cause"]
+        if cause is not None and not isinstance(cause, str):
+            raise ValueError("cached outcome carries a malformed cause")
+        outcomes.append(
+            LifetimeOutcome(
+                spec=spec,
+                seed=int(entry["seed"]),
+                compromised=bool(entry["compromised"]),
+                steps=int(entry["steps"]),
+                time=float(entry["time"]),
+                cause=cause,
+                probes_direct=int(entry["probes_direct"]),
+                probes_indirect=int(entry["probes_indirect"]),
+            )
+        )
+    return outcomes
+
+
+def _cache_fetch(
+    cache: ResultCache, key: str, spec: SystemSpec, seeds: list[int]
+) -> Optional[list[LifetimeOutcome]]:
+    """Decoded outcomes for ``key``, or ``None`` on a (possibly
+    reclassified) miss."""
+    payload = cache.lookup(key)
+    if payload is None:
+        return None
+    try:
+        return _outcomes_from_payload(spec, payload, seeds)
+    except (KeyError, TypeError, ValueError):
+        # A readable entry that doesn't decode to the requested block is
+        # as good as corrupt: reclassify the lookup as a miss and let
+        # the caller recompute (and overwrite the entry).
+        cache.hits -= 1
+        cache.misses += 1
+        return None
+
+
 def _dispatch(
     executor: TaskExecutor,
     spec: SystemSpec,
@@ -306,8 +396,22 @@ def _dispatch(
     batch_size: int,
     build_kwargs: dict,
     scenario: "ScenarioSpec | None" = None,
+    cache: Optional[ResultCache] = None,
 ) -> list[LifetimeOutcome]:
-    """Run ``seeds`` through the executor as :class:`ProtocolTask` batches."""
+    """Run ``seeds`` through the executor as :class:`ProtocolTask` batches.
+
+    With ``cache`` set, the whole seed block is looked up first — a hit
+    skips dispatch entirely — and freshly computed blocks are stored for
+    the next run.
+    """
+    key: Optional[str] = None
+    if cache is not None:
+        key = cache.key_for(
+            _outcome_block_payload(spec, seeds, max_steps, build_kwargs, scenario)
+        )
+        cached = _cache_fetch(cache, key, spec, seeds)
+        if cached is not None:
+            return cached
     frozen_kwargs = tuple(sorted(build_kwargs.items()))
     tasks = [
         ProtocolTask(
@@ -322,6 +426,8 @@ def _dispatch(
     outcomes: list[LifetimeOutcome] = []
     for batch_outcomes in executor.map(run_protocol_task, tasks):
         outcomes.extend(batch_outcomes)
+    if cache is not None and key is not None:
+        cache.store(key, [_outcome_payload(o) for o in outcomes])
     return outcomes
 
 
@@ -340,6 +446,7 @@ def estimate_protocol_lifetime(
     seed_for: Callable[[int], int] | None = None,
     executor: "TaskExecutor | None" = None,
     scenario: "ScenarioSpec | None" = None,
+    cache: Optional[ResultCache] = None,
     **build_kwargs,
 ) -> LifetimeEstimate:
     """Estimate the expected lifetime from independent protocol runs.
@@ -366,6 +473,11 @@ def estimate_protocol_lifetime(
     (adversary strategy, seeded fault plan, workload) — see
     :func:`run_protocol_lifetime`; all fan-out guarantees hold
     unchanged because the scenario travels inside the task.
+
+    ``cache`` consults a :class:`~repro.cache.ResultCache` before every
+    dispatch: seed blocks already on disk skip simulation entirely, and
+    fresh blocks are stored for the next run.  Because seeds are fixed
+    before dispatch, cached and recomputed estimates are bit-identical.
     """
     from ..mc.executor import TaskExecutor  # deferred: avoids cycle
 
@@ -384,7 +496,7 @@ def estimate_protocol_lifetime(
             raise ConfigurationError(f"trials must be >= 1, got {trials}")
         seeds = [seed_for(i) for i in range(trials)]
         outcomes = _dispatch(
-            executor, spec, seeds, max_steps, batch_size, build_kwargs, scenario
+            executor, spec, seeds, max_steps, batch_size, build_kwargs, scenario, cache
         )
         return _aggregate(spec, outcomes)
 
@@ -422,6 +534,7 @@ def estimate_protocol_lifetime(
                     batch_size,
                     build_kwargs,
                     scenario,
+                    cache,
                 )
             )
             if len(outcomes) < min_trials:

@@ -120,6 +120,26 @@ class SystemSpec:
         scheme = "PO" if self.scheme is Scheme.PO else "SO"
         return f"{self.system.value}{scheme}"
 
+    def as_dict(self) -> dict:
+        """JSON-ready plain-dict form (enum members by name).
+
+        Covers *every* field, so two specs serialize equal iff they are
+        equal — the property the content-addressed result cache keys
+        rely on (:mod:`repro.cache.keys`).
+        """
+        return {
+            "system": self.system.value,
+            "scheme": self.scheme.name,
+            "entropy_bits": self.entropy_bits,
+            "alpha": self.alpha,
+            "kappa": self.kappa,
+            "launchpad_fraction": self.launchpad_fraction,
+            "n_servers": self.n_servers,
+            "n_proxies": self.n_proxies,
+            "f": self.f,
+            "period": self.period,
+        }
+
     def with_alpha(self, alpha: float) -> "SystemSpec":
         """Copy of this spec at a different attacker strength."""
         return replace(self, alpha=alpha)

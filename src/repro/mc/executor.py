@@ -10,13 +10,20 @@ protocol-level campaigns:
   early stopping: callers ask for a target relative precision instead of
   a trial count;
 * :class:`TaskExecutor` — the generic seeded fan-out: maps a picklable
-  function over a sequence of picklable tasks across worker processes,
-  preserving input order.  Tasks must carry their own seeds, fixed
-  *before* dispatch, so results are bit-identical for any worker count —
-  including the serial fallback used when process pools are unavailable
-  (sandboxes, restricted CI runners), and including mid-campaign pool
-  breakage, where completed results are kept and only the unfinished
-  tasks re-run serially;
+  function over a sequence of picklable tasks, preserving input order.
+  Tasks must carry their own seeds, fixed *before* dispatch, so results
+  are bit-identical for any worker count — including the serial
+  fallback used when process pools are unavailable (sandboxes,
+  restricted CI runners), and including mid-campaign pool breakage,
+  where completed results are kept and only the unfinished tasks re-run
+  serially;
+* :class:`ExecutorBackend` — *where* the tasks actually run, as a
+  strategy object: :class:`SerialBackend` runs them in-process,
+  :class:`LocalPoolBackend` fans them over a local process pool with
+  the partial-result breakage semantics above.  A multi-host backend
+  only has to implement the same two-method surface (``map`` +
+  lifecycle) and uphold the same contract: ordered results, one result
+  per task, completed work preserved across backend failure;
 * :class:`SweepExecutor` — the Monte-Carlo instantiation: one
   :class:`MCTask` per sweep grid point.
 
@@ -127,10 +134,17 @@ class StreamingMoments:
         return Z_95 * self.std / float(np.sqrt(self.count))
 
     def to_stats(self) -> SummaryStats:
-        """Freeze the accumulator into a :class:`SummaryStats`."""
+        """Freeze the accumulator into a :class:`SummaryStats`.
+
+        A single-sample accumulator reports an *infinite* CI half-width
+        (``ci_low = -inf``, ``ci_high = +inf``): one draw carries no
+        spread information, and a zero-width interval there is
+        indistinguishable from a converged estimate — a ``precision=``
+        stopping rule must never be satisfiable by a 1-sample batch.
+        """
         if self.count == 0:
             raise ConfigurationError("cannot summarize an empty accumulator")
-        half = self.ci_halfwidth if self.count > 1 else 0.0
+        half = self.ci_halfwidth
         return SummaryStats(
             n=self.count,
             mean=self.mean,
@@ -243,42 +257,72 @@ TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
 
 
-class TaskExecutor:
-    """Maps a picklable function over picklable tasks, in order.
+class ExecutorBackend:
+    """Where a :class:`TaskExecutor`'s tasks actually run (strategy).
 
-    The generic seeded fan-out behind both the Monte-Carlo sweeps and
-    the protocol-level campaigns.  ``workers`` ≤ 1 (or ``None``) runs
-    serially in-process; larger values fan the tasks out over a process
-    pool.  Determinism is the caller's contract: every task must carry
-    its own pre-derived seed (never derive randomness from worker
-    identity), which is what makes the two modes return bit-identical
-    results.  If the platform refuses to start a pool — or the pool
-    breaks mid-campaign — the executor degrades to the serial path with
-    a warning instead of failing, preserving every result the pool
-    already completed and re-running only the unfinished tasks.
+    The contract every backend must uphold, in order of importance:
+
+    * :meth:`map` returns **exactly one result per task, in input
+      order** — never duplicated, never reordered, even when the
+      backend's transport breaks mid-round;
+    * work already completed when the transport breaks is **preserved**,
+      and only the unfinished tasks are re-run (on the in-process serial
+      path, the universal fallback);
+    * task-level exceptions raised by ``fn`` itself propagate unchanged
+      — only transport-level failures may be absorbed into a fallback.
+
+    Determinism stays the *caller's* contract (every task carries its
+    own pre-derived seed), which is what makes any two backends return
+    bit-identical results.  :meth:`open` / :meth:`close` bracket a
+    persistent scope: between them the backend may keep expensive
+    resources (a process pool, a connection) alive across rounds.
     """
 
-    def __init__(self, workers: int | None = None) -> None:
-        self.workers = resolve_workers(workers)
+    def map(self, fn: Callable[[TaskT], ResultT], tasks: list) -> list:
+        raise NotImplementedError
+
+    def open(self) -> None:
+        """Enter a persistent scope (keep resources across rounds)."""
+
+    def close(self) -> None:
+        """Leave the persistent scope and release resources."""
+
+
+class SerialBackend(ExecutorBackend):
+    """Runs every task in-process, in order — the universal fallback.
+
+    Also the explicit choice for ``workers=1``: no pool startup cost,
+    no pickling, bit-identical to every other backend by the seeding
+    contract.
+    """
+
+    def map(self, fn: Callable[[TaskT], ResultT], tasks: list) -> list:
+        return [fn(task) for task in tasks]
+
+
+class LocalPoolBackend(ExecutorBackend):
+    """Fans tasks over a local :class:`ProcessPoolExecutor`.
+
+    Degrades instead of failing: if the platform refuses to start a
+    pool, or the pool breaks mid-round, completed results are kept and
+    the unfinished tasks re-run serially with a warning.  A broken
+    persistent pool is discarded and replaced on the next round.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ConfigurationError(
+                f"LocalPoolBackend needs >= 2 workers, got {workers} "
+                "(use SerialBackend for in-process execution)"
+            )
+        self.workers = workers
         self._pool: ProcessPoolExecutor | None = None
         self._persistent = False
 
-    def __enter__(self) -> "TaskExecutor":
-        """Hold one process pool open across several :meth:`map` calls.
-
-        Streaming callers (CI-width early stopping) dispatch many small
-        rounds; without a persistent pool every round would pay full
-        pool startup.  Outside a ``with`` block each call still uses an
-        ephemeral pool.
-        """
+    def open(self) -> None:
         self._persistent = True
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
 
     def close(self) -> None:
-        """Shut down the persistent pool, if one is open."""
         self._persistent = False
         if self._pool is not None:
             self._pool.shutdown()
@@ -299,21 +343,10 @@ class TaskExecutor:
         if self._pool is pool:
             self._pool = None
 
-    def map(
-        self, fn: Callable[[TaskT], ResultT], tasks: Sequence[TaskT]
-    ) -> list[ResultT]:
-        """Apply ``fn`` to every task, preserving input order.
-
-        ``fn`` must be a module-level function (picklable) when the
-        executor fans out over processes.  Task-level exceptions raised
-        inside a healthy worker propagate unchanged; only pool-level
-        failures (startup refusal, broken pool) trigger the serial
-        fallback.
-        """
-        tasks = list(tasks)
-        if self.workers <= 1 or len(tasks) <= 1:
+    def map(self, fn: Callable[[TaskT], ResultT], tasks: list) -> list:
+        if len(tasks) <= 1:
             return [fn(task) for task in tasks]
-        results: list[ResultT] = []
+        results: list = []
         warned = False
         try:
             pool = self._acquire_pool()
@@ -322,7 +355,7 @@ class TaskExecutor:
                 f"process pool unavailable ({exc!r}); falling back to "
                 "serial task execution",
                 RuntimeWarning,
-                stacklevel=2,
+                stacklevel=3,
             )
             return [fn(task) for task in tasks]
         broken = False
@@ -332,14 +365,17 @@ class TaskExecutor:
             except (OSError, PermissionError, BrokenProcessPool) as exc:
                 # A persistent pool can break *between* map() rounds (a
                 # worker died while idle); submit() then raises before
-                # any future exists.  Degrade to serial for the whole
-                # round — per-task seeds make the outcome identical.
+                # every future exists.  Discard the pool FIRST — tasks
+                # submitted before the failure must be cancelled so no
+                # task can run both in a worker and on the serial
+                # fallback — then run the whole round serially.
                 broken = True
+                self._discard_pool(pool, broken=True)
                 warnings.warn(
                     f"process pool unavailable ({exc!r}); running this "
                     "round of tasks serially",
                     RuntimeWarning,
-                    stacklevel=2,
+                    stacklevel=3,
                 )
                 return [fn(task) for task in tasks]
             for task, future in zip(tasks, futures):
@@ -347,18 +383,19 @@ class TaskExecutor:
                     results.append(future.result())
                 except (OSError, PermissionError, BrokenProcessPool) as exc:
                     # Keep every result already computed; only the tasks
-                    # the broken pool never finished re-run serially.
-                    # (Per-task seeds make the outcome identical either
-                    # way.)  Task-level errors from inside a healthy
-                    # worker — e.g. UnsampleableSpecError — re-raise
-                    # above unchanged.
+                    # the broken pool never finished re-run serially —
+                    # in input order, exactly once each.  (Per-task
+                    # seeds make the outcome identical either way.)
+                    # Task-level errors from inside a healthy worker —
+                    # e.g. UnsampleableSpecError — re-raise above
+                    # unchanged.
                     broken = True
                     if not warned:
                         warnings.warn(
                             f"process pool unavailable ({exc!r}); running "
                             "remaining tasks serially",
                             RuntimeWarning,
-                            stacklevel=2,
+                            stacklevel=3,
                         )
                         warned = True
                     results.append(fn(task))
@@ -366,6 +403,76 @@ class TaskExecutor:
             if broken or not self._persistent:
                 self._discard_pool(pool, broken)
         return results
+
+
+def backend_for(workers: int) -> ExecutorBackend:
+    """The default backend for a resolved worker count."""
+    if workers <= 1:
+        return SerialBackend()
+    return LocalPoolBackend(workers)
+
+
+class TaskExecutor:
+    """Maps a picklable function over picklable tasks, in order.
+
+    The generic seeded fan-out behind both the Monte-Carlo sweeps and
+    the protocol-level campaigns.  *How* the tasks run is delegated to
+    a pluggable :class:`ExecutorBackend`: ``workers`` ≤ 1 (or ``None``)
+    selects the in-process :class:`SerialBackend`, larger values a
+    :class:`LocalPoolBackend` process pool, and ``backend=`` installs
+    any other implementation of the interface (e.g. a future multi-host
+    work-queue backend).  Determinism is the caller's contract: every
+    task must carry its own pre-derived seed (never derive randomness
+    from worker identity), which is what makes all backends return
+    bit-identical results.  Backend-transport failures degrade to the
+    serial path with a warning instead of failing, preserving every
+    result already completed and re-running only the unfinished tasks.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        backend: ExecutorBackend | None = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.backend = backend if backend is not None else backend_for(self.workers)
+
+    @property
+    def _pool(self) -> ProcessPoolExecutor | None:
+        """The live process pool, if the backend holds one (tests peek)."""
+        return getattr(self.backend, "_pool", None)
+
+    def __enter__(self) -> "TaskExecutor":
+        """Hold the backend's resources open across :meth:`map` calls.
+
+        Streaming callers (CI-width early stopping) dispatch many small
+        rounds; without a persistent pool every round would pay full
+        pool startup.  Outside a ``with`` block each call still uses an
+        ephemeral pool.
+        """
+        self.backend.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the backend's persistent scope, if one is open."""
+        self.backend.close()
+
+    def map(
+        self, fn: Callable[[TaskT], ResultT], tasks: Sequence[TaskT]
+    ) -> list[ResultT]:
+        """Apply ``fn`` to every task, preserving input order.
+
+        ``fn`` must be a module-level function (picklable) when the
+        backend ships tasks out of process.  Task-level exceptions
+        raised inside a healthy worker propagate unchanged; only
+        backend-transport failures (startup refusal, broken pool)
+        trigger the serial fallback.
+        """
+        return self.backend.map(fn, list(tasks))
 
 
 class SweepExecutor(TaskExecutor):

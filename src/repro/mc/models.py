@@ -238,9 +238,7 @@ class S2POStepModel(LifetimeModel):
                     break  # all proxies held simultaneously
                 q_server = self._q_indirect
                 if fallen >= 1:
-                    q_server += self._q_launchpad * launchpad_window_scale(
-                        fallen
-                    )
+                    q_server += self._q_launchpad * launchpad_window_scale(fallen)
                 if rng.random() < q_server:
                     break  # server key found (indirect or launch pad)
                 steps += 1

@@ -69,11 +69,15 @@ class MCEstimate:
 
 
 def summarize_array(values: np.ndarray) -> SummaryStats:
-    """95% normal-interval summary of a sample array."""
+    """95% normal-interval summary of a sample array.
+
+    Single-sample arrays carry an infinite CI half-width (one draw has
+    no spread information — see :func:`repro.metrics.stats.summarize`).
+    """
     n = int(values.size)
     mean = float(values.mean())
     std = float(values.std(ddof=1)) if n > 1 else 0.0
-    half = float(Z_95 * std / np.sqrt(n)) if n > 1 else 0.0
+    half = float(Z_95 * std / np.sqrt(n)) if n > 1 else float("inf")
     return SummaryStats(
         n=n,
         mean=mean,

@@ -63,7 +63,13 @@ class SummaryStats:
 
 
 def summarize(values: Sequence[float]) -> SummaryStats:
-    """Compute :class:`SummaryStats` over a non-empty sample."""
+    """Compute :class:`SummaryStats` over a non-empty sample.
+
+    A single observation carries no spread information, so its interval
+    is *infinite* (``ci_low = -inf``, ``ci_high = +inf``) — a zero-width
+    CI there would be indistinguishable from a converged estimate and
+    could satisfy a precision-targeted stopping rule vacuously.
+    """
     if not values:
         raise AnalysisError("cannot summarize an empty sample")
     n = len(values)
@@ -73,7 +79,7 @@ def summarize(values: Sequence[float]) -> SummaryStats:
     else:
         var = 0.0
     std = math.sqrt(var)
-    half = Z_95 * std / math.sqrt(n) if n > 1 else 0.0
+    half = Z_95 * std / math.sqrt(n) if n > 1 else math.inf
     return SummaryStats(
         n=n,
         mean=mean,

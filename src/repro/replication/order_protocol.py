@@ -136,8 +136,11 @@ class OrderingState:
     def committed_slots(self, view: int) -> list[Slot]:
         """All committed slots of ``view`` in seq order."""
         return sorted(
-            (s for (v, _), s in self._slots.items()
-             if v == view and s.phase is SlotPhase.COMMITTED),
+            (
+                s
+                for (v, _), s in self._slots.items()
+                if v == view and s.phase is SlotPhase.COMMITTED
+            ),
             key=lambda s: s.seq,
         )
 

@@ -99,9 +99,7 @@ def render_campaign_table(
         bound = ">=" if estimate.censored else ""
         # κ only parameterizes S2 (Definition 5): showing the grid
         # placeholder for S0/S1 rows would misrepresent the run.
-        kappa = (
-            format_quantity(spec.kappa) if spec.system is SystemClass.S2 else "-"
-        )
+        kappa = format_quantity(spec.kappa) if spec.system is SystemClass.S2 else "-"
         ci_note = "" if estimate.converged else " (unconverged)"
         row = [
             spec.label,
@@ -137,9 +135,7 @@ def render_series_table(
     xs = series_list[0].xs
     for series in series_list[1:]:
         if series.xs != xs:
-            raise ConfigurationError(
-                f"series {series.label!r} has a different x grid"
-            )
+            raise ConfigurationError(f"series {series.label!r} has a different x grid")
     headers = [x_header or series_list[0].x_name] + [s.label for s in series_list]
     rows = []
     for i, x in enumerate(xs):

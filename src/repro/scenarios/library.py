@@ -142,9 +142,7 @@ def stealth_prober() -> ScenarioSpec:
         ),
         systems=("s2",),
         schemes=("so",),
-        adversary=AdversarySpec(
-            kind="stealth", duty_fraction=0.5, cycle_periods=2.0
-        ),
+        adversary=AdversarySpec(kind="stealth", duty_fraction=0.5, cycle_periods=2.0),
     )
 
 
@@ -178,9 +176,7 @@ def combined_stress() -> ScenarioSpec:
         systems=("s2",),
         schemes=("so",),
         timing="degraded",
-        adversary=AdversarySpec(
-            kind="stealth", duty_fraction=0.5, cycle_periods=2.0
-        ),
+        adversary=AdversarySpec(kind="stealth", duty_fraction=0.5, cycle_periods=2.0),
         faults=FaultPlanSpec(
             kind="crash_storm",
             tier="servers",

@@ -40,9 +40,7 @@ def register_scenario(factory: ScenarioFactory) -> ScenarioFactory:
             f"{type(spec).__name__}, not a ScenarioSpec"
         )
     if spec.name in _REGISTRY:
-        raise ConfigurationError(
-            f"scenario {spec.name!r} is already registered"
-        )
+        raise ConfigurationError(f"scenario {spec.name!r} is already registered")
     _REGISTRY[spec.name] = spec
     return factory
 
@@ -60,9 +58,7 @@ def get_scenario(name: str) -> ScenarioSpec:
     spec = _REGISTRY.get(name)
     if spec is None:
         known = ", ".join(sorted(_REGISTRY)) or "(none)"
-        raise ConfigurationError(
-            f"unknown scenario {name!r}; registered: {known}"
-        )
+        raise ConfigurationError(f"unknown scenario {name!r}; registered: {known}")
     return spec
 
 

@@ -156,9 +156,7 @@ class FaultPlanSpec:
                     raise ConfigurationError(
                         f"bad loss window ({start}, {rate}, {duration})"
                     )
-        if self.kind == "rolling_outages" and (
-            self.down_steps >= self.period_steps
-        ):
+        if self.kind == "rolling_outages" and (self.down_steps >= self.period_steps):
             raise ConfigurationError(
                 "rolling outages must not overlap "
                 f"(down {self.down_steps} >= period {self.period_steps})"

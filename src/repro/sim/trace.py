@@ -97,9 +97,7 @@ class TraceRecorder:
         process.add_state_listener(
             lambda p: self.record("state", p.name, state=p.state.value)
         )
-        process.add_compromise_listener(
-            lambda p: self.record("compromise", p.name)
-        )
+        process.add_compromise_listener(lambda p: self.record("compromise", p.name))
 
     def attach_obfuscation(self, manager) -> None:
         """Trace epoch boundaries of an obfuscation manager."""

@@ -13,6 +13,17 @@ from repro.randomization.keyspace import KeySpace
 from repro.sim.engine import Simulator
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch) -> None:
+    """Point the campaign result cache into the test's tmp dir.
+
+    CLI campaign commands cache results under ``~/.cache`` by default;
+    tests must neither read a developer's warm cache (hiding real
+    regressions behind stale hits) nor pollute it.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     """A fresh simulator with a fixed seed."""

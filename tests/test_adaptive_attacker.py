@@ -140,9 +140,7 @@ def test_siege_mode_blunts_identity_rotation():
     # Per-source thresholds too lax to bite on their own; only the
     # aggregate analysis differs between the two deployments.
     per_source_only = DetectionPolicy(window=5.0, threshold=1000)
-    with_siege = DetectionPolicy(
-        window=5.0, threshold=1000, aggregate_threshold=5
-    )
+    with_siege = DetectionPolicy(window=5.0, threshold=1000, aggregate_threshold=5)
 
     probes = {}
     for label, policy in (("plain", per_source_only), ("siege", with_siege)):
@@ -188,9 +186,7 @@ def test_aimd_rate_backs_off_on_rotation():
 def test_identity_budget_exhaustion_stops_prober():
     policy = DetectionPolicy(window=5.0, threshold=2)
     deployed, attacker = build_fortress(policy, seed=55)
-    prober = mount_adaptive(
-        deployed, attacker, initial_rate=10.0, max_identities=2
-    )
+    prober = mount_adaptive(deployed, attacker, initial_rate=10.0, max_identities=2)
     deployed.start()
     deployed.sim.run(until=40.0)
     assert prober.identities_used == 2

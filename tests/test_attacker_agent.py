@@ -159,7 +159,9 @@ def test_launchpad_spawns_on_proxy_compromise_and_stops_on_refresh():
 
 def test_launchpad_single_stream_even_with_two_proxies():
     sim, network, attacker = build_arena(entropy=10, omega=4.0)
-    proxies = [add_target(sim, network, f"proxy-{i}", entropy=10, seed=i) for i in range(2)]
+    proxies = [
+        add_target(sim, network, f"proxy-{i}", entropy=10, seed=i) for i in range(2)
+    ]
     server = add_target(sim, network, "server-0", entropy=10, seed=9)
     attacker.enable_launchpad(proxies, ["server-0"], pool_id="server-tier")
     proxies[0].mark_compromised()
@@ -169,7 +171,9 @@ def test_launchpad_single_stream_even_with_two_proxies():
 
 def test_launchpad_fails_over_to_other_compromised_proxy():
     sim, network, attacker = build_arena(entropy=12, omega=4.0)
-    proxies = [add_target(sim, network, f"proxy-{i}", entropy=12, seed=i) for i in range(2)]
+    proxies = [
+        add_target(sim, network, f"proxy-{i}", entropy=12, seed=i) for i in range(2)
+    ]
     server = add_target(sim, network, "server-0", entropy=12, seed=9)
     attacker.enable_launchpad(proxies, ["server-0"], pool_id="server-tier")
     proxies[0].mark_compromised()

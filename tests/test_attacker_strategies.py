@@ -21,7 +21,9 @@ from repro.randomization.obfuscation import Scheme
 
 def _arena(spec, seed=3, stop_on_compromise=False):
     deployed = build_system(
-        spec, seed=seed, timing=TimingSpec.paper(),
+        spec,
+        seed=seed,
+        timing=TimingSpec.paper(),
         stop_on_compromise=stop_on_compromise,
     )
     attacker = AttackerProcess(
@@ -47,7 +49,9 @@ def test_duty_cycle_throttles_long_run_rate():
         deployed, attacker = _arena(spec)
         if duty:
             attacker.attack_direct_duty_cycled(
-                deployed.servers[0], on_fraction=0.5, cycle_periods=2.0,
+                deployed.servers[0],
+                on_fraction=0.5,
+                cycle_periods=2.0,
                 pool_id="server-tier",
             )
         else:
@@ -68,7 +72,9 @@ def test_duty_cycle_probes_only_inside_on_windows():
     deployed, attacker = _arena(spec)
     fired: list[float] = []
     driver = attacker.attack_direct_duty_cycled(
-        deployed.servers[0], on_fraction=0.25, cycle_periods=2.0,
+        deployed.servers[0],
+        on_fraction=0.25,
+        cycle_periods=2.0,
         pool_id="server-tier",
     )
     original = DutyCycledProbeDriver._fire
@@ -134,10 +140,7 @@ def test_coordinated_agents_share_one_pool_without_duplicates():
     single_attacker.attack_direct(single_deployed.proxies[0])
     single_deployed.start()
     single_deployed.sim.run(until=2.0)
-    assert (
-        abs(attacker.probes_sent_direct - single_attacker.probes_sent_direct)
-        <= 3
-    )
+    assert (abs(attacker.probes_sent_direct - single_attacker.probes_sent_direct) <= 3)
 
 
 def test_coordinated_attack_reaches_compromise_deterministically():

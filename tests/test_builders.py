@@ -93,7 +93,9 @@ def test_s0_attacker_one_stream_per_replica():
 
 
 def test_s2_attacker_campaign_composition():
-    deployed = build_system(s2(Scheme.PO, alpha=0.05, kappa=0.5, entropy_bits=8), seed=8)
+    deployed = build_system(
+        s2(Scheme.PO, alpha=0.05, kappa=0.5, entropy_bits=8), seed=8
+    )
     attacker = attach_attacker(deployed)
     assert len(attacker._drivers) == 3  # one direct stream per proxy
     assert len(attacker._indirect) == 1
@@ -101,7 +103,9 @@ def test_s2_attacker_campaign_composition():
 
 
 def test_s2_kappa_zero_means_no_indirect_stream():
-    deployed = build_system(s2(Scheme.PO, alpha=0.05, kappa=0.0, entropy_bits=8), seed=9)
+    deployed = build_system(
+        s2(Scheme.PO, alpha=0.05, kappa=0.0, entropy_bits=8), seed=9
+    )
     attacker = attach_attacker(deployed)
     assert attacker._indirect == []
 

@@ -48,8 +48,16 @@ def test_figure2(capsys):
 
 def test_lifetime_command_analytic_and_mc(capsys):
     code, out, err = run_cli(
-        capsys, "lifetime", "--system", "s1", "--scheme", "po",
-        "--alpha", "0.01", "--trials", "5000",
+        capsys,
+        "lifetime",
+        "--system",
+        "s1",
+        "--scheme",
+        "po",
+        "--alpha",
+        "0.01",
+        "--trials",
+        "5000",
     )
     assert code == 0
     assert "analytic EL" in out and "99" in out
@@ -58,8 +66,16 @@ def test_lifetime_command_analytic_and_mc(capsys):
 
 def test_lifetime_s2so_small_alpha_degrades_gracefully(capsys):
     code, out, err = run_cli(
-        capsys, "lifetime", "--system", "s2", "--scheme", "so",
-        "--alpha", "1e-5", "--trials", "2000",
+        capsys,
+        "lifetime",
+        "--system",
+        "s2",
+        "--scheme",
+        "so",
+        "--alpha",
+        "1e-5",
+        "--trials",
+        "2000",
     )
     assert code == 0
     assert "unavailable" in out  # analytic refuses, MC still reported
@@ -68,9 +84,20 @@ def test_lifetime_s2so_small_alpha_degrades_gracefully(capsys):
 
 def test_protocol_command(capsys):
     code, out, err = run_cli(
-        capsys, "protocol", "--system", "s1", "--scheme", "so",
-        "--alpha", "0.1", "--entropy-bits", "8",
-        "--trials", "3", "--max-steps", "50",
+        capsys,
+        "protocol",
+        "--system",
+        "s1",
+        "--scheme",
+        "so",
+        "--alpha",
+        "0.1",
+        "--entropy-bits",
+        "8",
+        "--trials",
+        "3",
+        "--max-steps",
+        "50",
     )
     assert code == 0
     assert "mean EL" in out
@@ -79,9 +106,22 @@ def test_protocol_command(capsys):
 
 def test_protocol_command_with_workers_and_precision(capsys):
     code, out, err = run_cli(
-        capsys, "protocol", "--system", "s1", "--scheme", "so",
-        "--alpha", "0.2", "--entropy-bits", "6",
-        "--max-steps", "60", "--workers", "2", "--precision", "0.3",
+        capsys,
+        "protocol",
+        "--system",
+        "s1",
+        "--scheme",
+        "so",
+        "--alpha",
+        "0.2",
+        "--entropy-bits",
+        "6",
+        "--max-steps",
+        "60",
+        "--workers",
+        "2",
+        "--precision",
+        "0.3",
     )
     assert code == 0
     assert "95% CI" in out
@@ -90,9 +130,23 @@ def test_protocol_command_with_workers_and_precision(capsys):
 
 def test_protocol_sweep_command(capsys):
     code, out, err = run_cli(
-        capsys, "protocol-sweep", "--systems", "s1", "s2",
-        "--schemes", "so", "--alphas", "0.2", "--kappas", "0.5",
-        "--entropy-bits", "6", "--trials", "3", "--max-steps", "40",
+        capsys,
+        "protocol-sweep",
+        "--systems",
+        "s1",
+        "s2",
+        "--schemes",
+        "so",
+        "--alphas",
+        "0.2",
+        "--kappas",
+        "0.5",
+        "--entropy-bits",
+        "6",
+        "--trials",
+        "3",
+        "--max-steps",
+        "40",
     )
     assert code == 0
     assert "Protocol campaign" in out
@@ -102,14 +156,38 @@ def test_protocol_sweep_command(capsys):
 
 def test_protocol_sweep_worker_invariant_output(capsys):
     argv = [
-        "protocol-sweep", "--systems", "s1", "--schemes", "so",
-        "--alphas", "0.2", "--entropy-bits", "6",
-        "--trials", "4", "--max-steps", "40", "--seed", "5",
+        "protocol-sweep",
+        "--systems",
+        "s1",
+        "--schemes",
+        "so",
+        "--alphas",
+        "0.2",
+        "--entropy-bits",
+        "6",
+        "--trials",
+        "4",
+        "--max-steps",
+        "40",
+        "--seed",
+        "5",
     ]
     code_a, out_a, _ = run_cli(capsys, *argv)
     code_b, out_b, _ = run_cli(capsys, *argv, "--workers", "2")
     assert code_a == code_b == 0
-    assert out_a == out_b
+
+    def sans_cache_line(text):
+        return [
+            line
+            for line in text.splitlines()
+            if not line.startswith("result cache:")
+        ]
+
+    assert sans_cache_line(out_a) == sans_cache_line(out_b)
+    # Cache keys never see the fan-out: the serial run's entry satisfies
+    # the workers=2 rerun wholesale.
+    assert "result cache: 0 hits, 1 misses" in out_a
+    assert "result cache: 1 hits, 0 misses" in out_b
 
 
 def test_advise_fortress_vs_smr(capsys):
@@ -121,9 +199,7 @@ def test_advise_fortress_vs_smr(capsys):
 
 
 def test_advise_high_kappa_prefers_plain_pb(capsys):
-    code, out, err = run_cli(
-        capsys, "advise", "--alpha", "0.01", "--kappa", "0.99"
-    )
+    code, out, err = run_cli(capsys, "advise", "--alpha", "0.01", "--kappa", "0.99")
     assert code == 0
     assert "plain PB" in out
 
@@ -133,10 +209,24 @@ def test_protocol_sweep_timing_and_output(capsys, tmp_path):
 
     out_path = tmp_path / "sweep.json"
     code, out, err = run_cli(
-        capsys, "protocol-sweep",
-        "--systems", "s1", "--schemes", "so", "--alphas", "0.2",
-        "--entropy-bits", "6", "--trials", "4", "--max-steps", "80",
-        "--timing", "ideal", "--output", str(out_path),
+        capsys,
+        "protocol-sweep",
+        "--systems",
+        "s1",
+        "--schemes",
+        "so",
+        "--alphas",
+        "0.2",
+        "--entropy-bits",
+        "6",
+        "--trials",
+        "4",
+        "--max-steps",
+        "80",
+        "--timing",
+        "ideal",
+        "--output",
+        str(out_path),
     )
     assert code == 0
     assert "timing=ideal" in out
@@ -151,18 +241,21 @@ def test_protocol_sweep_rejects_unknown_timing(capsys):
     import pytest as _pytest
 
     with _pytest.raises(SystemExit):
-        build_parser().parse_args(
-            ["protocol-sweep", "--timing", "warp-speed"]
-        )
+        build_parser().parse_args(["protocol-sweep", "--timing", "warp-speed"])
 
 
 def test_scenario_list_shows_builtin_library(capsys):
     code, out, err = run_cli(capsys, "scenario", "list")
     assert code == 0
     names = [
-        "paper-baseline", "crash-storm-under-attack", "rolling-outages",
-        "partitioned-attacker", "lossy-wan", "degraded-timing",
-        "stealth-prober", "coordinated-attacker",
+        "paper-baseline",
+        "crash-storm-under-attack",
+        "rolling-outages",
+        "partitioned-attacker",
+        "lossy-wan",
+        "degraded-timing",
+        "stealth-prober",
+        "coordinated-attacker",
     ]
     for name in names:
         assert name in out
@@ -181,8 +274,14 @@ def test_scenario_show_round_trips_through_json(capsys):
 
 def test_scenario_run_command(capsys):
     code, out, err = run_cli(
-        capsys, "scenario", "run", "crash-storm-under-attack",
-        "--trials", "3", "--max-steps", "40",
+        capsys,
+        "scenario",
+        "run",
+        "crash-storm-under-attack",
+        "--trials",
+        "3",
+        "--max-steps",
+        "40",
     )
     assert code == 0
     assert "Scenario crash-storm-under-attack" in out
@@ -194,13 +293,29 @@ def test_scenario_run_worker_invariant_output(capsys):
     """The acceptance guarantee at the user surface: a scenario run is
     bit-identical for any worker count."""
     argv = [
-        "scenario", "run", "crash-storm-under-attack",
-        "--trials", "3", "--max-steps", "40", "--seed", "5",
+        "scenario",
+        "run",
+        "crash-storm-under-attack",
+        "--trials",
+        "3",
+        "--max-steps",
+        "40",
+        "--seed",
+        "5",
     ]
     code_a, out_a, _ = run_cli(capsys, *argv, "--workers", "1")
     code_b, out_b, _ = run_cli(capsys, *argv, "--workers", "2")
     assert code_a == code_b == 0
-    assert out_a == out_b
+
+    def sans_cache_line(text):
+        return [
+            line
+            for line in text.splitlines()
+            if not line.startswith("result cache:")
+        ]
+
+    # Identical modulo the cache tally (run b replays run a's entries).
+    assert sans_cache_line(out_a) == sans_cache_line(out_b)
 
 
 def test_scenario_run_writes_self_describing_record(capsys, tmp_path):
@@ -208,8 +323,16 @@ def test_scenario_run_writes_self_describing_record(capsys, tmp_path):
 
     out_path = tmp_path / "scenario.json"
     code, out, err = run_cli(
-        capsys, "scenario", "run", "rolling-outages",
-        "--trials", "2", "--max-steps", "30", "--output", str(out_path),
+        capsys,
+        "scenario",
+        "run",
+        "rolling-outages",
+        "--trials",
+        "2",
+        "--max-steps",
+        "30",
+        "--output",
+        str(out_path),
     )
     assert code == 0
     record = json.loads(out_path.read_text())
@@ -228,8 +351,14 @@ def test_scenario_unknown_name_fails_cleanly(capsys):
 
 def test_protocol_sweep_scenario_flag(capsys):
     code, out, err = run_cli(
-        capsys, "protocol-sweep", "--scenario", "degraded-timing",
-        "--trials", "2", "--max-steps", "30",
+        capsys,
+        "protocol-sweep",
+        "--scenario",
+        "degraded-timing",
+        "--trials",
+        "2",
+        "--max-steps",
+        "30",
     )
     assert code == 0
     assert "scenario=degraded-timing" in out
@@ -238,9 +367,22 @@ def test_protocol_sweep_scenario_flag(capsys):
 
 def test_protocol_command_accepts_timing(capsys):
     code, out, err = run_cli(
-        capsys, "protocol", "--system", "s1", "--scheme", "so",
-        "--alpha", "0.2", "--entropy-bits", "6", "--trials", "4",
-        "--max-steps", "80", "--timing", "degraded",
+        capsys,
+        "protocol",
+        "--system",
+        "s1",
+        "--scheme",
+        "so",
+        "--alpha",
+        "0.2",
+        "--entropy-bits",
+        "6",
+        "--trials",
+        "4",
+        "--max-steps",
+        "80",
+        "--timing",
+        "degraded",
     )
     assert code == 0
     assert "protocol-level lifetimes" in out

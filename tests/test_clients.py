@@ -70,7 +70,9 @@ def test_client_survives_primary_failover():
 
 
 def test_workload_stop_is_clean():
-    deployed, clients = run_workload(s1(Scheme.PO, alpha=0.001, entropy_bits=8), until=2.0)
+    deployed, clients = run_workload(
+        s1(Scheme.PO, alpha=0.001, entropy_bits=8), until=2.0
+    )
     client = clients[0]
     client.stop_workload()
     count = client.requests_sent

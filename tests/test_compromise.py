@@ -92,9 +92,7 @@ def test_stop_on_compromise_halts_simulation():
 def test_monitor_records_node_events_and_first_cause_only():
     sim = Simulator()
     servers = make_nodes(sim, 3, "server")
-    monitor = CompromiseMonitor(
-        sim, SystemClass.S1, servers, stop_on_compromise=False
-    )
+    monitor = CompromiseMonitor(sim, SystemClass.S1, servers, stop_on_compromise=False)
     servers[0].mark_compromised()
     first_time = monitor.compromised_at
     servers[1].mark_compromised()

@@ -25,7 +25,9 @@ def test_chi_from_entropy():
 def test_alpha_omega_inverse():
     chi = 65536
     for alpha in (1e-5, 1e-3, 0.5):
-        assert alpha_from_omega(omega_from_alpha(alpha, chi), chi) == pytest.approx(alpha)
+        assert alpha_from_omega(omega_from_alpha(alpha, chi), chi) == pytest.approx(
+            alpha
+        )
 
 
 def test_alpha_from_omega_caps_at_one():

@@ -1,0 +1,217 @@
+"""Tests for the pluggable executor backends.
+
+Locks down the :class:`~repro.mc.executor.ExecutorBackend` strategy
+split and — with a monkeypatched flaky pool — the exactly-once /
+in-order guarantees of the pool-breakage recovery paths:
+
+* mid-map breakage keeps every result a worker already computed and
+  re-runs only the unfinished tasks, serially, in input order;
+* submit-time breakage shuts the pool down (cancelling queued work)
+  *before* the serial re-run, so no task's result can be produced by
+  both a worker and the fallback.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mc.executor import (
+    ExecutorBackend,
+    LocalPoolBackend,
+    SerialBackend,
+    TaskExecutor,
+    backend_for,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+# ----------------------------------------------------------------------
+# Strategy selection and delegation
+# ----------------------------------------------------------------------
+def test_backend_for_selects_by_worker_count():
+    assert isinstance(backend_for(1), SerialBackend)
+    assert isinstance(backend_for(0), SerialBackend)
+    pool = backend_for(3)
+    assert isinstance(pool, LocalPoolBackend)
+    assert pool.workers == 3
+
+
+def test_local_pool_backend_rejects_serial_counts():
+    with pytest.raises(ConfigurationError):
+        LocalPoolBackend(1)
+
+
+def test_serial_backend_maps_in_order():
+    assert SerialBackend().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+
+def test_executor_delegates_to_injected_backend():
+    class RecordingBackend(ExecutorBackend):
+        def __init__(self):
+            self.calls = []
+            self.opened = self.closed = False
+
+        def map(self, fn, tasks):
+            self.calls.append(list(tasks))
+            return [fn(task) for task in tasks]
+
+        def open(self):
+            self.opened = True
+
+        def close(self):
+            self.closed = True
+
+    backend = RecordingBackend()
+    with TaskExecutor(backend=backend) as executor:
+        assert executor.map(_square, [2, 5]) == [4, 25]
+    assert backend.calls == [[2, 5]]
+    assert backend.opened and backend.closed
+
+
+# ----------------------------------------------------------------------
+# Flaky-pool regression battery
+# ----------------------------------------------------------------------
+class FlakyPool:
+    """A fake process pool that breaks after ``complete_first`` tasks.
+
+    Completed futures carry real results (computed in-process, counted
+    per task); the rest raise :class:`BrokenProcessPool` from
+    ``result()`` — exactly how a pool whose worker died mid-campaign
+    behaves.  ``events`` records the interleaving of executions and
+    shutdown so tests can assert recovery ordering.
+    """
+
+    def __init__(self, fn_log, events, complete_first):
+        self.fn_log = fn_log
+        self.events = events
+        self.complete_first = complete_first
+        self.submitted = 0
+        self.shutdown_args = None
+
+    def submit(self, fn, task):
+        future = Future()
+        if self.submitted < self.complete_first:
+            self.fn_log.append(("pool", task))
+            future.set_result(fn(task))
+        else:
+            future.set_exception(BrokenProcessPool("worker died"))
+        self.submitted += 1
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.events.append("shutdown")
+        self.shutdown_args = {"wait": wait, "cancel_futures": cancel_futures}
+
+
+def _flaky_backend(monkeypatch, fn_log, events, *, complete_first):
+    pools = []
+
+    def factory(max_workers=None):
+        pool = FlakyPool(fn_log, events, complete_first)
+        pools.append(pool)
+        return pool
+
+    monkeypatch.setattr("repro.mc.executor.ProcessPoolExecutor", factory)
+    return LocalPoolBackend(2), pools
+
+
+def test_midmap_breakage_keeps_results_ordered_exactly_once(monkeypatch):
+    fn_log, events = [], []
+    backend, pools = _flaky_backend(monkeypatch, fn_log, events, complete_first=2)
+    tasks = [5, 6, 7, 8]
+
+    def tracked(task):
+        events.append(("run", task))
+        return _square(task)
+
+    with pytest.warns(RuntimeWarning, match="running remaining tasks serially"):
+        results = backend.map(tracked, tasks)
+    # In order, nothing lost, nothing duplicated.
+    assert results == [25, 36, 49, 64]
+    pool_ran = [task for kind, task in fn_log if kind == "pool"]
+    tracked_ran = [event[1] for event in events if event != "shutdown"]
+    assert pool_ran == [5, 6]
+    assert tracked_ran == [5, 6, 7, 8]  # tracked fn ran once per task
+    assert [pool.shutdown_args for pool in pools] == [
+        {"wait": False, "cancel_futures": True}
+    ]
+
+
+def test_submit_breakage_cancels_pool_before_serial_rerun(monkeypatch):
+    fn_log, events = [], []
+    backend, pools = _flaky_backend(monkeypatch, fn_log, events, complete_first=0)
+    # Break at submit time: the pool raises on the first submit call.
+    pools_submit = FlakyPool.submit
+
+    def raising_submit(self, fn, task):
+        raise BrokenProcessPool("pool died while idle")
+
+    monkeypatch.setattr(FlakyPool, "submit", raising_submit)
+    tasks = [2, 3, 4]
+
+    def tracked(task):
+        events.append(("run", task))
+        return _square(task)
+
+    with pytest.warns(RuntimeWarning, match="running this round"):
+        results = backend.map(tracked, tasks)
+    monkeypatch.setattr(FlakyPool, "submit", pools_submit)
+    assert results == [4, 9, 16]
+    # The broken pool was shut down with cancellation BEFORE any serial
+    # execution — queued tasks cannot race the fallback.  (A second,
+    # idempotent shutdown from the cleanup path may trail the runs.)
+    assert events[0] == "shutdown"
+    assert [e for e in events if e != "shutdown"] == [
+        ("run", 2),
+        ("run", 3),
+        ("run", 4),
+    ]
+    assert pools[0].shutdown_args == {"wait": False, "cancel_futures": True}
+
+
+def test_pool_start_failure_falls_back_serially(monkeypatch):
+    def no_pools(max_workers=None):
+        raise OSError("no more processes")
+
+    monkeypatch.setattr("repro.mc.executor.ProcessPoolExecutor", no_pools)
+    backend = LocalPoolBackend(2)
+    with pytest.warns(RuntimeWarning, match="falling back to"):
+        assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+
+def test_persistent_flaky_pool_is_replaced_next_round(monkeypatch):
+    """A broken persistent pool is discarded; the next map() round gets
+    a fresh one instead of resubmitting into the corpse."""
+    fn_log, events = [], []
+    backend, pools = _flaky_backend(monkeypatch, fn_log, events, complete_first=1)
+    backend.open()
+    try:
+        with pytest.warns(RuntimeWarning):
+            assert backend.map(_square, [1, 2]) == [1, 4]
+        assert backend._pool is None
+        # Second round: fresh pool (its first task completes again).
+        with pytest.warns(RuntimeWarning):
+            assert backend.map(_square, [3, 4]) == [9, 16]
+    finally:
+        backend.close()
+    assert len(pools) == 2
+
+
+def test_single_task_short_circuits_the_pool(monkeypatch):
+    def no_pools(max_workers=None):  # pragma: no cover - must not be hit
+        raise AssertionError("single-task map must not build a pool")
+
+    monkeypatch.setattr("repro.mc.executor.ProcessPoolExecutor", no_pools)
+    backend = LocalPoolBackend(2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert backend.map(_square, [7]) == [49]
+        assert backend.map(_square, []) == []

@@ -132,9 +132,7 @@ def test_old_style_construction_derives_censoring_summary():
     from repro.metrics.stats import summarize
 
     spec = s1(Scheme.SO, alpha=0.2, entropy_bits=6)
-    outcomes = tuple(
-        run_protocol_lifetime(spec, seed=s, max_steps=40) for s in (0, 1)
-    )
+    outcomes = tuple(run_protocol_lifetime(spec, seed=s, max_steps=40) for s in (0, 1))
     estimate = LifetimeEstimate(
         spec=spec,
         stats=summarize([float(o.steps) for o in outcomes]),

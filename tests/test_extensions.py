@@ -48,9 +48,7 @@ def test_staggered_recovery_keeps_quorum_up():
     down_samples = []
 
     def sample():
-        down_samples.append(
-            sum(1 for s in deployed.servers if not s.is_available)
-        )
+        down_samples.append(sum(1 for s in deployed.servers if not s.is_available))
         deployed.sim.schedule(0.05, sample)
 
     deployed.sim.schedule(0.05, sample)
@@ -71,9 +69,7 @@ def test_unstaggered_refresh_takes_whole_tier_down_at_once():
     down_at_boundary = []
 
     def sample():
-        down_at_boundary.append(
-            sum(1 for s in deployed.servers if not s.is_available)
-        )
+        down_at_boundary.append(sum(1 for s in deployed.servers if not s.is_available))
 
     deployed.sim.schedule(1.05, sample)  # mid-reboot after the epoch
     deployed.start()

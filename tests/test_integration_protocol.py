@@ -112,9 +112,7 @@ def test_kappa_for_policy_matches_observed_sustainable_rate():
     attacker = attach_attacker(deployed)
     deployed.start()
     deployed.sim.run(until=15.0)
-    assert all(
-        not p.detection.is_blacklisted(attacker.name) for p in deployed.proxies
-    )
+    assert all(not p.detection.is_blacklisted(attacker.name) for p in deployed.proxies)
 
 
 # ----------------------------------------------------------------------

@@ -84,9 +84,7 @@ def test_s2_po_decomposition_exact():
         lp = 1.0 if b == 0 else (1 - lam * alpha)
         survive += p_b * lp
     survive *= 1 - kappa * alpha
-    assert per_step_compromise_s2_po(alpha, kappa, lam, n) == pytest.approx(
-        1 - survive
-    )
+    assert per_step_compromise_s2_po(alpha, kappa, lam, n) == pytest.approx(1 - survive)
 
 
 # ----------------------------------------------------------------------
@@ -138,9 +136,7 @@ def test_el_s2_po_interpolates_kappa():
 
 
 def test_expected_lifetime_dispatcher_po():
-    assert expected_lifetime(s0(Scheme.PO, alpha=1e-3)) == pytest.approx(
-        el_s0_po(1e-3)
-    )
+    assert expected_lifetime(s0(Scheme.PO, alpha=1e-3)) == pytest.approx(el_s0_po(1e-3))
     assert expected_lifetime(s1(Scheme.PO, alpha=1e-3)) == pytest.approx(999.0)
     spec = s2(Scheme.PO, alpha=1e-3, kappa=0.25)
     assert expected_lifetime(spec) == pytest.approx(el_s2_po(1e-3, 0.25))
@@ -148,18 +144,14 @@ def test_expected_lifetime_dispatcher_po():
 
 def test_expected_lifetime_dispatcher_so():
     assert expected_lifetime(s1(Scheme.SO, alpha=1e-3)) == pytest.approx(499.5)
-    assert expected_lifetime(s0(Scheme.SO, alpha=1e-3)) == pytest.approx(
-        el_s0_so(1e-3)
-    )
+    assert expected_lifetime(s0(Scheme.SO, alpha=1e-3)) == pytest.approx(el_s0_so(1e-3))
 
 
 def test_expected_lifetime_s2_so_uses_numeric_quadrature():
     from repro.analysis.s2so import el_s2_so_numeric
 
     spec = s2(Scheme.SO, alpha=1e-2, kappa=0.5)
-    assert expected_lifetime(spec) == pytest.approx(
-        el_s2_so_numeric(1e-2, 0.5)
-    )
+    assert expected_lifetime(spec) == pytest.approx(el_s2_so_numeric(1e-2, 0.5))
 
 
 def test_expected_lifetime_s2_so_raises_when_intractable():

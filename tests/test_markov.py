@@ -90,9 +90,7 @@ def test_label_count_validation():
             np.array([[0.5]]), np.array([[0.5]]), transient_labels=["a", "b"]
         )
     with pytest.raises(AnalysisError):
-        AbsorbingMarkovChain(
-            np.array([[0.5]]), np.array([[0.5]]), absorbing_labels=[]
-        )
+        AbsorbingMarkovChain(np.array([[0.5]]), np.array([[0.5]]), absorbing_labels=[])
 
 
 def test_unknown_state_lookup_raises():

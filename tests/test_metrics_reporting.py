@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.errors import AnalysisError, ConfigurationError
@@ -32,11 +34,15 @@ def test_summarize_basic_fields():
     assert stats.ci_low < 2.5 < stats.ci_high
 
 
-def test_summarize_single_value_degenerate_ci():
+def test_summarize_single_value_carries_infinite_ci():
+    """One draw says nothing about spread: the interval must be
+    infinite, never a zero-width band a precision target could
+    mistake for convergence."""
     stats = summarize([5.0])
     assert stats.mean == 5.0
-    assert stats.ci_low == stats.ci_high == 5.0
     assert stats.std == 0.0
+    assert stats.ci_low == -math.inf and stats.ci_high == math.inf
+    assert stats.ci_halfwidth == math.inf
 
 
 def test_summarize_empty_raises():
@@ -201,7 +207,9 @@ def make_series(label, xs, means):
     return Series(
         label=label,
         x_name="alpha",
-        points=[SweepPoint(x=x, mean=m, ci_low=m, ci_high=m) for x, m in zip(xs, means)],
+        points=[
+            SweepPoint(x=x, mean=m, ci_low=m, ci_high=m) for x, m in zip(xs, means)
+        ],
     )
 
 

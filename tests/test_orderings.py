@@ -68,5 +68,7 @@ def test_crossover_without_root_raises():
 
 
 def test_trends_with_custom_grid_and_lambda():
-    reports = verify_paper_trends(alphas=(1e-4, 1e-3), kappa=0.3, launchpad_fraction=0.5)
+    reports = verify_paper_trends(
+        alphas=(1e-4, 1e-3), kappa=0.3, launchpad_fraction=0.5
+    )
     assert all(r.holds for r in reports)

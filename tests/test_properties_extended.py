@@ -63,13 +63,13 @@ def test_route_split_is_distribution(alpha, kappa, period):
     assert all(v >= -1e-12 for v in split.values())
 
 
-@given(exponent=st.floats(min_value=-3.0, max_value=3.0),
-       at=st.floats(min_value=0.1, max_value=10.0))
+@given(
+    exponent=st.floats(min_value=-3.0, max_value=3.0),
+    at=st.floats(min_value=0.1, max_value=10.0),
+)
 @settings(max_examples=50, deadline=None)
 def test_elasticity_recovers_power_law_exponent(exponent, at):
-    assert elasticity(lambda x: x**exponent, at) == pytest.approx(
-        exponent, abs=1e-4
-    )
+    assert elasticity(lambda x: x**exponent, at) == pytest.approx(exponent, abs=1e-4)
 
 
 # ----------------------------------------------------------------------
@@ -86,8 +86,11 @@ def test_zipf_probabilities_form_distribution(n_keys, s):
     assert all(a >= b - 1e-12 for a, b in zip(probabilities, probabilities[1:]))
 
 
-@given(n_keys=st.integers(1, 64), s=st.floats(min_value=0.0, max_value=2.0),
-       seed=st.integers(0, 1000))
+@given(
+    n_keys=st.integers(1, 64),
+    s=st.floats(min_value=0.0, max_value=2.0),
+    seed=st.integers(0, 1000),
+)
 @settings(max_examples=40, deadline=None)
 def test_zipf_samples_are_valid_keys(n_keys, s, seed):
     dist = ZipfKeys(n_keys=n_keys, s=s)
@@ -101,9 +104,11 @@ def test_zipf_samples_are_valid_keys(n_keys, s, seed):
 # ----------------------------------------------------------------------
 # Fault plans
 # ----------------------------------------------------------------------
-@given(seed=st.integers(0, 500),
-       rate=st.floats(min_value=0.1, max_value=3.0),
-       horizon=st.floats(min_value=2.0, max_value=50.0))
+@given(
+    seed=st.integers(0, 500),
+    rate=st.floats(min_value=0.1, max_value=3.0),
+    horizon=st.floats(min_value=2.0, max_value=50.0),
+)
 @settings(max_examples=30, deadline=None)
 def test_crash_storm_events_sorted_and_in_range(seed, rate, horizon):
     plan = crash_storm(random.Random(seed), ["a", "b", "c"], horizon, rate=rate)
@@ -112,8 +117,11 @@ def test_crash_storm_events_sorted_and_in_range(seed, rate, horizon):
     assert all(0.5 <= t < horizon for t in times)
 
 
-@given(n=st.integers(1, 6), rounds=st.integers(1, 12),
-       period=st.floats(min_value=0.5, max_value=4.0))
+@given(
+    n=st.integers(1, 6),
+    rounds=st.integers(1, 12),
+    period=st.floats(min_value=0.5, max_value=4.0),
+)
 @settings(max_examples=30, deadline=None)
 def test_rolling_outages_cover_targets_cyclically(n, rounds, period):
     targets = [f"t{i}" for i in range(n)]
@@ -131,8 +139,9 @@ def test_rolling_outages_cover_targets_cyclically(n, rounds, period):
 # ----------------------------------------------------------------------
 @given(
     events=st.lists(
-        st.tuples(st.sampled_from(["a", "b", "c"]),
-                  st.floats(min_value=0.0, max_value=100.0)),
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]), st.floats(min_value=0.0, max_value=100.0)
+        ),
         max_size=60,
     )
 )

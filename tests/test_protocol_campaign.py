@@ -121,9 +121,7 @@ def test_campaign_bit_identical_under_serial_fallback(monkeypatch):
     def _refuse(*args, **kwargs):
         raise PermissionError("process pools forbidden")
 
-    monkeypatch.setattr(
-        "repro.mc.executor.ProcessPoolExecutor", _refuse
-    )
+    monkeypatch.setattr("repro.mc.executor.ProcessPoolExecutor", _refuse)
     with pytest.warns(RuntimeWarning, match="process pool unavailable"):
         fallback = run_campaign(specs, trials=4, max_steps=40, seed=3, workers=4)
     for a, b in zip(baseline, fallback):
@@ -165,9 +163,7 @@ def test_precision_mode_bit_identical_across_workers():
     rounds are sized by a constant, never the worker count, so the
     sample size and estimate match for any fan-out."""
     specs = [s1(Scheme.SO, alpha=0.2, entropy_bits=6)]
-    kwargs = dict(
-        max_steps=60, seed=2, precision=0.3, min_trials=8, max_trials=96
-    )
+    kwargs = dict(max_steps=60, seed=2, precision=0.3, min_trials=8, max_trials=96)
     serial = run_campaign(specs, workers=1, **kwargs)
     fanned = run_campaign(specs, workers=4, **kwargs)
     rebatched = run_campaign(specs, workers=4, batch_size=3, **kwargs)
@@ -378,9 +374,7 @@ def test_render_campaign_table_marks_censored_lower_bounds():
 def test_render_campaign_table_with_model_column():
     spec = s2(Scheme.SO, alpha=0.2, kappa=0.5, entropy_bits=6)
     result = run_campaign([spec], trials=3, max_steps=40, seed=0)
-    text = render_campaign_table(
-        result.estimates, model_means={0: 2.5}
-    )
+    text = render_campaign_table(result.estimates, model_means={0: 2.5})
     assert "model EL" in text and "2.5" in text
     with pytest.raises(ConfigurationError):
         render_campaign_table([])

@@ -80,7 +80,9 @@ def build_fortress(n_servers=3, n_proxies=3, seed=1, policy=None):
     return sim, network, authority, servers, proxies, client
 
 
-def send_client_request(network, request_id, body, proxies=("proxy-0",), client="client"):
+def send_client_request(
+    network, request_id, body, proxies=("proxy-0",), client="client"
+):
     for proxy in proxies:
         network.send(
             Message(
@@ -156,13 +158,15 @@ def test_forged_server_response_rejected():
 
     def inject():
         fake = Signed(
-            payload={"request_id": "r1", "response": {"ok": True, "value": "evil"}, "index": 0},
+            payload={
+                "request_id": "r1",
+                "response": {"ok": True, "value": "evil"},
+                "index": 0,
+            },
             signer="server-0",
             signature="forged",
         )
-        net.send(
-            Message("server-0", "proxy-0", "server_response", {"signed": fake})
-        )
+        net.send(Message("server-0", "proxy-0", "server_response", {"signed": fake}))
 
     sim.schedule(0.002, inject)
     sim.run(until=0.5)

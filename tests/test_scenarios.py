@@ -101,9 +101,7 @@ def test_get_scenario_unknown_name_lists_known():
 def test_every_builtin_round_trips_through_dict_and_json():
     for spec in all_scenarios():
         assert ScenarioSpec.from_dict(spec.as_dict()) == spec
-        rehydrated = ScenarioSpec.from_dict(
-            json.loads(json.dumps(spec.as_dict()))
-        )
+        rehydrated = ScenarioSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
         assert rehydrated == spec
 
 
@@ -134,16 +132,21 @@ def test_spec_validation_rejects_bad_axes_and_kinds():
         WorkloadSpec(kind="tsunami")
     with pytest.raises(ConfigurationError):
         ScenarioSpec(
-            name="x", description="x", systems=("s1",),
+            name="x",
+            description="x",
+            systems=("s1",),
             faults=FaultPlanSpec(kind="crash_storm", tier="proxies"),
         )
 
 
 def test_grid_mirrors_campaign_grid_semantics():
     spec = ScenarioSpec(
-        name="x", description="x",
-        systems=("s1", "s2"), schemes=("po", "so"),
-        alphas=(0.1, 0.2), kappas=(0.25, 0.5),
+        name="x",
+        description="x",
+        systems=("s1", "s2"),
+        schemes=("po", "so"),
+        alphas=(0.1, 0.2),
+        kappas=(0.25, 0.5),
     )
     grid = spec.grid()
     s1_points = [s for s in grid if s.label.startswith("S1")]
@@ -163,7 +166,9 @@ def test_fault_plans_are_seed_deterministic_and_seed_sensitive():
     def plan_for(seed):
         deployed = deploy_scenario(spec, scenario, seed=seed, max_steps=50)
         return build_fault_plan(
-            scenario.faults, deployed, horizon=50.0,
+            scenario.faults,
+            deployed,
+            horizon=50.0,
             rng=deployed.sim.rng.stream("scenario:faults-probe"),
         )
 
@@ -183,7 +188,9 @@ def test_fault_plan_kinds_produce_expected_event_types():
         deployed = deploy_scenario(spec, scenario, seed=3, max_steps=60)
         assert deployed.injector is not None, scenario.name
         plan = build_fault_plan(
-            scenario.faults, deployed, horizon=60.0,
+            scenario.faults,
+            deployed,
+            horizon=60.0,
             rng=deployed.sim.rng.stream("probe"),
         )
         assert plan, scenario.name
@@ -197,7 +204,9 @@ def test_loss_windows_clamp_to_short_horizons():
     deployed = deploy_scenario(spec, scenario, seed=1, max_steps=8)
     # windows starting at steps 4 and (10, 20) — only the first fits
     plan = build_fault_plan(
-        scenario.faults, deployed, horizon=8.0,
+        scenario.faults,
+        deployed,
+        horizon=8.0,
         rng=deployed.sim.rng.stream("probe"),
     )
     assert len(plan) == 1 and plan[0].time == 4.0
@@ -209,13 +218,17 @@ def test_proxy_tier_crash_plan_rejected_on_mixed_grids():
     rejects it at construction instead."""
     with pytest.raises(ConfigurationError, match="all-S2 grid"):
         ScenarioSpec(
-            name="x", description="x", systems=("s1", "s2"),
+            name="x",
+            description="x",
+            systems=("s1", "s2"),
             faults=FaultPlanSpec(kind="crash_storm", tier="proxies"),
         )
     # attacker_partition falls back to the server tier, so mixed grids
     # are fine there.
     ScenarioSpec(
-        name="x", description="x", systems=("s1", "s2"),
+        name="x",
+        description="x",
+        systems=("s1", "s2"),
         faults=FaultPlanSpec(kind="attacker_partition", tier="proxies"),
     )
 
@@ -231,7 +244,9 @@ def test_attacker_partition_covers_coordinated_agent_endpoints():
     spec = scenario.grid()[0]
     deployed = deploy_scenario(spec, scenario, seed=2, max_steps=60)
     plan = build_fault_plan(
-        scenario.faults, deployed, horizon=60.0,
+        scenario.faults,
+        deployed,
+        horizon=60.0,
         rng=deployed.sim.rng.stream("probe"),
     )
     endpoints = {e for f in plan for e in (f.a, f.b)}
@@ -246,7 +261,9 @@ def test_attacker_partition_cuts_the_probe_paths():
     spec = scenario.grid()[0]
     deployed = deploy_scenario(spec, scenario, seed=2, max_steps=60)
     plan = build_fault_plan(
-        scenario.faults, deployed, horizon=60.0,
+        scenario.faults,
+        deployed,
+        horizon=60.0,
         rng=deployed.sim.rng.stream("probe"),
     )
     endpoints = {frozenset((f.a, f.b)) for f in plan}
@@ -371,7 +388,9 @@ def test_scenario_campaign_bit_identical_under_serial_fallback(monkeypatch):
 
 def test_scenario_campaign_precision_mode_invariant():
     scenario = get_scenario("crash-storm-under-attack").replace(
-        name="test-precision-small", entropy_bits=6, alphas=(0.3,),
+        name="test-precision-small",
+        entropy_bits=6,
+        alphas=(0.3,),
         systems=("s1",),
     )
     kwargs = dict(max_steps=50, seed=2, precision=0.35, min_trials=6, max_trials=60)

@@ -46,9 +46,7 @@ def test_s2_kappa_elasticity_tracks_route_share():
     alpha = 1e-3
     for kappa in (0.1, 0.5, 0.9):
         share = indirect_route_share(alpha, kappa)
-        assert s2_po_kappa_elasticity(alpha, kappa) == pytest.approx(
-            -share, abs=0.02
-        )
+        assert s2_po_kappa_elasticity(alpha, kappa) == pytest.approx(-share, abs=0.02)
 
 
 def test_kappa_elasticity_undefined_at_zero():

@@ -200,8 +200,11 @@ def test_s2so_numeric_timed_matches_timed_sampler():
     spec = s2(Scheme.SO, alpha=0.15, kappa=0.5, entropy_bits=8)
     timing = TimingSpec.paper()
     numeric = el_s2_so_numeric(
-        spec.alpha, spec.kappa, n_proxies=spec.n_proxies,
-        chi=spec.chi, timing=timing,
+        spec.alpha,
+        spec.kappa,
+        n_proxies=spec.n_proxies,
+        chi=spec.chi,
+        timing=timing,
     )
     mc = mc_expected_lifetime(spec, trials=120_000, seed=7, timing=timing)
     # quadrature and sampler make slightly different sub-step
@@ -316,8 +319,11 @@ def test_epoch_stagger_spreads_diverse_refreshes():
 def test_stagger_recovery_still_forces_full_spread():
     spec = s0(Scheme.SO, alpha=0.1, entropy_bits=8)
     deployed = build_system(
-        spec, seed=4, timing=TimingSpec(epoch_stagger=0.0),
-        stagger_recovery=True, reboot_duration=0.1,
+        spec,
+        seed=4,
+        timing=TimingSpec(epoch_stagger=0.0),
+        stagger_recovery=True,
+        reboot_duration=0.1,
     )
     offsets = sorted(g.offset for g in deployed.obfuscation._groups)
     assert offsets == pytest.approx([0.0, 0.25, 0.5, 0.75])
@@ -343,7 +349,9 @@ def test_estimate_protocol_lifetime_accepts_timing_kwarg():
         spec, trials=8, max_steps=200, timing=TimingSpec.ideal()
     )
     slow = estimate_protocol_lifetime(
-        spec, trials=8, max_steps=200,
+        spec,
+        trials=8,
+        max_steps=200,
         timing=TimingSpec(respawn_delay=0.2, reconnect_latency=0.01),
     )
     # a respawn delay spanning several probe intervals slows discovery

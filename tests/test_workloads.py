@@ -85,7 +85,8 @@ def make_openloop(spec, mode, targets_of, arrival_rate=20.0, seed=70):
 
 def test_openloop_fortress_throughput_and_latency():
     deployed, client = make_openloop(
-        s2(Scheme.PO, alpha=1e-4, entropy_bits=8), "fortress",
+        s2(Scheme.PO, alpha=1e-4, entropy_bits=8),
+        "fortress",
         lambda d: d.proxy_names,
     )
     deployed.start()
@@ -100,7 +101,8 @@ def test_openloop_fortress_throughput_and_latency():
 def test_openloop_pb_and_smr_modes():
     for factory, mode in ((s1, "pb"), (s0, "smr")):
         deployed, client = make_openloop(
-            factory(Scheme.PO, alpha=1e-4, entropy_bits=8), mode,
+            factory(Scheme.PO, alpha=1e-4, entropy_bits=8),
+            mode,
             lambda d: d.server_names,
         )
         deployed.start()
@@ -114,7 +116,8 @@ def test_openloop_arrivals_independent_of_completions():
     """The defining open-loop property: arrivals continue even when no
     responses come back (all servers down)."""
     deployed, client = make_openloop(
-        s1(Scheme.PO, alpha=1e-4, entropy_bits=8), "pb",
+        s1(Scheme.PO, alpha=1e-4, entropy_bits=8),
+        "pb",
         lambda d: d.server_names,
     )
     for server in deployed.servers:
@@ -129,7 +132,8 @@ def test_openloop_arrivals_independent_of_completions():
 
 def test_openloop_stop_drains():
     deployed, client = make_openloop(
-        s1(Scheme.PO, alpha=1e-4, entropy_bits=8), "pb",
+        s1(Scheme.PO, alpha=1e-4, entropy_bits=8),
+        "pb",
         lambda d: d.server_names,
     )
     deployed.start()
@@ -146,17 +150,27 @@ def test_openloop_validation():
     deployed = build_system(s1(Scheme.PO, alpha=1e-4, entropy_bits=8), seed=71)
     with pytest.raises(ValueError):
         OpenLoopClient(
-            deployed.sim, deployed.network, deployed.authority,
-            mode="bogus", targets=[],
+            deployed.sim,
+            deployed.network,
+            deployed.authority,
+            mode="bogus",
+            targets=[],
         )
     with pytest.raises(ValueError):
         OpenLoopClient(
-            deployed.sim, deployed.network, deployed.authority,
-            mode="pb", targets=[], arrival_rate=0.0,
+            deployed.sim,
+            deployed.network,
+            deployed.authority,
+            mode="pb",
+            targets=[],
+            arrival_rate=0.0,
         )
     client = OpenLoopClient(
-        deployed.sim, deployed.network, deployed.authority,
-        mode="pb", targets=deployed.server_names,
+        deployed.sim,
+        deployed.network,
+        deployed.authority,
+        mode="pb",
+        targets=deployed.server_names,
     )
     with pytest.raises(ValueError):
         client.latency_percentile(0.5)  # nothing completed yet
