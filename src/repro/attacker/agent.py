@@ -305,6 +305,22 @@ class AttackerProcess(SimProcess):
         """
         self._fast_forward = True
 
+    def discard_buffered_randomness(self) -> None:
+        """Drop every pre-drawn value buffer (chunked guesses, pacing
+        jitter).
+
+        The buffers hold *future* draws of the current RNG streams —
+        after a stream reseed (rare-event resplitting, see
+        :func:`repro.rare.fork.reseed_for_split`) serving them would
+        replay the parent's randomness instead of the child's.  Clearing
+        is always safe: an empty buffer simply refills from the live
+        stream at the next draw, and the guess buffer's
+        materialization-headroom invariant holds vacuously when empty.
+        """
+        self._guess_buffer._values.clear()
+        for prober in self._indirect:
+            prober._jitter_buffer.clear()
+
     def _attack_live(self) -> bool:
         """Whether any current or potential probe source remains."""
         return (

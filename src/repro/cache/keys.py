@@ -34,7 +34,10 @@ from ..errors import ConfigurationError
 #: ``tests/test_fast_path.py`` referee exactly that property) — stale
 #: entries keyed under the old version become unreachable, never
 #: silently wrong.
-ENGINE_VERSION = 1
+#:
+#: Version 2: protocol outcomes gained the ``events`` field (simulator
+#: events executed per run), so version-1 cached blocks no longer decode.
+ENGINE_VERSION = 2
 
 
 def jsonable(value: Any) -> Any:

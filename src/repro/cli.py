@@ -362,11 +362,14 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
         timing=timing,
         scenario=scenario,
         cache=cache,
+        estimator=args.estimator,
     )
     if args.precision is not None:
         method = f"precision {args.precision:g} rel. CI"
     else:
         method = f"{args.trials} seeds/point"
+    if args.estimator != "mc":
+        method += f", estimator={args.estimator}"
     via = f"scenario={scenario.name}, " if scenario is not None else ""
     print(
         render_campaign_table(
@@ -432,11 +435,14 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         precision=args.precision,
         cache=cache,
+        estimator=args.estimator,
     )
     if args.precision is not None:
         method = f"precision {args.precision:g} rel. CI"
     else:
         method = f"{args.trials} seeds/point"
+    if args.estimator != "mc":
+        method += f", estimator={args.estimator}"
     print(
         render_campaign_table(
             result.estimates,
@@ -608,6 +614,14 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of --trials)",
     )
     p.add_argument(
+        "--estimator",
+        choices=["mc", "splitting", "auto"],
+        default="mc",
+        help="per-point estimator: plain Monte-Carlo, rare-event "
+        "multilevel splitting, or auto (switch to splitting on "
+        "censor-heavy points)",
+    )
+    p.add_argument(
         "--timing",
         choices=TimingSpec.PRESETS,
         default=None,
@@ -675,6 +689,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-point target relative 95%% CI half-width (early stopping "
         "instead of --trials)",
+    )
+    q.add_argument(
+        "--estimator",
+        choices=["mc", "splitting", "auto"],
+        default="mc",
+        help="per-point estimator: plain Monte-Carlo, rare-event "
+        "multilevel splitting, or auto (switch to splitting on "
+        "censor-heavy points)",
     )
     q.add_argument(
         "--output",

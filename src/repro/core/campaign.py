@@ -20,8 +20,9 @@ censoring rules that guard it).
 
 from __future__ import annotations
 
+import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..cache import ResultCache
@@ -45,6 +46,7 @@ from .specs import SystemClass, SystemSpec
 from .timing import TimingSpec
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..rare.splitting import SplittingConfig
     from ..scenarios.spec import ScenarioSpec
 
 
@@ -54,6 +56,11 @@ class CampaignResult:
 
     ``cache_hits`` / ``cache_misses`` count result-cache lookups made by
     this campaign (``None`` when it ran without a cache).
+    ``estimator`` records the campaign-level request (per-point
+    estimates carry what each point actually used — an ``"auto"``
+    campaign mixes ``"mc"`` and ``"splitting"`` rows).  ``wall_seconds``
+    is the campaign's wall-clock time; unlike everything else in the
+    result it is *not* reproducible and stays out of cache keys.
     """
 
     estimates: tuple[LifetimeEstimate, ...]
@@ -62,6 +69,8 @@ class CampaignResult:
     max_steps: int
     cache_hits: Optional[int] = None
     cache_misses: Optional[int] = None
+    estimator: str = "mc"
+    wall_seconds: Optional[float] = None
 
     def __len__(self) -> int:
         return len(self.estimates)
@@ -81,6 +90,11 @@ class CampaignResult:
     @property
     def total_censored(self) -> int:
         return sum(e.censored for e in self.estimates)
+
+    @property
+    def total_events(self) -> int:
+        """Simulator events executed across the whole campaign."""
+        return sum(e.events for e in self.estimates)
 
 
 def campaign_record(
@@ -103,26 +117,41 @@ def campaign_record(
     rows = []
     for estimate in result.estimates:
         spec = estimate.spec
-        rows.append(
-            {
-                "label": spec.label,
-                "system": spec.system.value,
-                "scheme": spec.scheme.name,
-                "alpha": spec.alpha,
-                "kappa": spec.kappa,
-                "entropy_bits": spec.entropy_bits,
-                "runs": estimate.stats.n,
-                "protocol_mean": estimate.mean_steps,
-                "protocol_ci": [estimate.stats.ci_low, estimate.stats.ci_high],
-                "std": estimate.stats.std,
-                "min": estimate.stats.minimum,
-                "max": estimate.stats.maximum,
-                "censored": estimate.censored,
-                "censored_fraction": estimate.censored_fraction,
-                "km_mean": estimate.km_mean_steps,
-                "converged": estimate.converged,
+        row = {
+            "label": spec.label,
+            "system": spec.system.value,
+            "scheme": spec.scheme.name,
+            "alpha": spec.alpha,
+            "kappa": spec.kappa,
+            "entropy_bits": spec.entropy_bits,
+            "runs": estimate.stats.n,
+            "protocol_mean": estimate.mean_steps,
+            "protocol_ci": [estimate.stats.ci_low, estimate.stats.ci_high],
+            "std": estimate.stats.std,
+            "min": estimate.stats.minimum,
+            "max": estimate.stats.maximum,
+            "censored": estimate.censored,
+            "censored_fraction": estimate.censored_fraction,
+            "km_mean": estimate.km_mean_steps,
+            "converged": estimate.converged,
+            "estimator": estimate.estimator,
+            "events": estimate.events,
+        }
+        rare = estimate.rare
+        if rare is not None:
+            row["rare"] = {
+                "probability": rare.probability,
+                "ci": [rare.ci_low, rare.ci_high],
+                "levels": list(rare.levels),
+                "level_stats": [
+                    {"level": s.level, "n": s.n, "crossed": s.crossed}
+                    for s in rare.level_stats
+                ],
+                "replications": rare.replications,
+                "trajectories": rare.trajectories,
+                "pilot_runs": rare.pilot_runs,
             }
-        )
+        rows.append(row)
     record = {
         "benchmark": "protocol_campaign",
         "root_seed": result.root_seed,
@@ -131,8 +160,12 @@ def campaign_record(
         "grid_points": len(result),
         "total_runs": result.total_runs,
         "total_censored": result.total_censored,
+        "total_events": result.total_events,
+        "estimator": result.estimator,
         "rows": rows,
     }
+    if result.wall_seconds is not None:
+        record["wall_seconds"] = result.wall_seconds
     if timing_preset is not None:
         record["timing_preset"] = timing_preset
     if timing is not None:
@@ -199,6 +232,8 @@ def run_campaign(
     max_censored_fraction: float = DEFAULT_MAX_CENSORED,
     scenario: "ScenarioSpec | None" = None,
     cache: Optional[ResultCache] = None,
+    estimator: str = "mc",
+    splitting: "SplittingConfig | None" = None,
     **build_kwargs,
 ) -> CampaignResult:
     """Protocol-level lifetimes for every spec of a campaign grid.
@@ -217,25 +252,41 @@ def run_campaign(
     submits zero tasks — and the result reports hit/miss counts.
     Because every seed is derived before dispatch, cached and
     recomputed campaigns are bit-identical.
+
+    ``estimator`` selects how censor-heavy grid points are handled (see
+    :func:`~repro.core.experiment.estimate_protocol_lifetime`):
+    ``"splitting"`` runs every point through the rare-event engine;
+    ``"auto"`` runs plain Monte-Carlo and re-estimates the points whose
+    censored fraction exceeds ``max_censored_fraction`` with
+    multilevel splitting (their Monte-Carlo events stay charged to the
+    replacement estimate).
     """
     from ..mc.executor import TaskExecutor, derive_point_seed  # avoids cycle
 
+    start = time.perf_counter()
     specs = list(specs)
     if not specs:
         raise ConfigurationError("campaign needs at least one spec")
     if batch_size < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if estimator not in ("mc", "splitting", "auto"):
+        raise ConfigurationError(
+            f"estimator must be 'mc', 'splitting' or 'auto', got {estimator!r}"
+        )
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
-    if precision is not None:
+    if precision is not None or estimator == "splitting":
         estimates = []
         # One pool serves every grid point — paying pool startup per
         # point would swamp the parallel speedup on larger grids.
+        # (Pure-splitting campaigns stream per point too: each point is
+        # one folded estimate, not a flat fan-out of seed batches.)
         with TaskExecutor(workers) as shared_executor:
             for i, spec in enumerate(specs):
                 try:
                     estimate = estimate_protocol_lifetime(
                         spec,
+                        trials=trials,
                         max_steps=max_steps,
                         batch_size=batch_size,
                         precision=precision,
@@ -246,6 +297,8 @@ def run_campaign(
                         executor=shared_executor,
                         scenario=scenario,
                         cache=cache,
+                        estimator=estimator,
+                        splitting=splitting,
                         **build_kwargs,
                     )
                 except CensoredPrecisionError as exc:
@@ -254,7 +307,8 @@ def run_campaign(
                     # already simulated as an unconverged lower-bound
                     # estimate (censored runs burn the whole step
                     # budget — the last thing to do is simulate them
-                    # twice) and move on.
+                    # twice) and move on.  (estimator="auto" never gets
+                    # here — it re-estimates such points by splitting.)
                     warnings.warn(
                         f"campaign point {i} refused its precision target "
                         f"({exc}); reporting the {len(exc.outcomes)} runs "
@@ -267,10 +321,12 @@ def run_campaign(
         return CampaignResult(
             estimates=tuple(estimates),
             root_seed=seed,
-            trials=0,
+            trials=0 if precision is not None else trials,
             max_steps=max_steps,
             cache_hits=cache.hits - hits_before if cache is not None else None,
             cache_misses=(cache.misses - misses_before if cache is not None else None),
+            estimator=estimator,
+            wall_seconds=time.perf_counter() - start,
         )
 
     if trials < 1:
@@ -317,6 +373,34 @@ def run_campaign(
         for i, key in point_keys.items():
             cache.store(key, [_outcome_payload(o) for o in per_spec[i]])
     estimates = [_aggregate(spec, per_spec[i]) for i, spec in enumerate(specs)]
+    if estimator == "auto":
+        needy = [
+            i
+            for i, estimate in enumerate(estimates)
+            if estimate.censored_fraction > max_censored_fraction
+        ]
+        if needy:
+            # Censor-heavy points get a second pass through the
+            # rare-event engine; the Monte-Carlo events already spent
+            # stay charged to the replacement estimate so the campaign's
+            # cost accounting is honest.
+            with TaskExecutor(workers) as shared_executor:
+                for i in needy:
+                    mc_estimate = estimates[i]
+                    refined = estimate_protocol_lifetime(
+                        specs[i],
+                        max_steps=max_steps,
+                        seed_for=lambda j, i=i: derive_point_seed(seed, i, j),
+                        executor=shared_executor,
+                        scenario=scenario,
+                        cache=cache,
+                        estimator="splitting",
+                        splitting=splitting,
+                        **build_kwargs,
+                    )
+                    estimates[i] = replace(
+                        refined, events=refined.events + mc_estimate.events
+                    )
     return CampaignResult(
         estimates=tuple(estimates),
         root_seed=seed,
@@ -324,6 +408,8 @@ def run_campaign(
         max_steps=max_steps,
         cache_hits=cache.hits - hits_before if cache is not None else None,
         cache_misses=cache.misses - misses_before if cache is not None else None,
+        estimator=estimator,
+        wall_seconds=time.perf_counter() - start,
     )
 
 
@@ -340,6 +426,8 @@ def run_scenario_campaign(
     max_trials: int = 2_000,
     max_censored_fraction: float = DEFAULT_MAX_CENSORED,
     cache: Optional[ResultCache] = None,
+    estimator: str = "mc",
+    splitting: "SplittingConfig | None" = None,
     **build_kwargs,
 ) -> CampaignResult:
     """Run one named scenario as a protocol campaign.
@@ -366,5 +454,7 @@ def run_scenario_campaign(
         max_censored_fraction=max_censored_fraction,
         scenario=scenario,
         cache=cache,
+        estimator=estimator,
+        splitting=splitting,
         **build_kwargs,
     )

@@ -30,11 +30,12 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 from ..cache import ResultCache
 from ..errors import AnalysisError, ConfigurationError
 from ..metrics.stats import CensoredSummary, SummaryStats, summarize_censored
-from .builders import add_clients, attach_attacker, build_system
+from .builders import DeployedSystem, add_clients, attach_attacker, build_system
 from .specs import SystemSpec
 
 if TYPE_CHECKING:  # deferred at runtime: mc.executor imports core.specs
     from ..mc.executor import TaskExecutor
+    from ..rare.splitting import RareEventEstimate, SplittingConfig
     from ..scenarios.spec import ScenarioSpec
 
 #: Seeds dispatched per :class:`ProtocolTask` (amortizes process-pool
@@ -74,6 +75,10 @@ class LifetimeOutcome:
         Human-readable compromise cause, if any.
     probes_direct, probes_indirect:
         Attacker effort expended.
+    events:
+        Simulator events the run executed — the honest cost denominator
+        when comparing estimators (wall time is hardware-dependent;
+        event counts are bit-reproducible).
     """
 
     spec: SystemSpec
@@ -84,17 +89,23 @@ class LifetimeOutcome:
     cause: Optional[str]
     probes_direct: int
     probes_indirect: int
+    events: int = 0
 
 
-def run_protocol_lifetime(
+def compose_deployment(
     spec: SystemSpec,
+    *,
     seed: int = 0,
     max_steps: int = 500,
     with_workload: bool = False,
     scenario: "ScenarioSpec | None" = None,
     **build_kwargs,
-) -> LifetimeOutcome:
-    """Run one deployment until compromise or ``max_steps`` whole steps.
+) -> DeployedSystem:
+    """Compose the deployment exactly as :func:`run_protocol_lifetime` does.
+
+    Composition only — the caller starts and runs it.  Shared with the
+    rare-event engine (:mod:`repro.rare`) so that splitting trajectories
+    replay bit-identically to plain lifetime runs.
 
     With ``scenario`` set, the deployment is composed by
     :func:`~repro.scenarios.runtime.deploy_scenario` — scenario timing,
@@ -111,26 +122,30 @@ def run_protocol_lifetime(
         deployed = deploy_scenario(
             spec, scenario, seed=seed, max_steps=max_steps, **build_kwargs
         )
-        attacker = deployed.attacker
-        assert attacker is not None
+        assert deployed.attacker is not None
+        return deployed
+    deployed = build_system(spec, seed=seed, **build_kwargs)
+    attacker = attach_attacker(deployed)
+    if with_workload:
+        add_clients(deployed, count=1)
     else:
-        deployed = build_system(spec, seed=seed, **build_kwargs)
-        attacker = attach_attacker(deployed)
-        if with_workload:
-            add_clients(deployed, count=1)
-        else:
-            # No workload to serve: once every probe stream is provably
-            # dead the run's verdict is decided, so let the attacker
-            # fast-forward past the remaining (censored) epochs instead
-            # of simulating heartbeat/refresh churn to the horizon.
-            # Outcomes are bit-identical either way.
-            attacker.enable_fast_forward()
-    deployed.start()
-    horizon = max_steps * spec.period
-    # The simulation allocates at probe rate but creates no cycles the
-    # young-generation collector could reclaim mid-run; pausing cyclic
-    # GC for the run avoids per-allocation-burst scan pauses.  (The
-    # deployment's own cycles are collected after re-enabling.)
+        # No workload to serve: once every probe stream is provably
+        # dead the run's verdict is decided, so let the attacker
+        # fast-forward past the remaining (censored) epochs instead
+        # of simulating heartbeat/refresh churn to the horizon.
+        # Outcomes are bit-identical either way.
+        attacker.enable_fast_forward()
+    return deployed
+
+
+def _run_until(deployed: DeployedSystem, horizon: float) -> None:
+    """Advance a started deployment to ``horizon`` with cyclic GC paused.
+
+    The simulation allocates at probe rate but creates no cycles the
+    young-generation collector could reclaim mid-run; pausing cyclic
+    GC for the run avoids per-allocation-burst scan pauses.  (The
+    deployment's own cycles are collected after re-enabling.)
+    """
     gc_was_enabled = gc.isenabled()
     if gc_was_enabled:
         gc.disable()
@@ -139,7 +154,17 @@ def run_protocol_lifetime(
     finally:
         if gc_was_enabled:
             gc.enable()
+
+
+def outcome_from_deployment(
+    deployed: DeployedSystem, seed: int, max_steps: int
+) -> LifetimeOutcome:
+    """Read the verdict of a finished (or fast-forwarded) run."""
+    spec = deployed.spec
+    attacker = deployed.attacker
+    assert attacker is not None
     monitor = deployed.monitor
+    events = deployed.sim.events_executed
     if monitor.is_compromised:
         steps = monitor.steps_survived
         assert steps is not None
@@ -152,17 +177,45 @@ def run_protocol_lifetime(
             cause=monitor.cause,
             probes_direct=attacker.probes_sent_direct,
             probes_indirect=attacker.probes_sent_indirect,
+            events=events,
         )
     return LifetimeOutcome(
         spec=spec,
         seed=seed,
         compromised=False,
         steps=max_steps,
-        time=horizon,
+        time=max_steps * spec.period,
         cause=None,
         probes_direct=attacker.probes_sent_direct,
         probes_indirect=attacker.probes_sent_indirect,
+        events=events,
     )
+
+
+def run_protocol_lifetime(
+    spec: SystemSpec,
+    seed: int = 0,
+    max_steps: int = 500,
+    with_workload: bool = False,
+    scenario: "ScenarioSpec | None" = None,
+    **build_kwargs,
+) -> LifetimeOutcome:
+    """Run one deployment until compromise or ``max_steps`` whole steps.
+
+    Composition is delegated to :func:`compose_deployment` (see there
+    for the ``scenario``/``with_workload`` semantics).
+    """
+    deployed = compose_deployment(
+        spec,
+        seed=seed,
+        max_steps=max_steps,
+        with_workload=with_workload,
+        scenario=scenario,
+        **build_kwargs,
+    )
+    deployed.start()
+    _run_until(deployed, max_steps * spec.period)
+    return outcome_from_deployment(deployed, seed, max_steps)
 
 
 class CensoredPrecisionError(AnalysisError):
@@ -231,22 +284,38 @@ class LifetimeEstimate:
         Every per-seed :class:`LifetimeOutcome`, in seed order.
     censoring:
         Censoring-aware summary (censored fraction, Kaplan-Meier
-        restricted mean).
+        restricted mean).  Derived from ``outcomes`` when omitted.
     converged:
         ``False`` only for precision-targeted estimates that exhausted
         their seed budget before reaching the requested CI half-width.
+    estimator:
+        Which estimator produced this: ``"mc"`` (plain Monte-Carlo) or
+        ``"splitting"`` (rare-event multilevel splitting; ``outcomes``
+        then holds the unconditioned pilot wave and :attr:`rare` the
+        folded probability estimate).
+    rare:
+        The :class:`~repro.rare.splitting.RareEventEstimate` when
+        ``estimator == "splitting"``, else ``None``.
+    events:
+        Total simulator events spent producing the estimate — including
+        Monte-Carlo rounds abandoned by an ``estimator="auto"`` switch,
+        so estimator cost comparisons stay honest.
     """
 
     spec: SystemSpec
     stats: SummaryStats
     censored: int
     outcomes: tuple[LifetimeOutcome, ...]
-    censoring: CensoredSummary = field(repr=False, default=None)  # type: ignore
+    censoring: Optional[CensoredSummary] = field(repr=False, default=None)
     converged: bool = True
+    estimator: str = "mc"
+    rare: Optional["RareEventEstimate"] = field(repr=False, default=None)
+    events: int = 0
 
     def __post_init__(self) -> None:
-        # Derive the censoring summary for callers constructing the
-        # pre-campaign 4-field form, so km_mean_steps always works.
+        # Derive the censoring summary (and event total) for callers
+        # constructing the pre-campaign 4-field form, so km_mean_steps
+        # and cost accounting always work.
         if self.censoring is None and self.outcomes:
             object.__setattr__(
                 self,
@@ -255,6 +324,10 @@ class LifetimeEstimate:
                     [float(o.steps) for o in self.outcomes],
                     [not o.compromised for o in self.outcomes],
                 ),
+            )
+        if self.events == 0 and self.outcomes:
+            object.__setattr__(
+                self, "events", sum(o.events for o in self.outcomes)
             )
 
     @property
@@ -338,7 +411,26 @@ def _outcome_payload(outcome: LifetimeOutcome) -> dict:
         "cause": outcome.cause,
         "probes_direct": outcome.probes_direct,
         "probes_indirect": outcome.probes_indirect,
+        "events": outcome.events,
     }
+
+
+def _outcome_from_entry(spec: SystemSpec, entry: Any) -> LifetimeOutcome:
+    """Rebuild one cached outcome; raise on malformed entries."""
+    cause = entry["cause"]
+    if cause is not None and not isinstance(cause, str):
+        raise ValueError("cached outcome carries a malformed cause")
+    return LifetimeOutcome(
+        spec=spec,
+        seed=int(entry["seed"]),
+        compromised=bool(entry["compromised"]),
+        steps=int(entry["steps"]),
+        time=float(entry["time"]),
+        cause=cause,
+        probes_direct=int(entry["probes_direct"]),
+        probes_indirect=int(entry["probes_indirect"]),
+        events=int(entry["events"]),
+    )
 
 
 def _outcomes_from_payload(
@@ -351,21 +443,7 @@ def _outcomes_from_payload(
     for seed, entry in zip(seeds, payload):
         if entry["seed"] != seed:
             raise ValueError("cached outcome block does not match the request")
-        cause = entry["cause"]
-        if cause is not None and not isinstance(cause, str):
-            raise ValueError("cached outcome carries a malformed cause")
-        outcomes.append(
-            LifetimeOutcome(
-                spec=spec,
-                seed=int(entry["seed"]),
-                compromised=bool(entry["compromised"]),
-                steps=int(entry["steps"]),
-                time=float(entry["time"]),
-                cause=cause,
-                probes_direct=int(entry["probes_direct"]),
-                probes_indirect=int(entry["probes_indirect"]),
-            )
-        )
+        outcomes.append(_outcome_from_entry(spec, entry))
     return outcomes
 
 
@@ -431,6 +509,59 @@ def _dispatch(
     return outcomes
 
 
+def _splitting_estimate(
+    spec: SystemSpec,
+    *,
+    max_steps: int,
+    root_seed: int,
+    config: "SplittingConfig | None",
+    executor: "TaskExecutor | None",
+    workers: int | None,
+    scenario: "ScenarioSpec | None",
+    cache: Optional[ResultCache],
+    build_kwargs: dict,
+    extra_events: int = 0,
+) -> LifetimeEstimate:
+    """Wrap a multilevel-splitting run as a :class:`LifetimeEstimate`.
+
+    The estimate's ``outcomes``/``stats`` come from the splitting pilot
+    wave — plain unconditioned runs, bit-identical to what ``"mc"``
+    would produce for those seeds — while :attr:`LifetimeEstimate.rare`
+    carries the folded rare-event probability.  ``extra_events``
+    accounts for Monte-Carlo work a preceding ``"auto"`` attempt spent
+    before switching.
+    """
+    from ..rare.splitting import run_splitting  # deferred: layering
+
+    rare = run_splitting(
+        spec,
+        root_seed=root_seed,
+        max_steps=max_steps,
+        config=config,
+        executor=executor,
+        workers=workers,
+        scenario=scenario,
+        cache=cache,
+        **build_kwargs,
+    )
+    outcomes = list(rare.pilot_outcomes)
+    censoring = summarize_censored(
+        [float(o.steps) for o in outcomes],
+        [not o.compromised for o in outcomes],
+    )
+    return LifetimeEstimate(
+        spec=spec,
+        stats=censoring.stats,
+        censored=censoring.n_censored,
+        outcomes=tuple(outcomes),
+        censoring=censoring,
+        converged=True,
+        estimator="splitting",
+        rare=rare,
+        events=rare.events + extra_events,
+    )
+
+
 def estimate_protocol_lifetime(
     spec: SystemSpec,
     trials: int = 20,
@@ -447,6 +578,8 @@ def estimate_protocol_lifetime(
     executor: "TaskExecutor | None" = None,
     scenario: "ScenarioSpec | None" = None,
     cache: Optional[ResultCache] = None,
+    estimator: str = "mc",
+    splitting: "SplittingConfig | None" = None,
     **build_kwargs,
 ) -> LifetimeEstimate:
     """Estimate the expected lifetime from independent protocol runs.
@@ -478,11 +611,35 @@ def estimate_protocol_lifetime(
     dispatch: seed blocks already on disk skip simulation entirely, and
     fresh blocks are stored for the next run.  Because seeds are fixed
     before dispatch, cached and recomputed estimates are bit-identical.
+
+    ``estimator`` selects how censor-heavy points are handled:
+
+    * ``"mc"`` (default) — plain Monte-Carlo, exactly as before;
+    * ``"splitting"`` — rare-event multilevel splitting
+      (:func:`repro.rare.splitting.run_splitting`, shaped by
+      ``splitting=``): the returned estimate's ``outcomes`` are the
+      unconditioned pilot wave and its ``rare`` field carries the
+      survival-failure probability with CI — resolvable far below what
+      ``max_trials`` Monte-Carlo runs could see;
+    * ``"auto"`` — Monte-Carlo first, switching to splitting when the
+      censored fraction exceeds ``max_censored_fraction`` (for
+      precision runs: exactly when :class:`CensoredPrecisionError`
+      would have been raised).  Events already spent on the abandoned
+      Monte-Carlo rounds are charged to the estimate.
     """
     from ..mc.executor import TaskExecutor  # deferred: avoids cycle
 
     if batch_size < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if estimator not in ("mc", "splitting", "auto"):
+        raise ConfigurationError(
+            f"estimator must be 'mc', 'splitting' or 'auto', got {estimator!r}"
+        )
+    if not 0.0 < max_censored_fraction <= 1.0:
+        raise ConfigurationError(
+            "max_censored_fraction must be in (0, 1], got "
+            f"{max_censored_fraction}"
+        )
     if seed_for is None:
 
         def seed_for(i: int) -> int:
@@ -491,6 +648,18 @@ def estimate_protocol_lifetime(
     owns_executor = executor is None
     if executor is None:
         executor = TaskExecutor(workers)
+    if estimator == "splitting":
+        return _splitting_estimate(
+            spec,
+            max_steps=max_steps,
+            root_seed=seed_for(0),
+            config=splitting,
+            executor=None if owns_executor else executor,
+            workers=workers,
+            scenario=scenario,
+            cache=cache,
+            build_kwargs=build_kwargs,
+        )
     if precision is None:
         if trials < 1:
             raise ConfigurationError(f"trials must be >= 1, got {trials}")
@@ -498,7 +667,24 @@ def estimate_protocol_lifetime(
         outcomes = _dispatch(
             executor, spec, seeds, max_steps, batch_size, build_kwargs, scenario, cache
         )
-        return _aggregate(spec, outcomes)
+        estimate = _aggregate(spec, outcomes)
+        if (
+            estimator == "auto"
+            and estimate.censored_fraction > max_censored_fraction
+        ):
+            return _splitting_estimate(
+                spec,
+                max_steps=max_steps,
+                root_seed=seed_for(0),
+                config=splitting,
+                executor=None if owns_executor else executor,
+                workers=workers,
+                scenario=scenario,
+                cache=cache,
+                build_kwargs=build_kwargs,
+                extra_events=estimate.events,
+            )
+        return estimate
 
     if precision <= 0:
         raise ConfigurationError(f"precision must be positive, got {precision}")
@@ -506,11 +692,59 @@ def estimate_protocol_lifetime(
         raise ConfigurationError(
             f"need 2 <= min_trials <= max_trials, got {min_trials}, {max_trials}"
         )
-    if not 0.0 < max_censored_fraction <= 1.0:
-        raise ConfigurationError(
-            "max_censored_fraction must be in (0, 1], got "
-            f"{max_censored_fraction}"
+    try:
+        return _precision_rounds(
+            spec,
+            executor,
+            owns_executor,
+            seed_for,
+            max_steps=max_steps,
+            batch_size=batch_size,
+            precision=precision,
+            min_trials=min_trials,
+            max_trials=max_trials,
+            max_censored_fraction=max_censored_fraction,
+            scenario=scenario,
+            cache=cache,
+            build_kwargs=build_kwargs,
         )
+    except CensoredPrecisionError as exc:
+        if estimator != "auto":
+            raise
+        # The CI-targeted stopping rule is meaningless on this point;
+        # switch to the rare-event estimator, charging the abandoned
+        # Monte-Carlo rounds to the estimate.
+        return _splitting_estimate(
+            spec,
+            max_steps=max_steps,
+            root_seed=seed_for(0),
+            config=splitting,
+            executor=None if owns_executor else executor,
+            workers=workers,
+            scenario=scenario,
+            cache=cache,
+            build_kwargs=build_kwargs,
+            extra_events=sum(o.events for o in exc.outcomes),
+        )
+
+
+def _precision_rounds(
+    spec: SystemSpec,
+    executor: "TaskExecutor",
+    owns_executor: bool,
+    seed_for: Callable[[int], int],
+    *,
+    max_steps: int,
+    batch_size: int,
+    precision: float,
+    min_trials: int,
+    max_trials: int,
+    max_censored_fraction: float,
+    scenario: "ScenarioSpec | None",
+    cache: Optional[ResultCache],
+    build_kwargs: dict,
+) -> LifetimeEstimate:
+    """Stream seed rounds until the CI converges (the ``precision=`` path)."""
     round_size = PRECISION_ROUND_SEEDS
     outcomes: list[LifetimeOutcome] = []
     warned_censored = False

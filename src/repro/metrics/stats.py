@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..errors import AnalysisError
 
@@ -230,6 +230,154 @@ def summarize_censored(
         n_censored=sum(1 for c in censored if c),
         km_mean=km_restricted_mean(times, events),
     )
+
+
+@dataclass(frozen=True)
+class SplittingLevelStat:
+    """Pooled crossing counts of one splitting stage.
+
+    Attributes
+    ----------
+    level:
+        The Φ threshold of the stage, or ``None`` for the final stage
+        (whose "crossing" is the rare event itself, judged by the
+        compromise monitor).
+    n:
+        Trajectories launched into the stage, pooled over replications.
+    crossed:
+        How many reached the threshold (or compromised outright — a
+        compromise crosses every remaining level by construction).
+    """
+
+    level: Optional[float]
+    n: int
+    crossed: int
+
+    @property
+    def p(self) -> float:
+        """Pooled conditional crossing probability of the stage."""
+        return self.crossed / self.n
+
+
+@dataclass(frozen=True)
+class SplittingEstimate:
+    """Rare-event probability folded from multilevel-splitting stages.
+
+    ``probability`` is the mean of the per-replication products of
+    conditional stage estimates — *exactly* unbiased for the rare-event
+    probability (each replication's product telescopes the conditional
+    expectations).  The interval is a delta-method CI on the log of the
+    pooled product: per-stage binomial variances propagated through
+    ``ln Π p̂ₖ = Σ ln p̂ₖ`` under the standard independent-stages
+    approximation of the splitting literature, then exponentiated (so
+    the interval is asymmetric and never dips below zero).
+    """
+
+    probability: float
+    ci_low: float
+    ci_high: float
+    levels: tuple[SplittingLevelStat, ...]
+
+
+def splitting_probability(
+    level_stats: Sequence[SplittingLevelStat],
+    products: Sequence[float],
+) -> SplittingEstimate:
+    """Fold per-stage counts and per-replication products into an estimate.
+
+    Parameters
+    ----------
+    level_stats:
+        Pooled counts per stage, in stage order, truncated after the
+        first stage no trajectory crossed (later stages never ran).
+    products:
+        One ``Π p̂ₖ`` per replication (0.0 where a stage died out).
+
+    When some pooled stage has zero crossers the point estimate is the
+    (possibly zero) product mean and the upper bound falls back to the
+    rule of three on the dead stage — ``3/n`` crossings would have been
+    seen with ≥95% probability were the conditional probability that
+    large — scaled by the product of the preceding stages.
+
+    The delta-method interval assumes independent per-stage Bernoulli
+    trials, but resplit offspring of one parent share that parent's
+    state and can decide together; the replications, by contrast, are
+    genuinely independent.  The returned interval is therefore the
+    delta-method one *widened* to cover the t-interval of the
+    per-replication products whenever their empirical spread says the
+    pooled counts were overconfident.
+    """
+    if not products:
+        raise AnalysisError("need at least one splitting replication")
+    if not level_stats:
+        raise AnalysisError("need at least one splitting stage")
+    probability = sum(products) / len(products)
+    ci_low, ci_high = _replication_spread(products, probability)
+    pooled = 1.0
+    log_var = 0.0
+    for stat in level_stats:
+        if stat.n <= 0:
+            raise AnalysisError("splitting stage with no trajectories")
+        if stat.crossed == 0:
+            upper = pooled * min(3.0 / stat.n, 1.0)
+            return SplittingEstimate(
+                probability=probability,
+                ci_low=0.0,
+                ci_high=max(ci_high, upper),
+                levels=tuple(level_stats),
+            )
+        p = stat.p
+        pooled *= p
+        log_var += (1.0 - p) / (stat.n * p)
+    spread = math.exp(Z_95 * math.sqrt(log_var))
+    return SplittingEstimate(
+        probability=probability,
+        ci_low=min(ci_low, pooled / spread),
+        ci_high=min(max(ci_high, pooled * spread), 1.0),
+        levels=tuple(level_stats),
+    )
+
+
+#: Two-sided 97.5% Student-t quantiles by degrees of freedom (>=30: ~Z).
+_T_95 = {
+    1: 12.706,
+    2: 4.303,
+    3: 3.182,
+    4: 2.776,
+    5: 2.571,
+    6: 2.447,
+    7: 2.365,
+    8: 2.306,
+    9: 2.262,
+    10: 2.228,
+    11: 2.201,
+    12: 2.179,
+    13: 2.160,
+    14: 2.145,
+    15: 2.131,
+    20: 2.086,
+    25: 2.060,
+    29: 2.045,
+}
+
+
+def _replication_spread(
+    products: Sequence[float], mean: float
+) -> tuple[float, float]:
+    """t-interval of the per-replication products around their mean.
+
+    Returns ``(mean, mean)`` for a single replication — one product
+    carries no spread information, and the delta-method interval is
+    then the only one available.
+    """
+    n = len(products)
+    if n < 2:
+        return mean, mean
+    var = sum((x - mean) ** 2 for x in products) / (n - 1)
+    dof = n - 1
+    t = _T_95.get(dof, Z_95 if dof > 29 else _T_95[max(k for k in _T_95 if k <= dof)])
+    half = t * math.sqrt(var / n)
+    return max(mean - half, 0.0), min(mean + half, 1.0)
 
 
 def bootstrap_ci(

@@ -1,0 +1,53 @@
+"""Rare-event estimation: multilevel splitting over attacker progress.
+
+Plain Monte-Carlo handles the paper's far tail worst: at high κ / low α
+almost every protocol run censors at the step budget, and an honest
+compromise-probability estimate would need orders of magnitude more
+runs.  This package turns that compute problem into a variance-reduction
+problem with fixed-effort multilevel splitting (RESTART-style trajectory
+splitting): trajectories that make unusual attacker *progress* are
+forked — full simulator state, event heap, attacker key knowledge and
+per-stream RNGs — and re-run conditionally, stage by stage, until the
+compromise event itself is reached often enough to measure.
+
+Three pillars, one module each:
+
+* :mod:`repro.rare.fork` — bit-identical cloning of a live deployment
+  and deterministic re-seeding of resplit children;
+* :mod:`repro.rare.levels` — the attacker-progress level function and
+  its cheap in-simulation crossing probe, plus pilot-quantile level
+  placement;
+* :mod:`repro.rare.splitting` — the fixed-effort splitting scheduler
+  running pilot and replication waves through the campaign executor,
+  folded into an unbiased probability with a delta-method CI.
+"""
+
+from .fork import Trajectory, fork_trajectory, reseed_for_split
+from .levels import (
+    LevelProbe,
+    attacker_progress,
+    choose_levels,
+    dedupe_levels,
+    structural_levels,
+)
+from .splitting import (
+    RareEventEstimate,
+    SplittingConfig,
+    SplittingTask,
+    run_splitting,
+)
+
+__all__ = [
+    "LevelProbe",
+    "RareEventEstimate",
+    "SplittingConfig",
+    "SplittingTask",
+    "Trajectory",
+    "attacker_progress",
+    "choose_levels",
+    "dedupe_levels",
+    "fork_trajectory",
+    "reseed_for_split",
+    "run_splitting",
+    "structural_levels",
+]

@@ -1,0 +1,101 @@
+"""Simulator state forking for trajectory splitting.
+
+A splitting stage promotes a trajectory by *cloning* its entire live
+deployment — event heap, processes, network, attacker key knowledge,
+per-stream RNG states — and letting each clone continue independently.
+The clone must satisfy two contracts:
+
+* **fidelity** — a fork whose RNG streams are left untouched replays
+  bit-identically to the original (same events, same draws, same
+  outcome).  :func:`fork_trajectory` achieves this with ``copy.deepcopy``:
+  every callback the kernel holds in its heap is a *bound method* of
+  some simulation object (the stack schedules no closures), and deepcopy
+  remaps a bound method's ``__self__`` through the memo, so the cloned
+  heap drives the cloned objects and only those.  Slotted classes (the
+  kernel, processes, messages and drivers all use ``__slots__``) copy
+  through their ``__reduce_ex__`` like any other object.
+
+* **divergence** — resplit children must explore *different* futures,
+  deterministically: the same (parent, child seed) pair always produces
+  the same child, regardless of worker count or batch shape.
+  :func:`reseed_for_split` reseeds every live RNG stream in place from a
+  derived ``"rare:split"`` seed and discards the attacker's pre-drawn
+  randomness buffers (chunked guess values, pacing jitter), which are
+  *future* draws of the old streams.  Past-determined state — the keys
+  already eliminated, the materialized remainder of a pool, scheduled
+  fault plans — is exactly what conditioning on the trajectory's history
+  means, and is deliberately shared.
+
+Forking is only legal between ``run()`` calls (the kernel is not
+re-entrant and a mid-callback clone would capture a half-applied event).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import SimulationError
+from ..sim.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.builders import DeployedSystem
+    from .levels import LevelProbe
+
+
+@dataclass
+class Trajectory:
+    """One splitting trajectory: a live deployment plus its level probe.
+
+    The probe is cloned *with* the deployment (its periodic tick lives
+    in the deployment's event heap and its running maximum is part of
+    the trajectory's history), so the pair must be forked as one unit —
+    :meth:`fork` deepcopies them through a single memo.
+    """
+
+    deployed: "DeployedSystem"
+    probe: "LevelProbe"
+
+    def fork(self) -> "Trajectory":
+        return fork_trajectory(self)
+
+
+def fork_trajectory(trajectory: Trajectory) -> Trajectory:
+    """Clone a trajectory mid-flight, bit-identically.
+
+    The spec, timing and scenario are frozen dataclasses shared by every
+    clone; pinning them in the memo keeps their identity (outcomes
+    report the *same* spec object) and skips re-copying the only
+    deployment state that provably cannot diverge.
+    """
+    deployed = trajectory.deployed
+    sim = deployed.sim
+    if sim._running:
+        raise SimulationError("cannot fork a deployment while its run() is live")
+    memo: dict = {
+        id(deployed.spec): deployed.spec,
+        id(deployed.timing): deployed.timing,
+    }
+    return copy.deepcopy(trajectory, memo)
+
+
+def reseed_for_split(trajectory: Trajectory, split_seed: int) -> None:
+    """Give a freshly forked child its own deterministic randomness.
+
+    Every live stream is reseeded *in place* (components hold direct
+    references to their ``random.Random`` objects, so replacing the
+    registry's dict would leave the old states in play), streams created
+    later derive from the new root, and the attacker's buffers of
+    pre-drawn values — future draws of the pre-fork streams — are
+    discarded so the child's next probe comes from its own stream.
+    """
+    trajectory.deployed.sim.rng.reseed(split_seed)
+    attacker = trajectory.deployed.attacker
+    if attacker is not None:
+        attacker.discard_buffered_randomness()
+
+
+def child_seed(replication_seed: int, stage: int, child_index: int) -> int:
+    """Seed of one resplit child, stable under any fan-out shape."""
+    return derive_seed(replication_seed, f"rare:split:{stage}:{child_index}")

@@ -72,15 +72,20 @@ def render_campaign_table(
     """Render protocol-campaign grid points as one table.
 
     One row per grid point: spec coordinates, seeds run, mean lifetime
-    with its 95% CI, the censored count (mean and CI are lower bounds
-    whenever it is non-zero, flagged with ``>=``), and the Kaplan-Meier
-    restricted mean.  Precision-targeted points that exhausted their
-    seed budget before reaching the CI target are marked
-    ``(unconverged)``.  ``model_means`` optionally maps row indices to
-    a model (analytic or Monte-Carlo) EL for side-by-side validation.
+    with its 95% CI, the censored count and fraction (mean and CI are
+    lower bounds whenever they are non-zero, flagged with ``>=``), the
+    Kaplan-Meier restricted mean, and the estimator that produced the
+    point (``mc`` or ``splitting``).  When any point carries a
+    rare-event estimate, a ``P(comp)`` column shows the splitting
+    probability of compromise within the budget with its 95% CI.
+    Precision-targeted points that exhausted their seed budget before
+    reaching the CI target are marked ``(unconverged)``.
+    ``model_means`` optionally maps row indices to a model (analytic or
+    Monte-Carlo) EL for side-by-side validation.
     """
     if not estimates:
         raise ConfigurationError("campaign table needs at least one estimate")
+    with_rare = any(estimate.rare is not None for estimate in estimates)
     headers = [
         "system",
         "alpha",
@@ -89,8 +94,12 @@ def render_campaign_table(
         "mean EL",
         "95% CI",
         "censored",
+        "cens%",
         "KM mean",
+        "est",
     ]
+    if with_rare:
+        headers.append("P(comp)")
     if model_means is not None:
         headers.append("model EL")
     rows = []
@@ -110,8 +119,20 @@ def render_campaign_table(
             f"[{format_quantity(estimate.stats.ci_low)}, "
             f"{format_quantity(estimate.stats.ci_high)}]{ci_note}",
             str(estimate.censored),
+            f"{estimate.censored_fraction:.0%}",
             f"{bound}{format_quantity(estimate.km_mean_steps)}",
+            estimate.estimator,
         ]
+        if with_rare:
+            rare = estimate.rare
+            if rare is None:
+                row.append("-")
+            else:
+                row.append(
+                    f"{format_quantity(rare.probability)} "
+                    f"[{format_quantity(rare.ci_low)}, "
+                    f"{format_quantity(rare.ci_high)}]"
+                )
         if model_means is not None:
             value = model_means.get(i)
             row.append("-" if value is None else format_quantity(value))

@@ -46,6 +46,20 @@ class RngRegistry:
         """Return a child registry whose streams are independent of ours."""
         return RngRegistry(derive_seed(self.root_seed, f"spawn:{name}"))
 
+    def reseed(self, root_seed: int) -> None:
+        """Re-derive every existing stream from a new root seed, in place.
+
+        Components keep direct references to their ``random.Random``
+        objects, so the streams are ``seed()``-ed rather than replaced —
+        every holder observes the new state immediately.  Streams created
+        afterwards derive from the new root too.  Used by the rare-event
+        engine to make resplit trajectory children diverge
+        deterministically (see :mod:`repro.rare.fork`).
+        """
+        self.root_seed = root_seed
+        for name, stream in self._streams.items():
+            stream.seed(derive_seed(root_seed, name))
+
     def names(self) -> Iterator[str]:
         """Iterate over the names of streams created so far."""
         return iter(sorted(self._streams))

@@ -269,6 +269,10 @@ def test_campaign_record_cache_section(tmp_path):
     warm2 = campaign_record(run_campaign(specs, workers=1, cache=cache, **CAMPAIGN_KW))
     assert cold["cache"] == {"hits": 0, "misses": len(specs)}
     assert warm1["cache"] == {"hits": len(specs), "misses": 0}
+    # Wall-clock time is the one field that is *meant* to differ between
+    # otherwise bit-identical runs; everything below compares modulo it.
+    for record in (plain, cold, warm1, warm2):
+        assert record.pop("wall_seconds") >= 0.0
     # Warm records are bit-identical *including* the cache section …
     assert json.dumps(warm1, sort_keys=True) == json.dumps(warm2, sort_keys=True)
     # … and modulo it, identical to the cold record and the plain run.
