@@ -70,6 +70,16 @@ class ResultCache:
         self.version = version
         self.hits = 0
         self.misses = 0
+        self.store_failures = 0
+
+    @property
+    def stats(self) -> dict:
+        """Counters for campaign records: lookups and suppressed failures."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "store_failures": self.store_failures,
+        }
 
     # ------------------------------------------------------------------
     def key_for(self, payload: dict) -> str:
@@ -107,14 +117,79 @@ class ResultCache:
         Storage failures (read-only cache dir, disk full) are reported
         as a warning and otherwise ignored — the computed result is
         already in hand, so a failed write must not sink the campaign.
+        The warning fires once per cache instance (a read-only dir would
+        otherwise warn for every grid point of a sweep); later failures
+        are tallied silently in :attr:`stats` as ``store_failures``.
         """
         entry = {"key": key, "engine_version": self.version, "payload": payload}
         try:
             atomic_write_text(self._path(key), json.dumps(entry))
         except OSError as exc:
-            warnings.warn(
-                f"result cache write failed under {self.root}: {exc}; "
-                "continuing without caching this entry",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            self.store_failures += 1
+            if self.store_failures == 1:
+                warnings.warn(
+                    f"result cache write failed under {self.root}: {exc}; "
+                    "continuing without caching (further failures this "
+                    "run are counted, not warned)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    # ------------------------------------------------------------------
+    def _entry_paths(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("??/*.json"))
+
+    def info(self) -> dict:
+        """Inventory of the on-disk store: entries, bytes, versions.
+
+        Unreadable entries are counted under a ``"corrupt"`` bucket
+        rather than raised — the same miss-not-error stance as
+        :meth:`lookup`.
+        """
+        entries = 0
+        total_bytes = 0
+        versions: dict[str, int] = {}
+        for path in self._entry_paths():
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                version = str(entry["engine_version"])
+            except (OSError, ValueError, KeyError, TypeError):
+                version = "corrupt"
+            versions[version] = versions.get(version, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "engine_version": self.version,
+            "by_version": dict(sorted(versions.items())),
+        }
+
+    def prune(self) -> dict:
+        """Delete entries not written under the current engine version.
+
+        Stale-version and corrupt entries can never hit again (keys fold
+        the version in), so they only cost disk; pruning removes them
+        and reports what went.  Returns ``{"removed": n, "bytes": n}``.
+        """
+        removed = 0
+        freed = 0
+        for path in self._entry_paths():
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                stale = entry["engine_version"] != self.version
+            except (OSError, ValueError, KeyError, TypeError):
+                stale = True
+            if not stale:
+                continue
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        return {"removed": removed, "bytes": freed}

@@ -36,6 +36,8 @@ from .analysis.orderings import (
 )
 from .cache import ResultCache, atomic_write_text
 from .core.campaign import (
+    CampaignInterrupted,
+    CampaignResult,
     campaign_grid,
     campaign_record,
     run_campaign,
@@ -51,10 +53,12 @@ from .randomization.obfuscation import Scheme
 from .reporting.tables import (
     format_quantity,
     render_campaign_table,
+    render_failure_manifest,
     render_series_table,
     render_table,
 )
 from .scenarios import all_scenarios, get_scenario
+from .supervision import ChaosSpec, SupervisionPolicy
 
 #: Default result-cache root for campaign commands (under ``$HOME``).
 DEFAULT_CACHE_DIR = pathlib.Path("~/.cache/repro/campaigns")
@@ -129,6 +133,121 @@ def _print_cache_summary(cache: Optional[ResultCache]) -> None:
     if cache is None:
         return
     print(f"result cache: {cache.hits} hits, {cache.misses} misses " f"({cache.root})")
+
+
+def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fault tolerance")
+    group.add_argument(
+        "--supervise",
+        action="store_true",
+        help="wrap the executor in the supervision layer (retries with "
+        "seed-derived backoff, poison-task quarantine); implied by the "
+        "other fault-tolerance flags",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total attempts per task before quarantine (default 3)",
+    )
+    group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget; hung tasks are abandoned and "
+        "retried (needs --workers >= 2: in-process tasks cannot be "
+        "interrupted)",
+    )
+    group.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="inject seeded faults, e.g. 'seed=7,crash=0.2,hang=0.1,"
+        "transient=0.3,poison=0.05,transient_attempts=2' — a "
+        "deterministic harness for exercising the supervision paths",
+    )
+    group.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="crash-safe journal of completed task batches (enables "
+        "--resume after a kill)",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the --journal (and result cache) and dispatch only "
+        "missing work",
+    )
+    group.add_argument(
+        "--failure-manifest",
+        default=None,
+        metavar="PATH",
+        help="write quarantined tasks and retry/timeout tallies as JSON",
+    )
+
+
+def _resolve_supervision(
+    args: argparse.Namespace,
+) -> tuple[Optional[SupervisionPolicy], Optional[ChaosSpec]]:
+    """Build the supervision policy + chaos spec the flags imply.
+
+    Any fault-tolerance flag (other than the journal, which works
+    unsupervised) turns supervision on; ``--resume`` requires
+    ``--journal``.
+    """
+    if args.resume and args.journal is None:
+        raise ReproError("--resume needs --journal PATH to replay")
+    chaos = ChaosSpec.parse(args.chaos) if args.chaos is not None else None
+    wants = (
+        args.supervise
+        or args.retries is not None
+        or args.task_timeout is not None
+        or args.failure_manifest is not None
+        or chaos is not None
+    )
+    if not wants:
+        return None, None
+    policy_kwargs = {}
+    if args.retries is not None:
+        policy_kwargs["max_attempts"] = args.retries
+    if args.task_timeout is not None:
+        policy_kwargs["task_timeout"] = args.task_timeout
+    return SupervisionPolicy(**policy_kwargs), chaos
+
+
+def _print_supervision_summary(
+    result: CampaignResult, manifest_path: Optional[str]
+) -> None:
+    if not result.supervised:
+        return
+    print(
+        f"supervision: {result.retries} retries, {result.timeouts} "
+        f"timeouts, {result.quarantined} quarantined"
+    )
+    if result.failures:
+        print(render_failure_manifest(result.failures))
+    if manifest_path is not None:
+        print(f"failure manifest written to {manifest_path}")
+
+
+def _report_interrupt(exc: CampaignInterrupted, args: argparse.Namespace) -> int:
+    """Standard exit path for an interrupted campaign (exit code 130)."""
+    partial = exc.partial
+    print(f"\ninterrupted: {exc}", file=sys.stderr)
+    if len(partial):
+        print(
+            f"{len(partial)} grid points completed before the interrupt",
+            file=sys.stderr,
+        )
+    if getattr(args, "journal", None) is not None:
+        print(
+            "re-run with --resume to dispatch only the missing work",
+            file=sys.stderr,
+        )
+    return 130
 
 
 def cmd_figure1(args: argparse.Namespace) -> int:
@@ -352,18 +471,27 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
     if args.profile:
         return _profile_grid_point(specs[0], args, timing, scenario=scenario)
     cache = _resolve_cache(args)
-    result = run_campaign(
-        specs,
-        trials=args.trials,
-        max_steps=args.max_steps,
-        seed=args.seed,
-        workers=args.workers,
-        precision=args.precision,
-        timing=timing,
-        scenario=scenario,
-        cache=cache,
-        estimator=args.estimator,
-    )
+    supervision, chaos = _resolve_supervision(args)
+    try:
+        result = run_campaign(
+            specs,
+            trials=args.trials,
+            max_steps=args.max_steps,
+            seed=args.seed,
+            workers=args.workers,
+            precision=args.precision,
+            timing=timing,
+            scenario=scenario,
+            cache=cache,
+            estimator=args.estimator,
+            supervision=supervision,
+            chaos=chaos,
+            journal_path=args.journal,
+            resume=args.resume,
+            manifest_path=args.failure_manifest,
+        )
+    except CampaignInterrupted as exc:
+        return _report_interrupt(exc, args)
     if args.precision is not None:
         method = f"precision {args.precision:g} rel. CI"
     else:
@@ -383,6 +511,7 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
         )
     )
     _print_cache_summary(cache)
+    _print_supervision_summary(result, args.failure_manifest)
     if args.output is not None:
         record = campaign_record(
             result,
@@ -426,17 +555,26 @@ def cmd_scenario_show(args: argparse.Namespace) -> int:
 def cmd_scenario_run(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.name)
     cache = _resolve_cache(args)
-    result = run_scenario_campaign(
-        scenario,
-        trials=args.trials,
-        max_steps=args.max_steps,
-        seed=args.seed,
-        workers=args.workers,
-        batch_size=args.batch_size,
-        precision=args.precision,
-        cache=cache,
-        estimator=args.estimator,
-    )
+    supervision, chaos = _resolve_supervision(args)
+    try:
+        result = run_scenario_campaign(
+            scenario,
+            trials=args.trials,
+            max_steps=args.max_steps,
+            seed=args.seed,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            precision=args.precision,
+            cache=cache,
+            estimator=args.estimator,
+            supervision=supervision,
+            chaos=chaos,
+            journal_path=args.journal,
+            resume=args.resume,
+            manifest_path=args.failure_manifest,
+        )
+    except CampaignInterrupted as exc:
+        return _report_interrupt(exc, args)
     if args.precision is not None:
         method = f"precision {args.precision:g} rel. CI"
     else:
@@ -458,6 +596,7 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
         )
     )
     _print_cache_summary(cache)
+    _print_supervision_summary(result, args.failure_manifest)
     if args.output is not None:
         record = campaign_record(
             result,
@@ -466,6 +605,39 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
             scenario=scenario,
         )
         return _write_campaign_record(record, args.output)
+    return 0
+
+
+def _cache_for_inspection(args: argparse.Namespace) -> ResultCache:
+    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if root is None:
+        root = DEFAULT_CACHE_DIR.expanduser()
+    return ResultCache(root)
+
+
+def cmd_cache_info(args: argparse.Namespace) -> int:
+    cache = _cache_for_inspection(args)
+    info = cache.info()
+    rows = [
+        ["root", info["root"]],
+        ["entries", str(info["entries"])],
+        ["bytes", str(info["bytes"])],
+        ["current engine version", str(info["engine_version"])],
+    ]
+    for version, count in info["by_version"].items():
+        stale = "" if version == str(info["engine_version"]) else " (stale)"
+        rows.append([f"entries @ version {version}{stale}", str(count)])
+    print(render_table(["field", "value"], rows, title="Result cache"))
+    return 0
+
+
+def cmd_cache_prune(args: argparse.Namespace) -> int:
+    cache = _cache_for_inspection(args)
+    pruned = cache.prune()
+    print(
+        f"pruned {pruned['removed']} stale entries "
+        f"({pruned['bytes']} bytes) from {cache.root}"
+    )
     return 0
 
 
@@ -651,6 +823,7 @@ def build_parser() -> argparse.ArgumentParser:
         "print a hotspot table instead of running the sweep",
     )
     _add_cache_arguments(p)
+    _add_supervision_arguments(p)
     p.set_defaults(fn=cmd_protocol_sweep)
 
     p = sub.add_parser(
@@ -706,7 +879,38 @@ def build_parser() -> argparse.ArgumentParser:
         "diffable JSON",
     )
     _add_cache_arguments(q)
+    _add_supervision_arguments(q)
     q.set_defaults(fn=cmd_scenario_run)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect / prune the campaign result cache",
+    )
+    cache_action = p.add_subparsers(dest="action", required=True)
+
+    q = cache_action.add_parser(
+        "info", help="entry count, bytes and engine-version breakdown"
+    )
+    q.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache root (default: $REPRO_CACHE_DIR, falling back "
+        f"to {DEFAULT_CACHE_DIR})",
+    )
+    q.set_defaults(fn=cmd_cache_info)
+
+    q = cache_action.add_parser(
+        "prune", help="delete entries from stale engine versions"
+    )
+    q.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache root (default: $REPRO_CACHE_DIR, falling back "
+        f"to {DEFAULT_CACHE_DIR})",
+    )
+    q.set_defaults(fn=cmd_cache_prune)
 
     p = sub.add_parser("advise", help="SMR or FORTRESS? (paper §7)")
     p.add_argument("--alpha", type=float, default=1e-3)
@@ -722,6 +926,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

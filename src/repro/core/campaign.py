@@ -20,14 +20,24 @@ censoring rules that guard it).
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..cache import ResultCache
-from ..errors import ConfigurationError
+from ..cache.keys import ENGINE_VERSION, cache_key
+from ..errors import ConfigurationError, ReproError
 from ..randomization.obfuscation import Scheme
+from ..supervision.journal import CampaignJournal, deliver_sigterm_as_interrupt
+from ..supervision.policy import (
+    FailureManifest,
+    Quarantined,
+    SupervisionPolicy,
+    TaskFailure,
+)
 from .experiment import (
     DEFAULT_MAX_CENSORED,
     DEFAULT_SEED_BATCH,
@@ -39,6 +49,7 @@ from .experiment import (
     _cache_fetch,
     _outcome_block_payload,
     _outcome_payload,
+    _outcomes_from_payload,
     estimate_protocol_lifetime,
     run_protocol_task,
 )
@@ -48,6 +59,7 @@ from .timing import TimingSpec
 if TYPE_CHECKING:  # pragma: no cover
     from ..rare.splitting import SplittingConfig
     from ..scenarios.spec import ScenarioSpec
+    from ..supervision.chaos import ChaosSpec
 
 
 @dataclass(frozen=True)
@@ -71,6 +83,10 @@ class CampaignResult:
     cache_misses: Optional[int] = None
     estimator: str = "mc"
     wall_seconds: Optional[float] = None
+    supervised: bool = False
+    failures: tuple[TaskFailure, ...] = ()
+    retries: int = 0
+    timeouts: int = 0
 
     def __len__(self) -> int:
         return len(self.estimates)
@@ -95,6 +111,25 @@ class CampaignResult:
     def total_events(self) -> int:
         """Simulator events executed across the whole campaign."""
         return sum(e.events for e in self.estimates)
+
+    @property
+    def quarantined(self) -> int:
+        """Tasks quarantined by supervision (see :attr:`failures`)."""
+        return len(self.failures)
+
+
+class CampaignInterrupted(ReproError):
+    """A campaign was interrupted (Ctrl-C / SIGTERM) after partial work.
+
+    Carries the partial :class:`CampaignResult` built from every grid
+    point that had fully completed at the moment of interruption —
+    already flushed to the journal and result cache, so a ``--resume``
+    run dispatches none of it again.
+    """
+
+    def __init__(self, message: str, partial: CampaignResult) -> None:
+        super().__init__(message)
+        self.partial = partial
 
 
 def campaign_record(
@@ -178,6 +213,13 @@ def campaign_record(
             "hits": result.cache_hits,
             "misses": result.cache_misses,
         }
+    if result.supervised:
+        record["supervision"] = {
+            "retries": result.retries,
+            "timeouts": result.timeouts,
+            "quarantined": result.quarantined,
+            "failures": [failure.as_dict() for failure in result.failures],
+        }
     return record
 
 
@@ -218,6 +260,55 @@ def campaign_grid(
     return specs
 
 
+def _task_key(task: ProtocolTask, cache: Optional[ResultCache]) -> str:
+    """Content-addressed key of one task's outcome block.
+
+    The same payload the result cache would key the whole point block
+    with, but per task batch — journal entries are therefore
+    self-validating: resuming against a changed config (different spec,
+    seeds, steps, scenario or engine version) simply finds no matching
+    keys and re-runs everything.
+    """
+    payload = _outcome_block_payload(
+        task.spec,
+        list(task.seeds),
+        task.max_steps,
+        dict(task.build_kwargs),
+        task.scenario,
+    )
+    if cache is not None:
+        return cache.key_for(payload)
+    payload["engine_version"] = ENGINE_VERSION
+    return cache_key(payload)
+
+
+def _supervised_executor(
+    workers: int | None,
+    supervision: Optional[SupervisionPolicy],
+    chaos: "ChaosSpec | None",
+):
+    """A :class:`TaskExecutor` whose backend chain is supervised.
+
+    Backend stack (inside out): the plain local backend for the worker
+    count, a :class:`~repro.supervision.ChaosBackend` when a fault spec
+    is injected, and the :class:`~repro.supervision.SupervisedBackend`
+    on top.  Returns ``(executor, manifest)`` — the manifest accumulates
+    across every map round of the campaign.
+    """
+    from ..mc.executor import TaskExecutor, backend_for, resolve_workers
+    from ..supervision.backend import SupervisedBackend
+    from ..supervision.chaos import ChaosBackend
+
+    resolved = resolve_workers(workers)
+    inner = backend_for(resolved)
+    if chaos is not None:
+        inner = ChaosBackend(chaos, inner)
+    backend = SupervisedBackend(
+        inner, supervision if supervision is not None else SupervisionPolicy()
+    )
+    return TaskExecutor(resolved, backend=backend), backend.manifest
+
+
 def run_campaign(
     specs: Sequence[SystemSpec],
     trials: int = 20,
@@ -234,6 +325,11 @@ def run_campaign(
     cache: Optional[ResultCache] = None,
     estimator: str = "mc",
     splitting: "SplittingConfig | None" = None,
+    supervision: Optional[SupervisionPolicy] = None,
+    chaos: "ChaosSpec | None" = None,
+    journal_path: Path | str | None = None,
+    resume: bool = False,
+    manifest_path: Path | str | None = None,
     **build_kwargs,
 ) -> CampaignResult:
     """Protocol-level lifetimes for every spec of a campaign grid.
@@ -260,6 +356,27 @@ def run_campaign(
     censored fraction exceeds ``max_censored_fraction`` with
     multilevel splitting (their Monte-Carlo events stay charged to the
     replacement estimate).
+
+    ``supervision`` (a :class:`~repro.supervision.SupervisionPolicy`)
+    and/or ``chaos`` (a :class:`~repro.supervision.ChaosSpec`) wrap the
+    executor in a :class:`~repro.supervision.SupervisedBackend`: task
+    failures are retried on a seed-derived backoff schedule, hung tasks
+    time out, and poison tasks are quarantined into the campaign's
+    failure manifest (surfaced as :attr:`CampaignResult.failures` and,
+    with ``manifest_path``, written to disk) instead of killing the
+    campaign.  Because retries replay exact per-task seeds, a supervised
+    campaign under any recoverable fault pattern is bit-identical to the
+    fault-free run; grid points that lose tasks to quarantine estimate
+    from the surviving runs (or are dropped, with a warning, when
+    nothing survives) and are never cache-stored incomplete.
+
+    ``journal_path`` keeps a crash-safe journal of completed task
+    batches (fixed-count campaigns; precision campaigns already resume
+    per-round through the result cache).  ``resume=True`` replays the
+    journal and dispatches only missing work.  ``KeyboardInterrupt`` and
+    ``SIGTERM`` flush completed grid points to the journal and result
+    cache, then raise :class:`CampaignInterrupted` carrying the partial
+    result.
     """
     from ..mc.executor import TaskExecutor, derive_point_seed  # avoids cycle
 
@@ -275,59 +392,102 @@ def run_campaign(
         )
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
+    supervising = supervision is not None or chaos is not None
+    manifest: Optional[FailureManifest] = None
+
+    def build_result(estimates: list, *, trials_out: int) -> CampaignResult:
+        return CampaignResult(
+            estimates=tuple(estimates),
+            root_seed=seed,
+            trials=trials_out,
+            max_steps=max_steps,
+            cache_hits=cache.hits - hits_before if cache is not None else None,
+            cache_misses=(
+                cache.misses - misses_before if cache is not None else None
+            ),
+            estimator=estimator,
+            wall_seconds=time.perf_counter() - start,
+            supervised=supervising,
+            failures=tuple(manifest.failures) if manifest is not None else (),
+            retries=manifest.retries if manifest is not None else 0,
+            timeouts=manifest.timeouts if manifest is not None else 0,
+        )
+
+    def write_manifest() -> None:
+        if manifest is not None and manifest_path is not None:
+            manifest.write(manifest_path)
+
     if precision is not None or estimator == "splitting":
+        if journal_path is not None:
+            warnings.warn(
+                "precision/splitting campaigns resume per round through "
+                "the result cache; journal_path is ignored",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         estimates = []
         # One pool serves every grid point — paying pool startup per
         # point would swamp the parallel speedup on larger grids.
         # (Pure-splitting campaigns stream per point too: each point is
         # one folded estimate, not a flat fan-out of seed batches.)
-        with TaskExecutor(workers) as shared_executor:
-            for i, spec in enumerate(specs):
-                try:
-                    estimate = estimate_protocol_lifetime(
-                        spec,
-                        trials=trials,
-                        max_steps=max_steps,
-                        batch_size=batch_size,
-                        precision=precision,
-                        min_trials=min_trials,
-                        max_trials=max_trials,
-                        max_censored_fraction=max_censored_fraction,
-                        seed_for=lambda j, i=i: derive_point_seed(seed, i, j),
-                        executor=shared_executor,
-                        scenario=scenario,
-                        cache=cache,
-                        estimator=estimator,
-                        splitting=splitting,
-                        **build_kwargs,
-                    )
-                except CensoredPrecisionError as exc:
-                    # One heavily censored grid point must not discard
-                    # the rest of the campaign: keep the outcomes it
-                    # already simulated as an unconverged lower-bound
-                    # estimate (censored runs burn the whole step
-                    # budget — the last thing to do is simulate them
-                    # twice) and move on.  (estimator="auto" never gets
-                    # here — it re-estimates such points by splitting.)
-                    warnings.warn(
-                        f"campaign point {i} refused its precision target "
-                        f"({exc}); reporting the {len(exc.outcomes)} runs "
-                        "already simulated as a lower-bound estimate instead",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
-                    estimate = _aggregate(spec, list(exc.outcomes), converged=False)
-                estimates.append(estimate)
-        return CampaignResult(
-            estimates=tuple(estimates),
-            root_seed=seed,
-            trials=0 if precision is not None else trials,
-            max_steps=max_steps,
-            cache_hits=cache.hits - hits_before if cache is not None else None,
-            cache_misses=(cache.misses - misses_before if cache is not None else None),
-            estimator=estimator,
-            wall_seconds=time.perf_counter() - start,
-        )
+        if supervising:
+            shared_cm, manifest = _supervised_executor(workers, supervision, chaos)
+        else:
+            shared_cm = TaskExecutor(workers)
+        trials_out = 0 if precision is not None else trials
+        try:
+            with deliver_sigterm_as_interrupt(), shared_cm as shared_executor:
+                for i, spec in enumerate(specs):
+                    try:
+                        estimate = estimate_protocol_lifetime(
+                            spec,
+                            trials=trials,
+                            max_steps=max_steps,
+                            batch_size=batch_size,
+                            precision=precision,
+                            min_trials=min_trials,
+                            max_trials=max_trials,
+                            max_censored_fraction=max_censored_fraction,
+                            seed_for=lambda j, i=i: derive_point_seed(seed, i, j),
+                            executor=shared_executor,
+                            scenario=scenario,
+                            cache=cache,
+                            estimator=estimator,
+                            splitting=splitting,
+                            **build_kwargs,
+                        )
+                    except CensoredPrecisionError as exc:
+                        # One heavily censored grid point must not discard
+                        # the rest of the campaign: keep the outcomes it
+                        # already simulated as an unconverged lower-bound
+                        # estimate (censored runs burn the whole step
+                        # budget — the last thing to do is simulate them
+                        # twice) and move on.  (estimator="auto" never gets
+                        # here — it re-estimates such points by splitting.)
+                        warnings.warn(
+                            f"campaign point {i} refused its precision target "
+                            f"({exc}); reporting the {len(exc.outcomes)} runs "
+                            "already simulated as a lower-bound estimate "
+                            "instead",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        estimate = _aggregate(
+                            spec, list(exc.outcomes), converged=False
+                        )
+                    estimates.append(estimate)
+        except KeyboardInterrupt:
+            # Completed grid points are already in the result cache (if
+            # any); report them as a typed partial result.
+            write_manifest()
+            raise CampaignInterrupted(
+                f"campaign interrupted with {len(estimates)} of "
+                f"{len(specs)} grid points complete (completed rounds "
+                "are in the result cache)",
+                build_result(estimates, trials_out=trials_out),
+            ) from None
+        write_manifest()
+        return build_result(estimates, trials_out=trials_out)
 
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
@@ -364,19 +524,143 @@ def run_campaign(
                 )
             )
             owners.append(i)
-    if tasks:
-        for owner, batch_outcomes in zip(
-            owners, TaskExecutor(workers).map(run_protocol_task, tasks)
-        ):
-            per_spec[owner].extend(batch_outcomes)
+
+    # Crash-safe journal: completed task batches stream in as they land
+    # and a resumed campaign prefills from the surviving entries, so a
+    # kill loses at most the in-flight tasks.
+    journal: Optional[CampaignJournal] = None
+    journal_entries: dict = {}
+    task_keys: list[Optional[str]] = [None] * len(tasks)
+    if journal_path is not None:
+        journal = CampaignJournal(
+            journal_path,
+            meta={
+                "root_seed": seed,
+                "trials": trials,
+                "max_steps": max_steps,
+                "grid_points": len(specs),
+                "engine_version": (
+                    cache.version if cache is not None else ENGINE_VERSION
+                ),
+            },
+        )
+        if not resume:
+            try:
+                os.unlink(journal.path)
+            except OSError:
+                pass
+        journal_entries = journal.open()
+        task_keys = [_task_key(task, cache) for task in tasks]
+
+    # One result slot per task; journal hits prefill theirs and only the
+    # rest dispatch.
+    task_results: list = [None] * len(tasks)
+    pending: list[int] = []
+    for ti, task in enumerate(tasks):
+        payload = journal_entries.get(task_keys[ti])
+        if payload is not None:
+            try:
+                task_results[ti] = tuple(
+                    _outcomes_from_payload(task.spec, payload, list(task.seeds))
+                )
+                continue
+            except (KeyError, TypeError, ValueError):
+                pass  # mismatched journal entry: re-run the task
+        pending.append(ti)
+
+    if supervising:
+        executor, manifest = _supervised_executor(workers, supervision, chaos)
+    else:
+        executor = TaskExecutor(workers)
+
+    def collect(slot: int, result) -> None:
+        ti = pending[slot]
+        task_results[ti] = result
+        if journal is not None and not isinstance(result, Quarantined):
+            journal.append(
+                task_keys[ti], [_outcome_payload(o) for o in result]
+            )
+
+    interrupted = False
+    if pending:
+        try:
+            with deliver_sigterm_as_interrupt():
+                executor.map(
+                    run_protocol_task,
+                    [tasks[ti] for ti in pending],
+                    on_result=collect,
+                )
+        except KeyboardInterrupt:
+            interrupted = True
+        finally:
+            executor.close()
+            if journal is not None:
+                journal.close()
+    elif journal is not None:
+        journal.close()
+
+    # Fold task results back per grid point, in task (= seed) order so
+    # cached blocks keep their seed ordering.
+    incomplete: set[int] = set()
+    for ti, result in enumerate(task_results):
+        if result is None or isinstance(result, Quarantined):
+            incomplete.add(owners[ti])
+            continue
+        per_spec[owners[ti]].extend(result)
     if cache is not None:
         for i, key in point_keys.items():
+            if i in incomplete:
+                continue  # never cache a block with quarantine holes
             cache.store(key, [_outcome_payload(o) for o in per_spec[i]])
-    estimates = [_aggregate(spec, per_spec[i]) for i, spec in enumerate(specs)]
+
+    if interrupted:
+        complete = [
+            i
+            for i in range(len(specs))
+            if i not in incomplete and per_spec[i]
+        ]
+        write_manifest()
+        raise CampaignInterrupted(
+            f"campaign interrupted with {len(complete)} of {len(specs)} "
+            "grid points complete"
+            + (
+                " (completed tasks journaled for --resume)"
+                if journal is not None
+                else ""
+            ),
+            build_result(
+                [_aggregate(specs[i], per_spec[i]) for i in complete],
+                trials_out=trials,
+            ),
+        ) from None
+
+    # (spec index, estimate) pairs: quarantine can drop grid points, so
+    # the auto re-pass below must not assume estimates align with specs.
+    indexed_estimates: list[tuple[int, LifetimeEstimate]] = []
+    for i, spec in enumerate(specs):
+        if i in incomplete:
+            if per_spec[i]:
+                warnings.warn(
+                    f"grid point {i} ({spec.label}) lost quarantined "
+                    f"tasks; its estimate uses the {len(per_spec[i])} "
+                    "surviving runs (see the failure manifest)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                warnings.warn(
+                    f"grid point {i} ({spec.label}) was fully quarantined; "
+                    "dropped from the campaign estimates (see the failure "
+                    "manifest)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+        indexed_estimates.append((i, _aggregate(spec, per_spec[i])))
     if estimator == "auto":
         needy = [
-            i
-            for i, estimate in enumerate(estimates)
+            k
+            for k, (_, estimate) in enumerate(indexed_estimates)
             if estimate.censored_fraction > max_censored_fraction
         ]
         if needy:
@@ -385,8 +669,8 @@ def run_campaign(
             # stay charged to the replacement estimate so the campaign's
             # cost accounting is honest.
             with TaskExecutor(workers) as shared_executor:
-                for i in needy:
-                    mc_estimate = estimates[i]
+                for k in needy:
+                    i, mc_estimate = indexed_estimates[k]
                     refined = estimate_protocol_lifetime(
                         specs[i],
                         max_steps=max_steps,
@@ -398,18 +682,15 @@ def run_campaign(
                         splitting=splitting,
                         **build_kwargs,
                     )
-                    estimates[i] = replace(
-                        refined, events=refined.events + mc_estimate.events
+                    indexed_estimates[k] = (
+                        i,
+                        replace(
+                            refined, events=refined.events + mc_estimate.events
+                        ),
                     )
-    return CampaignResult(
-        estimates=tuple(estimates),
-        root_seed=seed,
-        trials=trials,
-        max_steps=max_steps,
-        cache_hits=cache.hits - hits_before if cache is not None else None,
-        cache_misses=cache.misses - misses_before if cache is not None else None,
-        estimator=estimator,
-        wall_seconds=time.perf_counter() - start,
+    write_manifest()
+    return build_result(
+        [estimate for _, estimate in indexed_estimates], trials_out=trials
     )
 
 
@@ -428,6 +709,11 @@ def run_scenario_campaign(
     cache: Optional[ResultCache] = None,
     estimator: str = "mc",
     splitting: "SplittingConfig | None" = None,
+    supervision: Optional[SupervisionPolicy] = None,
+    chaos: "ChaosSpec | None" = None,
+    journal_path: Path | str | None = None,
+    resume: bool = False,
+    manifest_path: Path | str | None = None,
     **build_kwargs,
 ) -> CampaignResult:
     """Run one named scenario as a protocol campaign.
@@ -456,5 +742,10 @@ def run_scenario_campaign(
         cache=cache,
         estimator=estimator,
         splitting=splitting,
+        supervision=supervision,
+        chaos=chaos,
+        journal_path=journal_path,
+        resume=resume,
+        manifest_path=manifest_path,
         **build_kwargs,
     )

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 from ..cache import ResultCache
 from ..errors import AnalysisError, ConfigurationError
 from ..metrics.stats import CensoredSummary, SummaryStats, summarize_censored
+from ..supervision.policy import Quarantined
 from .builders import DeployedSystem, add_clients, attach_attacker, build_system
 from .specs import SystemSpec
 
@@ -502,9 +503,16 @@ def _dispatch(
         for batch in _batched(seeds, batch_size)
     ]
     outcomes: list[LifetimeOutcome] = []
+    quarantined = 0
     for batch_outcomes in executor.map(run_protocol_task, tasks):
+        if isinstance(batch_outcomes, Quarantined):
+            # A supervised executor quarantined this batch: the estimate
+            # proceeds on the surviving seeds (the supervisor already
+            # manifested the loss); never cache a block with holes.
+            quarantined += 1
+            continue
         outcomes.extend(batch_outcomes)
-    if cache is not None and key is not None:
+    if cache is not None and key is not None and quarantined == 0:
         cache.store(key, [_outcome_payload(o) for o in outcomes])
     return outcomes
 

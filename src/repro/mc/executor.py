@@ -276,10 +276,38 @@ class ExecutorBackend:
     bit-identical results.  :meth:`open` / :meth:`close` bracket a
     persistent scope: between them the backend may keep expensive
     resources (a process pool, a connection) alive across rounds.
+
+    ``on_result`` (optional on :meth:`map`) streams ``(index, result)``
+    pairs back to the caller as results are collected, so journaling
+    callers can persist completed work before the round finishes —
+    an interrupt then loses only the in-flight tasks.
+
+    Backends that can dispatch one task asynchronously additionally set
+    :attr:`supports_submit` and implement :meth:`submit` /
+    :meth:`recycle` — the surface the supervision layer
+    (:mod:`repro.supervision`) builds timeouts, retries and quarantine
+    on.  Synchronous backends leave them unimplemented; supervision then
+    degrades to retry-only (a task running in-process cannot be
+    interrupted).
     """
 
-    def map(self, fn: Callable[[TaskT], ResultT], tasks: list) -> list:
+    #: Whether :meth:`submit` is available (asynchronous dispatch).
+    supports_submit = False
+
+    def map(
+        self,
+        fn: Callable[[TaskT], ResultT],
+        tasks: list,
+        on_result: Callable[[int, ResultT], None] | None = None,
+    ) -> list:
         raise NotImplementedError
+
+    def submit(self, fn: Callable[[TaskT], ResultT], task):
+        """Dispatch one task, returning its ``Future`` (async backends)."""
+        raise NotImplementedError(f"{type(self).__name__} cannot submit")
+
+    def recycle(self) -> None:
+        """Drop transport resources after a fault (fresh ones next round)."""
 
     def open(self) -> None:
         """Enter a persistent scope (keep resources across rounds)."""
@@ -296,18 +324,36 @@ class SerialBackend(ExecutorBackend):
     contract.
     """
 
-    def map(self, fn: Callable[[TaskT], ResultT], tasks: list) -> list:
-        return [fn(task) for task in tasks]
+    def map(
+        self,
+        fn: Callable[[TaskT], ResultT],
+        tasks: list,
+        on_result: Callable[[int, ResultT], None] | None = None,
+    ) -> list:
+        results = []
+        for index, task in enumerate(tasks):
+            result = fn(task)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
 
 
 class LocalPoolBackend(ExecutorBackend):
     """Fans tasks over a local :class:`ProcessPoolExecutor`.
 
-    Degrades instead of failing: if the platform refuses to start a
-    pool, or the pool breaks mid-round, completed results are kept and
-    the unfinished tasks re-run serially with a warning.  A broken
-    persistent pool is discarded and replaced on the next round.
+    Degrades instead of failing, down a ladder: if the pool breaks
+    mid-round, completed results are kept and the unfinished tasks
+    re-run on a *reduced* pool (half the workers, halving again on
+    repeated breakage) before the final in-process serial rung — a
+    single dead worker no longer collapses an entire wide campaign to
+    serial throughput.  The ladder resets every :meth:`map` round
+    (breakage is treated as transient); a broken persistent pool is
+    discarded and replaced on the next round.  If the platform refuses
+    to start a pool at all, the whole round runs serially.
     """
+
+    supports_submit = True
 
     def __init__(self, workers: int) -> None:
         if workers < 2:
@@ -328,6 +374,31 @@ class LocalPoolBackend(ExecutorBackend):
             self._pool.shutdown()
             self._pool = None
 
+    def submit(self, fn: Callable[[TaskT], ResultT], task):
+        """Dispatch one task onto the pool, returning its ``Future``.
+
+        The supervision hook: the pool is kept until :meth:`close` or
+        :meth:`recycle` regardless of the persistent scope, because
+        submit-driven callers dispatch many single tasks per round.
+        Transport failures (pool refused to start, broken pool)
+        propagate to the caller — the supervisor owns the recovery
+        policy here, not the backend.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool.submit(fn, task)
+
+    def recycle(self) -> None:
+        """Discard the live pool; the next round builds a fresh one.
+
+        Uses the broken-pool discipline (no wait, cancel queued work):
+        the caller recycles because the pool is suspect — e.g. starved
+        by hung workers — and a graceful shutdown would block on exactly
+        the tasks that hung.
+        """
+        if self._pool is not None:
+            self._discard_pool(self._pool, broken=True)
+
     def _acquire_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             pool = ProcessPoolExecutor(max_workers=self.workers)
@@ -343,66 +414,135 @@ class LocalPoolBackend(ExecutorBackend):
         if self._pool is pool:
             self._pool = None
 
-    def map(self, fn: Callable[[TaskT], ResultT], tasks: list) -> list:
-        if len(tasks) <= 1:
-            return [fn(task) for task in tasks]
-        results: list = []
-        warned = False
-        try:
-            pool = self._acquire_pool()
-        except (OSError, PermissionError) as exc:
-            warnings.warn(
-                f"process pool unavailable ({exc!r}); falling back to "
-                "serial task execution",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return [fn(task) for task in tasks]
+    def _ladder(self) -> list[int]:
+        """Pool widths to try, full first, halving down to two workers."""
+        widths = []
+        width = self.workers
+        while width >= 2:
+            widths.append(width)
+            width //= 2
+        return widths
+
+    def _pool_at(self, width: int) -> ProcessPoolExecutor:
+        """A pool of ``width`` workers (persistent only at full width)."""
+        if width == self.workers:
+            return self._acquire_pool()
+        return ProcessPoolExecutor(max_workers=width)
+
+    def _run_round(
+        self,
+        pool: ProcessPoolExecutor,
+        fn: Callable[[TaskT], ResultT],
+        pending: list[tuple[int, TaskT]],
+        results: dict,
+        on_result: Callable[[int, ResultT], None] | None,
+        width: int,
+    ) -> list[tuple[int, TaskT]]:
+        """One pool round; returns the (index, task) pairs still unfinished.
+
+        Completed results land in ``results`` keyed by input index —
+        exactly once each, even when the pool breaks mid-round.  On
+        submit-time breakage the pool is discarded (cancelling queued
+        work) *before* returning, so no task can run both in a worker
+        and on the next rung.
+        """
         broken = False
+        unfinished: list[tuple[int, TaskT]] = []
         try:
             try:
-                futures = [pool.submit(fn, task) for task in tasks]
-            except (OSError, PermissionError, BrokenProcessPool) as exc:
-                # A persistent pool can break *between* map() rounds (a
-                # worker died while idle); submit() then raises before
-                # every future exists.  Discard the pool FIRST — tasks
-                # submitted before the failure must be cancelled so no
-                # task can run both in a worker and on the serial
-                # fallback — then run the whole round serially.
+                futures = [(idx, task, pool.submit(fn, task)) for idx, task in pending]
+            except (OSError, PermissionError, BrokenProcessPool):
                 broken = True
                 self._discard_pool(pool, broken=True)
-                warnings.warn(
-                    f"process pool unavailable ({exc!r}); running this "
-                    "round of tasks serially",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
-                return [fn(task) for task in tasks]
-            for task, future in zip(tasks, futures):
+                return list(pending)
+            for idx, task, future in futures:
                 try:
-                    results.append(future.result())
-                except (OSError, PermissionError, BrokenProcessPool) as exc:
+                    result = future.result()
+                except (OSError, PermissionError, BrokenProcessPool):
                     # Keep every result already computed; only the tasks
-                    # the broken pool never finished re-run serially —
-                    # in input order, exactly once each.  (Per-task
-                    # seeds make the outcome identical either way.)
+                    # the broken pool never finished descend to the next
+                    # rung — in input order, exactly once each.  (Per-
+                    # task seeds make the outcome identical either way.)
                     # Task-level errors from inside a healthy worker —
                     # e.g. UnsampleableSpecError — re-raise above
                     # unchanged.
                     broken = True
-                    if not warned:
-                        warnings.warn(
-                            f"process pool unavailable ({exc!r}); running "
-                            "remaining tasks serially",
-                            RuntimeWarning,
-                            stacklevel=3,
-                        )
-                        warned = True
-                    results.append(fn(task))
+                    unfinished.append((idx, task))
+                    continue
+                results[idx] = result
+                if on_result is not None:
+                    on_result(idx, result)
+        except BaseException:
+            # An interrupt (Ctrl-C) must not block on a graceful
+            # shutdown of in-flight work: cancel and go.
+            self._discard_pool(pool, broken=True)
+            raise
         finally:
-            if broken or not self._persistent:
+            if broken or not self._persistent or width != self.workers:
                 self._discard_pool(pool, broken)
-        return results
+        return unfinished
+
+    def map(
+        self,
+        fn: Callable[[TaskT], ResultT],
+        tasks: list,
+        on_result: Callable[[int, ResultT], None] | None = None,
+    ) -> list:
+        if len(tasks) <= 1:
+            results = [fn(task) for task in tasks]
+            if on_result is not None:
+                for index, result in enumerate(results):
+                    on_result(index, result)
+            return results
+        collected: dict[int, ResultT] = {}
+        pending: list[tuple[int, TaskT]] = list(enumerate(tasks))
+        ladder = self._ladder()
+        for rung, width in enumerate(ladder):
+            if len(pending) <= 1:
+                break
+            try:
+                pool = self._pool_at(width)
+            except (OSError, PermissionError) as exc:
+                warnings.warn(
+                    f"process pool unavailable ({exc!r}); falling back to "
+                    "serial task execution",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                break
+            before = len(pending)
+            pending = self._run_round(pool, fn, pending, collected, on_result, width)
+            if not pending:
+                break
+            submit_broke = len(pending) == before
+            if rung + 1 < len(ladder):
+                warnings.warn(
+                    f"process pool of {width} workers broke; retrying "
+                    f"{len(pending)} unfinished tasks on a reduced pool "
+                    f"({ladder[rung + 1]} workers)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            elif submit_broke:
+                warnings.warn(
+                    "process pool unavailable (pool broke at submit time); "
+                    "running this round of tasks serially",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            else:
+                warnings.warn(
+                    "process pool unavailable (pool broke mid-round); "
+                    "running remaining tasks serially",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        for idx, task in pending:
+            result = fn(task)
+            collected[idx] = result
+            if on_result is not None:
+                on_result(idx, result)
+        return [collected[i] for i in range(len(tasks))]
 
 
 def backend_for(workers: int) -> ExecutorBackend:
@@ -462,7 +602,10 @@ class TaskExecutor:
         self.backend.close()
 
     def map(
-        self, fn: Callable[[TaskT], ResultT], tasks: Sequence[TaskT]
+        self,
+        fn: Callable[[TaskT], ResultT],
+        tasks: Sequence[TaskT],
+        on_result: Callable[[int, ResultT], None] | None = None,
     ) -> list[ResultT]:
         """Apply ``fn`` to every task, preserving input order.
 
@@ -470,9 +613,13 @@ class TaskExecutor:
         backend ships tasks out of process.  Task-level exceptions
         raised inside a healthy worker propagate unchanged; only
         backend-transport failures (startup refusal, broken pool)
-        trigger the serial fallback.
+        trigger the serial fallback.  ``on_result`` streams each result
+        as it lands (see :meth:`ExecutorBackend.map`); it is forwarded
+        only when set, so backends predating the callback keep working.
         """
-        return self.backend.map(fn, list(tasks))
+        if on_result is None:
+            return self.backend.map(fn, list(tasks))
+        return self.backend.map(fn, list(tasks), on_result=on_result)
 
 
 class SweepExecutor(TaskExecutor):
@@ -483,7 +630,12 @@ class SweepExecutor(TaskExecutor):
     for any worker count.
     """
 
-    def map(self, fn_or_tasks, tasks: Sequence | None = None) -> list:
+    def map(
+        self,
+        fn_or_tasks,
+        tasks: Sequence | None = None,
+        on_result: Callable[[int, object], None] | None = None,
+    ) -> list:
         """Run tasks, preserving input order.
 
         ``map(tasks)`` is the Monte-Carlo shorthand (each task an
@@ -492,5 +644,5 @@ class SweepExecutor(TaskExecutor):
         anywhere a :class:`TaskExecutor` is accepted.
         """
         if tasks is None:
-            return super().map(run_task, fn_or_tasks)
-        return super().map(fn_or_tasks, tasks)
+            return super().map(run_task, fn_or_tasks, on_result=on_result)
+        return super().map(fn_or_tasks, tasks, on_result=on_result)

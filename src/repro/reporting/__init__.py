@@ -1,5 +1,15 @@
 """Rendering of result tables and figure series."""
 
-from .tables import format_quantity, render_series_table, render_table
+from .tables import (
+    format_quantity,
+    render_failure_manifest,
+    render_series_table,
+    render_table,
+)
 
-__all__ = ["format_quantity", "render_series_table", "render_table"]
+__all__ = [
+    "format_quantity",
+    "render_failure_manifest",
+    "render_series_table",
+    "render_table",
+]

@@ -15,6 +15,7 @@ from ..mc.sweeps import Series
 
 if TYPE_CHECKING:
     from ..core.experiment import LifetimeEstimate
+    from ..supervision.policy import TaskFailure
 
 
 def format_quantity(value: float) -> str:
@@ -172,3 +173,36 @@ def render_series_table(
                 row.append(format_quantity(point.mean))
         rows.append(row)
     return render_table(headers, rows, title=title)
+
+
+def render_failure_manifest(
+    failures: Sequence["TaskFailure"],
+    title: str | None = None,
+) -> str:
+    """Render a supervised campaign's quarantined tasks as a table.
+
+    One row per :class:`~repro.supervision.TaskFailure`: which task,
+    which seeds it carried, how many attempts it burned, and how the
+    last attempt died.  Accepts the ``failures`` tuple straight off a
+    :class:`~repro.core.campaign.CampaignResult`.
+    """
+    rows = []
+    for failure in failures:
+        seeds = ", ".join(str(seed) for seed in failure.seeds[:3])
+        if len(failure.seeds) > 3:
+            seeds += f", … ({len(failure.seeds)} total)"
+        rows.append(
+            [
+                str(failure.index),
+                failure.label,
+                seeds,
+                str(failure.attempts),
+                failure.kind,
+                failure.error,
+            ]
+        )
+    return render_table(
+        ["task", "label", "seeds", "attempts", "kind", "error"],
+        rows,
+        title=title or f"Quarantined tasks ({len(rows)})",
+    )

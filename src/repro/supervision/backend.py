@@ -1,0 +1,312 @@
+"""Fault-tolerant supervision around any :class:`ExecutorBackend`.
+
+:class:`SupervisedBackend` wraps an inner backend and turns its
+all-or-nothing task rounds into a supervised event loop:
+
+* per-task **wall-clock timeouts** (hung workers are detected by future
+  deadlines, abandoned, and the task re-dispatched);
+* bounded **retry with exponential backoff** whose jitter derives from
+  the task's own seed — recovery schedules are a pure function of the
+  campaign seeds, so supervised runs under injected faults fold to
+  bit-identical estimates;
+* **poison-task quarantine**: a task that fails
+  :attr:`~repro.supervision.SupervisionPolicy.max_attempts` times is
+  recorded as a typed :class:`~repro.supervision.TaskFailure` in the
+  failure manifest and its result slot filled with
+  :class:`~repro.supervision.Quarantined` — the campaign keeps going;
+* transport-failure absorption: pool startup refusals and broken pools
+  are retried through :meth:`ExecutorBackend.recycle` up to
+  ``transport_strikes`` times, then the remaining tasks drain
+  synchronously in-process (the last rung of the degradation ladder).
+
+The supervised contract therefore *differs* from the raw backend
+contract in one deliberate way: task-level exceptions no longer
+propagate — they are retried and, ultimately, quarantined.  Callers that
+need fail-fast semantics should not supervise.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable
+
+from ..mc.executor import ExecutorBackend
+from .policy import (
+    FailureManifest,
+    Quarantined,
+    SupervisionPolicy,
+    TaskFailure,
+    describe_task,
+    retry_delay,
+    task_seed_of,
+)
+
+#: Transport-level exception types (never charged against a task).
+_TRANSPORT_ERRORS = (OSError, PermissionError, BrokenProcessPool)
+
+
+class SupervisedBackend(ExecutorBackend):
+    """Retries, timeouts and quarantine wrapped around ``inner``.
+
+    One instance (and its :class:`~repro.supervision.FailureManifest`)
+    spans a whole campaign: the manifest accumulates across ``map``
+    rounds, so the campaign result can report total retries/timeouts and
+    every quarantined task.
+
+    When ``inner`` supports asynchronous dispatch
+    (:attr:`ExecutorBackend.supports_submit`), the full supervision loop
+    runs — timeouts included.  Synchronous inners (the serial backend)
+    get retry + quarantine only; a task running in-process cannot be
+    interrupted, so ``task_timeout`` is ignored there with a warning.
+    """
+
+    def __init__(
+        self,
+        inner: ExecutorBackend,
+        policy: SupervisionPolicy | None = None,
+        manifest: FailureManifest | None = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else SupervisionPolicy()
+        self.manifest = manifest if manifest is not None else FailureManifest()
+        self._warned_sync_timeout = False
+
+    def open(self) -> None:
+        self.inner.open()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable,
+        tasks: list,
+        on_result: Callable[[int, object], None] | None = None,
+    ) -> list:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.inner.supports_submit:
+            return self._map_async(fn, tasks, on_result)
+        return self._map_sync(fn, tasks, on_result)
+
+    # ------------------------------------------------------------------
+    def _quarantine(self, index: int, task, attempts: int, kind: str, error):
+        failure = TaskFailure(
+            index=index,
+            label=describe_task(task),
+            seeds=tuple(getattr(task, "seeds", ()) or ()),
+            attempts=attempts,
+            kind=kind,
+            error=f"{type(error).__name__}: {error}",
+        )
+        self.manifest.record(failure)
+        warnings.warn(
+            f"task {index} ({failure.label}) quarantined after "
+            f"{attempts} attempts ({failure.error}); campaign continues "
+            "without it — see the failure manifest",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return Quarantined(failure)
+
+    def _map_sync(self, fn, tasks, on_result):
+        """Retry + quarantine without timeouts (synchronous inner)."""
+        if self.policy.task_timeout is not None and not self._warned_sync_timeout:
+            warnings.warn(
+                f"{type(self.inner).__name__} runs tasks synchronously; "
+                "task_timeout cannot interrupt them and is ignored",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._warned_sync_timeout = True
+        results = []
+        for index, task in enumerate(tasks):
+            attempts = 0
+            while True:
+                try:
+                    result = fn(task)
+                except Exception as exc:
+                    attempts += 1
+                    if attempts >= self.policy.max_attempts:
+                        results.append(self._quarantine(
+                            index, task, attempts, "error", exc
+                        ))
+                        break
+                    self.manifest.retries += 1
+                    time.sleep(
+                        retry_delay(
+                            self.policy, attempts, task_seed_of(task, index)
+                        )
+                    )
+                    continue
+                results.append(result)
+                if on_result is not None:
+                    on_result(index, result)
+                break
+        return results
+
+    def _map_async(self, fn, tasks, on_result):
+        """The full supervision loop over an async-capable inner."""
+        policy = self.policy
+        n = len(tasks)
+        results: dict[int, object] = {}
+        attempts = [0] * n
+        # (eligible_time, index) — tasks waiting to be (re)submitted.
+        ready: list[tuple[float, int]] = [(0.0, i) for i in range(n)]
+        # future -> (index, deadline)
+        waiting: dict[Future, tuple[int, float]] = {}
+        strikes = 0
+        abandoned = 0
+        width = getattr(self.inner, "workers", None)
+
+        def fail(index: int, kind: str, error) -> None:
+            attempts[index] += 1
+            if attempts[index] >= policy.max_attempts:
+                results[index] = self._quarantine(
+                    index, tasks[index], attempts[index], kind, error
+                )
+                return
+            self.manifest.retries += 1
+            delay = retry_delay(
+                policy, attempts[index], task_seed_of(tasks[index], index)
+            )
+            ready.append((time.monotonic() + delay, index))
+            ready.sort()
+
+        while len(results) < n:
+            now = time.monotonic()
+            # Submit every task whose backoff has elapsed.
+            while ready and ready[0][0] <= now and strikes <= policy.transport_strikes:
+                _, index = ready.pop(0)
+                try:
+                    future = self.inner.submit(fn, tasks[index])
+                except _TRANSPORT_ERRORS as exc:
+                    strikes += 1
+                    self.manifest.transport_failures += 1
+                    self.inner.recycle()
+                    warnings.warn(
+                        f"backend transport failed at submit ({exc!r}); "
+                        f"recycled (strike {strikes}/{policy.transport_strikes})",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    ready.append((now, index))
+                    ready.sort()
+                    continue
+                deadline = (
+                    now + policy.task_timeout
+                    if policy.task_timeout is not None
+                    else float("inf")
+                )
+                waiting[future] = (index, deadline)
+            if strikes > policy.transport_strikes and not waiting:
+                # Transport is gone for good: drain the rest in-process
+                # (retry/quarantine still apply, timeouts cannot).
+                self.manifest.degradations += 1
+                warnings.warn(
+                    "backend transport exhausted its strikes; running "
+                    f"{len(ready)} remaining tasks in-process",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                for _, index in list(ready):
+                    self._drain_one(fn, tasks, index, attempts, results, on_result)
+                ready.clear()
+                continue
+            if not waiting:
+                if not ready:
+                    break  # every slot resolved (results or quarantine)
+                pause = max(0.0, ready[0][0] - time.monotonic())
+                time.sleep(min(pause, policy.poll_interval))
+                continue
+            # Wake at the earliest of: a completion, the next deadline,
+            # the next backoff expiry, the poll tick.
+            next_deadline = min(deadline for _, deadline in waiting.values())
+            wake = next_deadline
+            if ready:
+                wake = min(wake, ready[0][0])
+            timeout = max(0.0, min(wake - time.monotonic(), policy.poll_interval))
+            done, _ = wait(list(waiting), timeout=timeout, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, _ = waiting.pop(future)
+                try:
+                    result = future.result()
+                except _TRANSPORT_ERRORS as exc:
+                    strikes += 1
+                    self.manifest.transport_failures += 1
+                    self.inner.recycle()
+                    warnings.warn(
+                        f"backend transport broke mid-task ({exc!r}); "
+                        f"recycled (strike {strikes}/{policy.transport_strikes})",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    ready.append((time.monotonic(), index))
+                    ready.sort()
+                    continue
+                except Exception as exc:
+                    fail(index, "error", exc)
+                    continue
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+            # Hung-task detection: any future past its deadline is
+            # abandoned (cancelled if not yet running) and its task
+            # charged a timeout failure.
+            now = time.monotonic()
+            for future, (index, deadline) in list(waiting.items()):
+                if now < deadline:
+                    continue
+                del waiting[future]
+                if not future.cancel():
+                    abandoned += 1
+                self.manifest.timeouts += 1
+                fail(
+                    index,
+                    "timeout",
+                    TimeoutError(
+                        f"no result within {policy.task_timeout:g}s"
+                    ),
+                )
+            # A pool starved by abandoned (genuinely hung) workers can
+            # no longer make progress: recycle it for a fresh one.
+            if width is not None and abandoned >= width:
+                self.manifest.degradations += 1
+                self.inner.recycle()
+                abandoned = 0
+                warnings.warn(
+                    f"{abandoned or width} hung tasks starved the "
+                    f"{width}-worker pool; recycled it",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        return [results[i] for i in range(n)]
+
+    def _drain_one(self, fn, tasks, index, attempts, results, on_result):
+        """Run one task synchronously with the retry/quarantine policy."""
+        while True:
+            try:
+                result = fn(tasks[index])
+            except Exception as exc:
+                attempts[index] += 1
+                if attempts[index] >= self.policy.max_attempts:
+                    results[index] = self._quarantine(
+                        index, tasks[index], attempts[index], "error", exc
+                    )
+                    return
+                self.manifest.retries += 1
+                time.sleep(
+                    retry_delay(
+                        self.policy, attempts[index], task_seed_of(tasks[index], index)
+                    )
+                )
+                continue
+            results[index] = result
+            if on_result is not None:
+                on_result(index, result)
+            return

@@ -1,0 +1,153 @@
+"""Crash-safe campaign journal and the interrupt-to-flush plumbing.
+
+The journal is an append-only JSONL file of completed grid points, keyed
+by the same content-addressed cache keys as the result cache — an entry
+is self-validating, so resuming against a changed config simply finds no
+matching keys and re-runs everything.  Appends are flushed and fsynced
+per record (losing at most the in-flight tasks on a hard kill), and the
+whole file is compacted through :func:`~repro.cache.store.atomic_write_text`
+when reopened, so a torn tail from a crash is dropped rather than
+tripping the next run.
+
+:func:`deliver_sigterm_as_interrupt` converts a polite ``SIGTERM`` (as
+sent by cluster schedulers and ``timeout(1)``) into the same
+``KeyboardInterrupt`` path as Ctrl-C, so the campaign layer has exactly
+one interrupt story: flush what finished, raise
+:class:`~repro.core.campaign.CampaignInterrupted`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+from ..cache.store import atomic_write_text
+
+_FORMAT = "repro-campaign-journal/1"
+
+
+class CampaignJournal:
+    """Append-only record of completed campaign grid points.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file to journal into (created on first append).
+    meta:
+        Campaign identity (label, seed, engine version, ...) stored in
+        the header line and echoed back by :meth:`load` — callers can
+        refuse to resume a journal written by a different campaign.
+    """
+
+    def __init__(self, path: Path | str, meta: Optional[dict] = None) -> None:
+        self.path = Path(path)
+        self.meta = dict(meta) if meta else {}
+        self._handle = None
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def load(path: Path | str) -> tuple[dict, dict[str, Any]]:
+        """Read a journal: ``(header meta, {key: payload})``.
+
+        Tolerates a torn final line (crash mid-append) and skips any
+        undecodable record — a journal can only ever *reduce* the work a
+        resumed campaign dispatches, never break it.  A missing file is
+        simply an empty journal.
+        """
+        path = Path(path)
+        meta: dict = {}
+        entries: dict[str, Any] = {}
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return meta, entries
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail or hand-mangled line: skip
+            if not isinstance(record, dict):
+                continue
+            if record.get("format") == _FORMAT:
+                meta = record.get("meta", {})
+                continue
+            key = record.get("key")
+            if isinstance(key, str) and "payload" in record:
+                entries[key] = record["payload"]
+        return meta, entries
+
+    # ------------------------------------------------------------------
+    def open(self) -> dict[str, Any]:
+        """Compact any existing journal and open for appending.
+
+        Returns the surviving ``{key: payload}`` entries (the resume
+        set).  Compaction rewrites the file atomically with a fresh
+        header + the surviving records, so torn tails and stale headers
+        from previous runs are gone before new appends start.
+        """
+        _, entries = self.load(self.path)
+        lines = [json.dumps({"format": _FORMAT, "meta": self.meta})]
+        lines.extend(
+            json.dumps({"key": key, "payload": payload})
+            for key, payload in entries.items()
+        )
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        return entries
+
+    def append(self, key: str, payload: Any) -> None:
+        """Journal one completed grid point (flushed and fsynced)."""
+        if self._handle is None:
+            raise RuntimeError("journal not open")
+        self._handle.write(json.dumps({"key": key, "payload": payload}) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.appended += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@contextmanager
+def deliver_sigterm_as_interrupt() -> Iterator[None]:
+    """Raise ``KeyboardInterrupt`` in the main thread on ``SIGTERM``.
+
+    Active only inside the ``with`` block; the previous handler is
+    restored on exit.  A no-op outside the main thread (signal handlers
+    can only be installed there) and on platforms without ``SIGTERM``.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    try:
+        previous = signal.getsignal(signal.SIGTERM)
+    except (AttributeError, ValueError):  # pragma: no cover - platform
+        yield
+        return
+
+    def handler(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
