@@ -48,7 +48,9 @@ def _poisoned_task_runner(task):
     raise AssertionError("warm cache run must not dispatch protocol tasks")
 
 
-def bench_result_cache(save_table, save_json, scale_trials, smoke, tmp_path):
+def bench_result_cache(
+    save_table, save_json, scale_trials, smoke, tmp_path, compare_records
+):
     trials = scale_trials(FULL_TRIALS, floor=3)
     cache_dir = tmp_path / "campaign-cache"
     records = {name: tmp_path / f"{name}.json" for name in ("cold", "warm", "rerun")}
@@ -88,16 +90,10 @@ def bench_result_cache(save_table, save_json, scale_trials, smoke, tmp_path):
 
     assert cold["cache"] == {"hits": 0, "misses": grid_points}
     assert warm["cache"] == {"hits": grid_points, "misses": 0}
-    # Wall-clock time is the one field that is *meant* to differ between
-    # otherwise bit-identical runs; every comparison is modulo it.
-    for record in (cold, warm, rerun):
-        assert record.pop("wall_seconds") >= 0.0
     # Warm-vs-warm: bit-identical records, cache tally included.
-    assert json.dumps(warm, sort_keys=True) == json.dumps(rerun, sort_keys=True)
+    compare_records(warm, rerun)
     # Cold-vs-warm: bit-identical outside the cache tally.
-    for record in (cold, warm):
-        record.pop("cache")
-    assert json.dumps(cold, sort_keys=True) == json.dumps(warm, sort_keys=True)
+    compare_records(cold, warm, ignore=("wall_seconds", "cache"))
 
     entries = len(list(pathlib.Path(cache_dir).rglob("*.json")))
     assert entries == grid_points

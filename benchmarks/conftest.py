@@ -46,6 +46,32 @@ def save_json():
     return emit_json
 
 
+def _compare_records(*records: dict, ignore: tuple = ("wall_seconds",)) -> None:
+    """Assert campaign records are bit-identical modulo ``ignore`` fields.
+
+    Wall-clock time is the one field that is *meant* to differ between
+    otherwise bit-identical runs, so it is ignored by default; benches
+    comparing across cache states add ``"cache"`` too.  Ignored fields
+    are popped in place (``wall_seconds`` is also sanity-checked to be
+    non-negative when present) and the remainder compared as canonical
+    JSON, so a mismatch shows the full diffable payload.
+    """
+    for record in records:
+        for field in ignore:
+            value = record.pop(field, None)
+            if field == "wall_seconds" and value is not None:
+                assert value >= 0.0
+    reference = json.dumps(records[0], sort_keys=True)
+    for record in records[1:]:
+        assert json.dumps(record, sort_keys=True) == reference
+
+
+@pytest.fixture
+def compare_records():
+    """Fixture handing benches the record-identity assertion helper."""
+    return _compare_records
+
+
 @pytest.fixture(scope="session")
 def bench_workers() -> int:
     """Worker-process count for MC sweeps (REPRO_BENCH_WORKERS env).

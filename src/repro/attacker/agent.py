@@ -103,6 +103,7 @@ class AttackerProcess(SimProcess):
         self._feedback_handlers: list = []
         self._fast_forward = False
         self._ff_check_pending = False
+        self.fast_forward_arms = 0
         self.probes_sent_direct = 0
         self.probes_sent_indirect = 0
         self.compromises_observed: list[tuple[float, str]] = []
@@ -338,6 +339,7 @@ class AttackerProcess(SimProcess):
         if self._attack_live():
             return
         self._ff_check_pending = True
+        self.fast_forward_arms += 1
         self.sim.schedule_fast(
             FAST_FORWARD_GRACE_PERIODS * self.period, self._ff_confirm
         )

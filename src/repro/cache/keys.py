@@ -37,7 +37,12 @@ from ..errors import ConfigurationError
 #:
 #: Version 2: protocol outcomes gained the ``events`` field (simulator
 #: events executed per run), so version-1 cached blocks no longer decode.
-ENGINE_VERSION = 2
+#:
+#: Version 3: protocol outcomes gained the per-run telemetry sample
+#: (``metrics``).  Version-2 blocks would still decode (the field is
+#: optional), but replaying them would silently undercount campaign
+#: counter totals, so they are retired instead.
+ENGINE_VERSION = 3
 
 
 def jsonable(value: Any) -> Any:

@@ -19,7 +19,10 @@ import warnings
 from pathlib import Path
 from typing import Any, Optional
 
+from ..log import get_logger
 from .keys import ENGINE_VERSION, cache_key
+
+logger = get_logger(__name__)
 
 
 def atomic_write_text(path: Path, text: str) -> None:
@@ -134,6 +137,8 @@ class ResultCache:
                     RuntimeWarning,
                     stacklevel=2,
                 )
+            else:
+                logger.debug("cache write failed for %s: %s", key[:12], exc)
 
     # ------------------------------------------------------------------
     def _entry_paths(self) -> list[Path]:
@@ -192,4 +197,5 @@ class ResultCache:
                 continue
             removed += 1
             freed += size
+        logger.info("cache prune removed %d entries (%d bytes)", removed, freed)
         return {"removed": removed, "bytes": freed}

@@ -10,12 +10,18 @@ Commands
 ``protocol-sweep``  (system × scheme × α × κ) protocol campaigns
 ``scenario``        list / show / run named scenario compositions
 ``advise``          the paper's §7 design recommendation
+``info``            engine/version/cache/scenario/CPU one-liner
 
 Campaign commands (``protocol-sweep``, ``scenario run``) keep a
 content-addressed result cache (default ``~/.cache/repro/campaigns``,
 overridable with ``--cache-dir`` or ``REPRO_CACHE_DIR``): re-running a
 campaign replays finished grid points from disk, bit-identically, and
 ``--no-cache`` turns the whole mechanism off.
+
+Observability: ``--progress`` streams live campaign status lines to
+stderr, ``--metrics-out`` writes the campaign's telemetry snapshot as
+JSON, ``--trace-out`` records phase spans as JSONL, and the global
+``-v``/``-q`` flags control the shared ``repro`` logger.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from .analysis.orderings import (
     verify_paper_trends,
 )
 from .cache import ResultCache, atomic_write_text
+from .cache.keys import ENGINE_VERSION
 from .core.campaign import (
     CampaignInterrupted,
     CampaignResult,
@@ -47,6 +54,7 @@ from .core.experiment import estimate_protocol_lifetime
 from .core.specs import SystemClass, SystemSpec
 from .core.timing import TimingSpec
 from .errors import ReproError
+from .log import configure_logging
 from .mc.montecarlo import mc_expected_lifetime
 from .mc.sweeps import FIGURE1_ALPHAS, FIGURE2_KAPPAS, figure1_series, figure2_series
 from .randomization.obfuscation import Scheme
@@ -59,6 +67,7 @@ from .reporting.tables import (
 )
 from .scenarios import all_scenarios, get_scenario
 from .supervision import ChaosSpec, SupervisionPolicy
+from .telemetry import ProgressReporter, disable_tracing, enable_tracing
 
 #: Default result-cache root for campaign commands (under ``$HOME``).
 DEFAULT_CACHE_DIR = pathlib.Path("~/.cache/repro/campaigns")
@@ -231,6 +240,57 @@ def _print_supervision_summary(
         print(render_failure_manifest(result.failures))
     if manifest_path is not None:
         print(f"failure manifest written to {manifest_path}")
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream live progress lines (runs, censoring, CI width, "
+        "events/sec) to stderr while the campaign runs",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the campaign's telemetry snapshot (counters, gauges, "
+        "histograms) as JSON after the run",
+    )
+    group.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="append orchestration phase spans (prepare/dispatch/fold) "
+        "as JSONL to PATH",
+    )
+
+
+def _telemetry_progress(
+    args: argparse.Namespace, label: str
+) -> Optional[ProgressReporter]:
+    return ProgressReporter(label=label) if args.progress else None
+
+
+def _emit_metrics(result: CampaignResult, args: argparse.Namespace):
+    """Handle ``--metrics-out``; returns the snapshot (for the record).
+
+    Telemetry is a side channel: a failed snapshot write is reported but
+    never sinks a finished campaign.
+    """
+    if args.metrics_out is None:
+        return None
+    snapshot = result.metrics_snapshot()
+    try:
+        atomic_write_text(
+            pathlib.Path(args.metrics_out),
+            json.dumps(snapshot.as_dict(), indent=2) + "\n",
+        )
+    except OSError as exc:
+        print(f"error: cannot write metrics snapshot: {exc}", file=sys.stderr)
+        return snapshot
+    print(f"metrics snapshot written to {args.metrics_out}")
+    return snapshot
 
 
 def _report_interrupt(exc: CampaignInterrupted, args: argparse.Namespace) -> int:
@@ -472,6 +532,8 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
         return _profile_grid_point(specs[0], args, timing, scenario=scenario)
     cache = _resolve_cache(args)
     supervision, chaos = _resolve_supervision(args)
+    if args.trace_out is not None:
+        enable_tracing(args.trace_out)
     try:
         result = run_campaign(
             specs,
@@ -489,9 +551,13 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
             journal_path=args.journal,
             resume=args.resume,
             manifest_path=args.failure_manifest,
+            progress=_telemetry_progress(args, "protocol-sweep"),
         )
     except CampaignInterrupted as exc:
         return _report_interrupt(exc, args)
+    finally:
+        if args.trace_out is not None:
+            disable_tracing()
     if args.precision is not None:
         method = f"precision {args.precision:g} rel. CI"
     else:
@@ -512,12 +578,16 @@ def cmd_protocol_sweep(args: argparse.Namespace) -> int:
     )
     _print_cache_summary(cache)
     _print_supervision_summary(result, args.failure_manifest)
+    metrics = _emit_metrics(result, args)
+    if args.trace_out is not None:
+        print(f"span trace appended to {args.trace_out}")
     if args.output is not None:
         record = campaign_record(
             result,
             timing=timing,
             timing_preset=timing_preset,
             scenario=scenario,
+            metrics=metrics,
         )
         return _write_campaign_record(record, args.output)
     return 0
@@ -556,6 +626,8 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.name)
     cache = _resolve_cache(args)
     supervision, chaos = _resolve_supervision(args)
+    if args.trace_out is not None:
+        enable_tracing(args.trace_out)
     try:
         result = run_scenario_campaign(
             scenario,
@@ -572,9 +644,13 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
             journal_path=args.journal,
             resume=args.resume,
             manifest_path=args.failure_manifest,
+            progress=_telemetry_progress(args, scenario.name),
         )
     except CampaignInterrupted as exc:
         return _report_interrupt(exc, args)
+    finally:
+        if args.trace_out is not None:
+            disable_tracing()
     if args.precision is not None:
         method = f"precision {args.precision:g} rel. CI"
     else:
@@ -597,12 +673,16 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     )
     _print_cache_summary(cache)
     _print_supervision_summary(result, args.failure_manifest)
+    metrics = _emit_metrics(result, args)
+    if args.trace_out is not None:
+        print(f"span trace appended to {args.trace_out}")
     if args.output is not None:
         record = campaign_record(
             result,
             timing=scenario.timing_spec(),
             timing_preset=scenario.timing,
             scenario=scenario,
+            metrics=metrics,
         )
         return _write_campaign_record(record, args.output)
     return 0
@@ -668,6 +748,28 @@ def cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_info(args: argparse.Namespace) -> int:
+    from . import __version__
+
+    cache = _cache_for_inspection(args)
+    info = cache.info()
+    scenarios = all_scenarios()
+    rows = [
+        ["repro version", __version__],
+        ["engine version", str(ENGINE_VERSION)],
+        ["python", sys.version.split()[0]],
+        ["detected CPUs", str(os.cpu_count() or 1)],
+        ["cache root", info["root"]],
+        ["cache entries", f"{info['entries']} ({info['bytes']} bytes)"],
+        ["cache session stats", json.dumps(cache.stats)],
+        ["scenarios", f"{len(scenarios)} registered"],
+    ]
+    for spec in scenarios:
+        rows.append([f"  {spec.name}", f"{len(spec.grid())}-point grid"])
+    print(render_table(["field", "value"], rows, title="repro info"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -675,6 +777,19 @@ def build_parser() -> argparse.ArgumentParser:
             "FORTRESS attack-resilience reproduction "
             "(Clarke & Ezhilchelvan, DSN 2010)"
         ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise repro logger verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="lower repro logger verbosity to errors only",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -824,6 +939,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(p)
     _add_supervision_arguments(p)
+    _add_telemetry_arguments(p)
     p.set_defaults(fn=cmd_protocol_sweep)
 
     p = sub.add_parser(
@@ -880,6 +996,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(q)
     _add_supervision_arguments(q)
+    _add_telemetry_arguments(q)
     q.set_defaults(fn=cmd_scenario_run)
 
     p = sub.add_parser(
@@ -918,12 +1035,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dsm-ready", action="store_true")
     p.set_defaults(fn=cmd_advise)
 
+    p = sub.add_parser(
+        "info",
+        help="engine version, cache stats, scenarios and CPU count",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache root (default: $REPRO_CACHE_DIR, falling back "
+        f"to {DEFAULT_CACHE_DIR})",
+    )
+    p.set_defaults(fn=cmd_info)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(-1 if args.quiet else args.verbose)
     try:
         return args.fn(args)
     except KeyboardInterrupt:

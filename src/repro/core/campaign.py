@@ -38,6 +38,8 @@ from ..supervision.policy import (
     SupervisionPolicy,
     TaskFailure,
 )
+from ..telemetry.registry import MetricsRegistry, MetricsSnapshot, fold_run_metrics
+from ..telemetry.spans import span
 from .experiment import (
     DEFAULT_MAX_CENSORED,
     DEFAULT_SEED_BATCH,
@@ -60,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..rare.splitting import SplittingConfig
     from ..scenarios.spec import ScenarioSpec
     from ..supervision.chaos import ChaosSpec
+    from ..telemetry.progress import ProgressReporter
 
 
 @dataclass(frozen=True)
@@ -87,6 +90,8 @@ class CampaignResult:
     failures: tuple[TaskFailure, ...] = ()
     retries: int = 0
     timeouts: int = 0
+    journal_replayed: int = 0
+    journal_appended: int = 0
 
     def __len__(self) -> int:
         return len(self.estimates)
@@ -117,6 +122,58 @@ class CampaignResult:
         """Tasks quarantined by supervision (see :attr:`failures`)."""
         return len(self.failures)
 
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Fold the whole campaign into one frozen metrics snapshot.
+
+        Computed on demand from the retained per-run samples plus the
+        cache / journal / supervision / rare-event tallies the result
+        already carries.  Counter totals are fan-out-invariant: per-run
+        samples merge by addition, so the same campaign snapshotted
+        under any worker count, batch size or dispatch order reports
+        identical totals.  (Cache hit/miss counters describe *this*
+        execution — a warm re-run legitimately differs there.)
+        """
+        registry = MetricsRegistry()
+        outcomes = [o for e in self.estimates for o in e.outcomes]
+        run_totals = fold_run_metrics(o.metrics for o in outcomes)
+        counters = registry.counter
+        counters("runs_total").inc(self.total_runs)
+        counters("runs_censored").inc(self.total_censored)
+        counters("events_executed").inc(self.total_events)
+        for name, value in run_totals.as_dict().items():
+            if name == "events_executed":
+                continue  # total_events above also covers splitting waves
+            counters(f"sim_{name}").inc(value)
+        if self.cache_hits is not None:
+            counters("cache_hits").inc(self.cache_hits)
+            counters("cache_misses").inc(self.cache_misses or 0)
+        counters("journal_replayed").inc(self.journal_replayed)
+        counters("journal_appended").inc(self.journal_appended)
+        if self.supervised:
+            counters("supervision_retries").inc(self.retries)
+            counters("supervision_timeouts").inc(self.timeouts)
+            counters("supervision_quarantined").inc(self.quarantined)
+        rare_estimates = [e for e in self.estimates if e.rare is not None]
+        if rare_estimates:
+            counters("rare_points").inc(len(rare_estimates))
+            counters("rare_replications").inc(
+                sum(e.rare.replications for e in rare_estimates)
+            )
+            counters("rare_trajectories").inc(
+                sum(e.rare.trajectories for e in rare_estimates)
+            )
+        registry.gauge("grid_points").set(len(self.estimates))
+        if self.wall_seconds is not None:
+            registry.gauge("wall_seconds").set(self.wall_seconds)
+            if self.wall_seconds > 0:
+                registry.gauge("events_per_second").set(
+                    self.total_events / self.wall_seconds
+                )
+        steps = registry.histogram("steps_survived")
+        for outcome in outcomes:
+            steps.observe(outcome.steps)
+        return registry.snapshot()
+
 
 class CampaignInterrupted(ReproError):
     """A campaign was interrupted (Ctrl-C / SIGTERM) after partial work.
@@ -138,6 +195,7 @@ def campaign_record(
     timing: Optional[TimingSpec] = None,
     timing_preset: Optional[str] = None,
     scenario: "ScenarioSpec | None" = None,
+    metrics: Optional[MetricsSnapshot] = None,
 ) -> dict:
     """Serialize a campaign as a diffable JSON-ready record.
 
@@ -148,6 +206,9 @@ def campaign_record(
     :class:`~repro.core.timing.TimingSpec` the campaign ran under;
     ``scenario`` embeds the full scenario spec (name + composition) so
     a scenario campaign record is self-describing and reproducible.
+    ``metrics`` (usually ``result.metrics_snapshot()``) embeds the
+    telemetry snapshot — opt-in, so records stay diffable against
+    pre-telemetry baselines unless the caller asks for it.
     """
     rows = []
     for estimate in result.estimates:
@@ -220,6 +281,8 @@ def campaign_record(
             "quarantined": result.quarantined,
             "failures": [failure.as_dict() for failure in result.failures],
         }
+    if metrics is not None:
+        record["metrics"] = metrics.as_dict()
     return record
 
 
@@ -330,6 +393,7 @@ def run_campaign(
     journal_path: Path | str | None = None,
     resume: bool = False,
     manifest_path: Path | str | None = None,
+    progress: "ProgressReporter | None" = None,
     **build_kwargs,
 ) -> CampaignResult:
     """Protocol-level lifetimes for every spec of a campaign grid.
@@ -377,6 +441,11 @@ def run_campaign(
     ``SIGTERM`` flush completed grid points to the journal and result
     cache, then raise :class:`CampaignInterrupted` carrying the partial
     result.
+
+    ``progress`` (a :class:`~repro.telemetry.progress.ProgressReporter`)
+    streams live runs-completed / CI-width / censoring / events-per-sec
+    lines off the same result path — pure observation, so progress-on
+    and progress-off campaigns are bit-identical.
     """
     from ..mc.executor import TaskExecutor, derive_point_seed  # avoids cycle
 
@@ -394,6 +463,9 @@ def run_campaign(
     misses_before = cache.misses if cache is not None else 0
     supervising = supervision is not None or chaos is not None
     manifest: Optional[FailureManifest] = None
+    # Journal replay/append tallies, filled once the journal (created
+    # further down the fixed-count path) has been opened and drained.
+    journal_stats = {"replayed": 0, "appended": 0}
 
     def build_result(estimates: list, *, trials_out: int) -> CampaignResult:
         return CampaignResult(
@@ -411,11 +483,21 @@ def run_campaign(
             failures=tuple(manifest.failures) if manifest is not None else (),
             retries=manifest.retries if manifest is not None else 0,
             timeouts=manifest.timeouts if manifest is not None else 0,
+            journal_replayed=journal_stats["replayed"],
+            journal_appended=journal_stats["appended"],
         )
 
     def write_manifest() -> None:
         if manifest is not None and manifest_path is not None:
             manifest.write(manifest_path)
+
+    def progress_update(outcomes) -> None:
+        if progress is not None:
+            progress.update(outcomes)
+
+    def progress_finish() -> None:
+        if progress is not None:
+            progress.finish()
 
     if precision is not None or estimator == "splitting":
         if journal_path is not None:
@@ -435,27 +517,32 @@ def run_campaign(
         else:
             shared_cm = TaskExecutor(workers)
         trials_out = 0 if precision is not None else trials
+        if progress is not None:
+            progress.begin(None)  # streaming rounds: no fixed run count
         try:
             with deliver_sigterm_as_interrupt(), shared_cm as shared_executor:
                 for i, spec in enumerate(specs):
                     try:
-                        estimate = estimate_protocol_lifetime(
-                            spec,
-                            trials=trials,
-                            max_steps=max_steps,
-                            batch_size=batch_size,
-                            precision=precision,
-                            min_trials=min_trials,
-                            max_trials=max_trials,
-                            max_censored_fraction=max_censored_fraction,
-                            seed_for=lambda j, i=i: derive_point_seed(seed, i, j),
-                            executor=shared_executor,
-                            scenario=scenario,
-                            cache=cache,
-                            estimator=estimator,
-                            splitting=splitting,
-                            **build_kwargs,
-                        )
+                        with span("campaign.point", index=i, label=spec.label):
+                            estimate = estimate_protocol_lifetime(
+                                spec,
+                                trials=trials,
+                                max_steps=max_steps,
+                                batch_size=batch_size,
+                                precision=precision,
+                                min_trials=min_trials,
+                                max_trials=max_trials,
+                                max_censored_fraction=max_censored_fraction,
+                                seed_for=lambda j, i=i: derive_point_seed(
+                                    seed, i, j
+                                ),
+                                executor=shared_executor,
+                                scenario=scenario,
+                                cache=cache,
+                                estimator=estimator,
+                                splitting=splitting,
+                                **build_kwargs,
+                            )
                     except CensoredPrecisionError as exc:
                         # One heavily censored grid point must not discard
                         # the rest of the campaign: keep the outcomes it
@@ -476,9 +563,11 @@ def run_campaign(
                             spec, list(exc.outcomes), converged=False
                         )
                     estimates.append(estimate)
+                    progress_update(estimate.outcomes)
         except KeyboardInterrupt:
             # Completed grid points are already in the result cache (if
             # any); report them as a typed partial result.
+            progress_finish()
             write_manifest()
             raise CampaignInterrupted(
                 f"campaign interrupted with {len(estimates)} of "
@@ -486,11 +575,14 @@ def run_campaign(
                 "are in the result cache)",
                 build_result(estimates, trials_out=trials_out),
             ) from None
+        progress_finish()
         write_manifest()
         return build_result(estimates, trials_out=trials_out)
 
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if progress is not None:
+        progress.begin(len(specs) * trials)
     frozen_kwargs = tuple(sorted(build_kwargs.items()))
     tasks: list[ProtocolTask] = []
     owners: list[int] = []
@@ -500,30 +592,32 @@ def run_campaign(
     # fully warm campaign scores exactly one hit per grid point — and
     # builds no tasks at all.
     point_keys: dict[int, str] = {}
-    for i, spec in enumerate(specs):
-        point_seeds = [derive_point_seed(seed, i, j) for j in range(trials)]
-        if cache is not None:
-            key = cache.key_for(
-                _outcome_block_payload(
-                    spec, point_seeds, max_steps, build_kwargs, scenario
+    with span("campaign.prepare", grid_points=len(specs), trials=trials):
+        for i, spec in enumerate(specs):
+            point_seeds = [derive_point_seed(seed, i, j) for j in range(trials)]
+            if cache is not None:
+                key = cache.key_for(
+                    _outcome_block_payload(
+                        spec, point_seeds, max_steps, build_kwargs, scenario
+                    )
                 )
-            )
-            cached = _cache_fetch(cache, key, spec, point_seeds)
-            if cached is not None:
-                per_spec[i] = cached
-                continue
-            point_keys[i] = key
-        for batch in _batched(point_seeds, batch_size):
-            tasks.append(
-                ProtocolTask(
-                    spec=spec,
-                    seeds=batch,
-                    max_steps=max_steps,
-                    build_kwargs=frozen_kwargs,
-                    scenario=scenario,
+                cached = _cache_fetch(cache, key, spec, point_seeds)
+                if cached is not None:
+                    per_spec[i] = cached
+                    progress_update(cached)
+                    continue
+                point_keys[i] = key
+            for batch in _batched(point_seeds, batch_size):
+                tasks.append(
+                    ProtocolTask(
+                        spec=spec,
+                        seeds=batch,
+                        max_steps=max_steps,
+                        build_kwargs=frozen_kwargs,
+                        scenario=scenario,
+                    )
                 )
-            )
-            owners.append(i)
+                owners.append(i)
 
     # Crash-safe journal: completed task batches stream in as they land
     # and a resumed campaign prefills from the surviving entries, so a
@@ -550,6 +644,7 @@ def run_campaign(
             except OSError:
                 pass
         journal_entries = journal.open()
+        journal_stats["replayed"] = journal.replayed
         task_keys = [_task_key(task, cache) for task in tasks]
 
     # One result slot per task; journal hits prefill theirs and only the
@@ -563,6 +658,7 @@ def run_campaign(
                 task_results[ti] = tuple(
                     _outcomes_from_payload(task.spec, payload, list(task.seeds))
                 )
+                progress_update(task_results[ti])
                 continue
             except (KeyError, TypeError, ValueError):
                 pass  # mismatched journal entry: re-run the task
@@ -576,15 +672,20 @@ def run_campaign(
     def collect(slot: int, result) -> None:
         ti = pending[slot]
         task_results[ti] = result
-        if journal is not None and not isinstance(result, Quarantined):
+        if isinstance(result, Quarantined):
+            return
+        if journal is not None:
             journal.append(
                 task_keys[ti], [_outcome_payload(o) for o in result]
             )
+        progress_update(result)
 
     interrupted = False
     if pending:
         try:
-            with deliver_sigterm_as_interrupt():
+            with deliver_sigterm_as_interrupt(), span(
+                "campaign.dispatch", tasks=len(pending)
+            ):
                 executor.map(
                     run_protocol_task,
                     [tasks[ti] for ti in pending],
@@ -596,22 +697,25 @@ def run_campaign(
             executor.close()
             if journal is not None:
                 journal.close()
+                journal_stats["appended"] = journal.appended
     elif journal is not None:
         journal.close()
+        journal_stats["appended"] = journal.appended
 
     # Fold task results back per grid point, in task (= seed) order so
     # cached blocks keep their seed ordering.
     incomplete: set[int] = set()
-    for ti, result in enumerate(task_results):
-        if result is None or isinstance(result, Quarantined):
-            incomplete.add(owners[ti])
-            continue
-        per_spec[owners[ti]].extend(result)
-    if cache is not None:
-        for i, key in point_keys.items():
-            if i in incomplete:
-                continue  # never cache a block with quarantine holes
-            cache.store(key, [_outcome_payload(o) for o in per_spec[i]])
+    with span("campaign.fold", tasks=len(task_results)):
+        for ti, result in enumerate(task_results):
+            if result is None or isinstance(result, Quarantined):
+                incomplete.add(owners[ti])
+                continue
+            per_spec[owners[ti]].extend(result)
+        if cache is not None:
+            for i, key in point_keys.items():
+                if i in incomplete:
+                    continue  # never cache a block with quarantine holes
+                cache.store(key, [_outcome_payload(o) for o in per_spec[i]])
 
     if interrupted:
         complete = [
@@ -619,6 +723,7 @@ def run_campaign(
             for i in range(len(specs))
             if i not in incomplete and per_spec[i]
         ]
+        progress_finish()
         write_manifest()
         raise CampaignInterrupted(
             f"campaign interrupted with {len(complete)} of {len(specs)} "
@@ -688,6 +793,7 @@ def run_campaign(
                             refined, events=refined.events + mc_estimate.events
                         ),
                     )
+    progress_finish()
     write_manifest()
     return build_result(
         [estimate for _, estimate in indexed_estimates], trials_out=trials
@@ -714,6 +820,7 @@ def run_scenario_campaign(
     journal_path: Path | str | None = None,
     resume: bool = False,
     manifest_path: Path | str | None = None,
+    progress: "ProgressReporter | None" = None,
     **build_kwargs,
 ) -> CampaignResult:
     """Run one named scenario as a protocol campaign.
@@ -747,5 +854,6 @@ def run_scenario_campaign(
         journal_path=journal_path,
         resume=resume,
         manifest_path=manifest_path,
+        progress=progress,
         **build_kwargs,
     )

@@ -31,6 +31,7 @@ from ..cache import ResultCache
 from ..errors import AnalysisError, ConfigurationError
 from ..metrics.stats import CensoredSummary, SummaryStats, summarize_censored
 from ..supervision.policy import Quarantined
+from ..telemetry.registry import RunMetrics
 from .builders import DeployedSystem, add_clients, attach_attacker, build_system
 from .specs import SystemSpec
 
@@ -80,6 +81,11 @@ class LifetimeOutcome:
         Simulator events the run executed — the honest cost denominator
         when comparing estimators (wall time is hardware-dependent;
         event counts are bit-reproducible).
+    metrics:
+        Full per-run telemetry sample (:class:`~repro.telemetry.registry.
+        RunMetrics`), read once at run end.  ``None`` on outcomes
+        replayed from pre-telemetry cache entries.  Pure observation —
+        estimators never read it.
     """
 
     spec: SystemSpec
@@ -91,6 +97,7 @@ class LifetimeOutcome:
     probes_direct: int
     probes_indirect: int
     events: int = 0
+    metrics: Optional[RunMetrics] = None
 
 
 def compose_deployment(
@@ -157,6 +164,29 @@ def _run_until(deployed: DeployedSystem, horizon: float) -> None:
             gc.enable()
 
 
+def _sample_run_metrics(deployed: DeployedSystem) -> RunMetrics:
+    """Read the run's counters into one frozen telemetry sample.
+
+    Called exactly once per run, at verdict time — the counters
+    themselves are plain integers the hot paths maintain anyway, so
+    this is the entire cost of always-on run telemetry.
+    """
+    sim = deployed.sim
+    network = deployed.network
+    attacker = deployed.attacker
+    return RunMetrics(
+        events_executed=sim.events_executed,
+        events_elided=network.events_elided,
+        probes_direct=0 if attacker is None else attacker.probes_sent_direct,
+        probes_indirect=0 if attacker is None else attacker.probes_sent_indirect,
+        fast_forward_arms=0 if attacker is None else attacker.fast_forward_arms,
+        heap_compactions=sim.heap_compactions,
+        messages_sent=network.messages_sent,
+        messages_delivered=network.messages_delivered,
+        messages_dropped=network.messages_dropped,
+    )
+
+
 def outcome_from_deployment(
     deployed: DeployedSystem, seed: int, max_steps: int
 ) -> LifetimeOutcome:
@@ -166,6 +196,7 @@ def outcome_from_deployment(
     assert attacker is not None
     monitor = deployed.monitor
     events = deployed.sim.events_executed
+    metrics = _sample_run_metrics(deployed)
     if monitor.is_compromised:
         steps = monitor.steps_survived
         assert steps is not None
@@ -179,6 +210,7 @@ def outcome_from_deployment(
             probes_direct=attacker.probes_sent_direct,
             probes_indirect=attacker.probes_sent_indirect,
             events=events,
+            metrics=metrics,
         )
     return LifetimeOutcome(
         spec=spec,
@@ -190,6 +222,7 @@ def outcome_from_deployment(
         probes_direct=attacker.probes_sent_direct,
         probes_indirect=attacker.probes_sent_indirect,
         events=events,
+        metrics=metrics,
     )
 
 
@@ -413,6 +446,7 @@ def _outcome_payload(outcome: LifetimeOutcome) -> dict:
         "probes_direct": outcome.probes_direct,
         "probes_indirect": outcome.probes_indirect,
         "events": outcome.events,
+        "metrics": None if outcome.metrics is None else outcome.metrics.as_dict(),
     }
 
 
@@ -421,6 +455,7 @@ def _outcome_from_entry(spec: SystemSpec, entry: Any) -> LifetimeOutcome:
     cause = entry["cause"]
     if cause is not None and not isinstance(cause, str):
         raise ValueError("cached outcome carries a malformed cause")
+    metrics_payload = entry.get("metrics")
     return LifetimeOutcome(
         spec=spec,
         seed=int(entry["seed"]),
@@ -431,6 +466,9 @@ def _outcome_from_entry(spec: SystemSpec, entry: Any) -> LifetimeOutcome:
         probes_direct=int(entry["probes_direct"]),
         probes_indirect=int(entry["probes_indirect"]),
         events=int(entry["events"]),
+        metrics=(
+            None if metrics_payload is None else RunMetrics.from_dict(metrics_payload)
+        ),
     )
 
 

@@ -1,0 +1,76 @@
+"""Shared structured logging for the whole package.
+
+Every module logs through a child of the ``repro`` logger
+(``get_logger(__name__)``), so one :func:`configure_logging` call wires
+the entire stack: ``-v`` lifts campaign/supervision/cache chatter to
+INFO, ``-vv`` to DEBUG, ``-q`` silences everything below ERROR.
+
+Library rule: *warnings that tests and callers rely on catching stay
+`warnings.warn`* (quarantine notices, pool fallbacks, precision
+refusals); the logger carries operational narration — retries, strikes,
+cache traffic — that a human debugging a campaign wants but a caller
+should never have to filter.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The package logger, or a namespaced child for ``name``.
+
+    Pass ``__name__``; dotted module paths already under ``repro.`` are
+    used as-is, anything else is parented beneath it.
+    """
+    if name is None or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a ``-q``/``-v`` count to a stdlib logging level.
+
+    ``-1`` (quiet) → ERROR, ``0`` → WARNING, ``1`` → INFO, ``>=2`` → DEBUG.
+    """
+    if verbosity < 0:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Install (or re-level) the package's single stderr handler.
+
+    Idempotent: repeated calls re-use the handler and only adjust the
+    level, so tests and embedding applications can call it freely
+    without stacking duplicate outputs.  The handler is attached to the
+    ``repro`` logger only — the root logger (and other libraries) are
+    left alone, and propagation stays on so capturing harnesses (pytest
+    ``caplog``) keep seeing records.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(verbosity_to_level(verbosity))
+    handler = next(
+        (h for h in logger.handlers if getattr(h, "_repro_handler", False)),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler._repro_handler = True
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    return logger

@@ -58,6 +58,7 @@ class Network:
         "messages_sent",
         "messages_delivered",
         "messages_dropped",
+        "events_elided",
     )
 
     def __init__(
@@ -88,6 +89,7 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.events_elided = 0  # provably-inert notifications never scheduled
 
     def _delay(self) -> float:
         """One sampled one-way latency (constant-folded when fixed)."""
@@ -362,6 +364,7 @@ class Network:
             if name == closed_by:
                 continue
             if fixed and name not in notify and (sinks is None or name not in sinks):
+                self.events_elided += 1
                 continue  # would reach the base no-op handler: inert
             schedule_fast(self._delay(), self._notify_closed, name, connection)
 

@@ -1,4 +1,4 @@
-"""Rendering of result tables and figure series."""
+"""Rendering of result tables, figure series and perf-trend reports."""
 
 from .tables import (
     format_quantity,
@@ -6,10 +6,24 @@ from .tables import (
     render_series_table,
     render_table,
 )
+from .trends import (
+    collect_trends,
+    find_regressions,
+    load_baseline,
+    render_trend_table,
+    trend_report,
+    write_baseline,
+)
 
 __all__ = [
+    "collect_trends",
+    "find_regressions",
     "format_quantity",
+    "load_baseline",
     "render_failure_manifest",
     "render_series_table",
     "render_table",
+    "render_trend_table",
+    "trend_report",
+    "write_baseline",
 ]

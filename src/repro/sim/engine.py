@@ -111,6 +111,7 @@ class Simulator:
         "_running",
         "_stopped",
         "_cancelled_in_heap",
+        "_compactions",
     )
 
     def __init__(self, seed: int = 0) -> None:
@@ -123,6 +124,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._cancelled_in_heap = 0  # dead entries awaiting pop/compaction
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -188,6 +190,7 @@ class Simulator:
         heap[:] = [entry for entry in heap if entry[_FN] is not None]
         heapq.heapify(heap)
         self._cancelled_in_heap = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -282,6 +285,11 @@ class Simulator:
     def events_executed(self) -> int:
         """Total number of events executed so far."""
         return self._events_executed
+
+    @property
+    def heap_compactions(self) -> int:
+        """Number of in-place heap compactions performed so far."""
+        return self._compactions
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.3f}, pending={self.pending_events})"

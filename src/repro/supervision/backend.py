@@ -33,6 +33,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable
 
+from ..log import get_logger
 from ..mc.executor import ExecutorBackend
 from .policy import (
     FailureManifest,
@@ -46,6 +47,11 @@ from .policy import (
 
 #: Transport-level exception types (never charged against a task).
 _TRANSPORT_ERRORS = (OSError, PermissionError, BrokenProcessPool)
+
+#: Operational narration (transport strikes, degradations) goes to the
+#: logger; caller-facing contract warnings (quarantine, ignored
+#: timeouts) stay ``warnings.warn`` — see :mod:`repro.log`.
+logger = get_logger(__name__)
 
 
 class SupervisedBackend(ExecutorBackend):
@@ -189,11 +195,12 @@ class SupervisedBackend(ExecutorBackend):
                     strikes += 1
                     self.manifest.transport_failures += 1
                     self.inner.recycle()
-                    warnings.warn(
-                        f"backend transport failed at submit ({exc!r}); "
-                        f"recycled (strike {strikes}/{policy.transport_strikes})",
-                        RuntimeWarning,
-                        stacklevel=3,
+                    logger.warning(
+                        "backend transport failed at submit (%r); recycled "
+                        "(strike %d/%d)",
+                        exc,
+                        strikes,
+                        policy.transport_strikes,
                     )
                     ready.append((now, index))
                     ready.sort()
@@ -208,11 +215,10 @@ class SupervisedBackend(ExecutorBackend):
                 # Transport is gone for good: drain the rest in-process
                 # (retry/quarantine still apply, timeouts cannot).
                 self.manifest.degradations += 1
-                warnings.warn(
+                logger.warning(
                     "backend transport exhausted its strikes; running "
-                    f"{len(ready)} remaining tasks in-process",
-                    RuntimeWarning,
-                    stacklevel=3,
+                    "%d remaining tasks in-process",
+                    len(ready),
                 )
                 for _, index in list(ready):
                     self._drain_one(fn, tasks, index, attempts, results, on_result)
@@ -240,11 +246,12 @@ class SupervisedBackend(ExecutorBackend):
                     strikes += 1
                     self.manifest.transport_failures += 1
                     self.inner.recycle()
-                    warnings.warn(
-                        f"backend transport broke mid-task ({exc!r}); "
-                        f"recycled (strike {strikes}/{policy.transport_strikes})",
-                        RuntimeWarning,
-                        stacklevel=3,
+                    logger.warning(
+                        "backend transport broke mid-task (%r); recycled "
+                        "(strike %d/%d)",
+                        exc,
+                        strikes,
+                        policy.transport_strikes,
                     )
                     ready.append((time.monotonic(), index))
                     ready.sort()
@@ -279,11 +286,10 @@ class SupervisedBackend(ExecutorBackend):
                 self.manifest.degradations += 1
                 self.inner.recycle()
                 abandoned = 0
-                warnings.warn(
-                    f"{abandoned or width} hung tasks starved the "
-                    f"{width}-worker pool; recycled it",
-                    RuntimeWarning,
-                    stacklevel=3,
+                logger.warning(
+                    "%d hung tasks starved the %d-worker pool; recycled it",
+                    width,
+                    width,
                 )
         return [results[i] for i in range(n)]
 

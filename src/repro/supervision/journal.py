@@ -49,6 +49,7 @@ class CampaignJournal:
         self.meta = dict(meta) if meta else {}
         self._handle = None
         self.appended = 0
+        self.replayed = 0  # entries surviving the last open() compaction
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -95,6 +96,7 @@ class CampaignJournal:
         from previous runs are gone before new appends start.
         """
         _, entries = self.load(self.path)
+        self.replayed = len(entries)
         lines = [json.dumps({"format": _FORMAT, "meta": self.meta})]
         lines.extend(
             json.dumps({"key": key, "payload": payload})

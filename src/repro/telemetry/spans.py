@@ -1,0 +1,140 @@
+"""Monotonic span timers with a JSONL trace sink.
+
+A *span* brackets one phase of work (``with span("campaign.dispatch"):
+...``) and, when tracing is enabled, appends one JSON line to the sink:
+
+    {"span": "campaign.dispatch", "start": 1.234, "seconds": 0.456, ...}
+
+``start`` is a :func:`time.perf_counter` reading — monotonic and
+process-local, meant for ordering and durations within one trace file,
+never for wall-clock correlation across hosts.
+
+Zero-overhead-when-disabled is the design constraint: with no sink
+installed, :func:`span` returns a single module-level no-op object —
+no allocation, no clock read, no string formatting.  Instrumented call
+sites therefore never need their own ``if telemetry:`` guards.
+
+The sink is process-local state.  Worker processes of a campaign pool
+do not inherit it (their per-run counters travel back through the
+result path instead); traces describe the orchestrating process —
+cache lookups, dispatch rounds, fold phases — which is where the
+interesting scheduling time goes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Optional, TextIO
+
+_FORMAT = "repro-trace/1"
+
+
+class TraceSink:
+    """Append-only JSONL trace file (one record per completed span)."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[TextIO] = open(
+            self.path, "a", encoding="utf-8"
+        )
+        self.emitted = 0
+        self._emit({"format": _FORMAT})
+
+    def _emit(self, record: dict) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        self.emitted += 1
+
+    def emit_span(
+        self, name: str, start: float, seconds: float, fields: dict
+    ) -> None:
+        record: dict[str, Any] = {
+            "span": name,
+            "start": round(start, 6),
+            "seconds": round(seconds, 6),
+        }
+        if fields:
+            record.update(fields)
+        self._emit(record)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class _Span:
+    """A live timed span (only ever allocated when tracing is on)."""
+
+    __slots__ = ("name", "fields", "_start")
+
+    def __init__(self, name: str, fields: dict) -> None:
+        self.name = name
+        self.fields = fields
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        sink = _SINK
+        if sink is not None:
+            sink.emit_span(
+                self.name,
+                self._start,
+                time.perf_counter() - self._start,
+                self.fields,
+            )
+
+
+class _NullSpan:
+    """The shared disabled-path span: enter/exit do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_SINK: Optional[TraceSink] = None
+
+
+def enable_tracing(path: Path | str) -> TraceSink:
+    """Install a JSONL sink at ``path``; spans start recording."""
+    global _SINK
+    disable_tracing()
+    _SINK = TraceSink(path)
+    return _SINK
+
+
+def disable_tracing() -> None:
+    """Close and remove the sink; :func:`span` reverts to the no-op."""
+    global _SINK
+    if _SINK is not None:
+        _SINK.close()
+        _SINK = None
+
+
+def tracing_enabled() -> bool:
+    return _SINK is not None
+
+
+def span(name: str, **fields: Any):
+    """A context manager timing one phase.
+
+    Disabled path returns the module-level no-op singleton — callers
+    pay one global load and one identity check, nothing else.
+    """
+    if _SINK is None:
+        return _NULL_SPAN
+    return _Span(name, fields)

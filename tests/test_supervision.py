@@ -264,15 +264,14 @@ def test_supervised_async_persistent_hang_quarantines_as_timeout():
     assert backend.manifest.timeouts == 2
 
 
-def test_supervised_transport_exhaustion_drains_in_process():
+def test_supervised_transport_exhaustion_drains_in_process(caplog):
     inner = ScriptedAsyncInner({1: ["transport"], 2: ["transport"]})
     backend = SupervisedBackend(
         inner, SupervisionPolicy(transport_strikes=1, **FAST)
     )
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
+    with caplog.at_level("WARNING", logger="repro.supervision.backend"):
         assert backend.map(_double, [1, 2]) == [2, 4]
-    messages = [str(w.message) for w in caught]
+    messages = [record.getMessage() for record in caplog.records]
     assert any("in-process" in m for m in messages)
     assert any("recycled" in m for m in messages)
     assert backend.manifest.transport_failures >= 2
